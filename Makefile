@@ -1,0 +1,22 @@
+# Developer entry points (documentation; everything is plain pytest/python).
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro report
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null && echo OK; done
+
+clean:
+	rm -rf benchmarks/output .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,59 @@
+"""Ablation: hybrid MCDRAM mode (described but not evaluated in the paper).
+
+Hybrid mode splits MCDRAM into a flat partition and a cache partition.
+For a problem that fits the flat partition it behaves like a small HBM;
+for larger problems the allocation overflows to (cached) DDR.  The sweep
+shows where hybrid beats each pure mode.
+"""
+
+import pytest
+
+from repro.core.configs import ConfigName, make_config
+from repro.core.runner import ExperimentRunner
+from repro.util.tables import TextTable
+from repro.workloads.minife import MiniFE
+
+SIZES_GB = (3.6, 7.2, 10.0, 14.4)
+CONFIGS = (
+    ConfigName.DRAM,
+    ConfigName.HBM,
+    ConfigName.CACHE,
+    ConfigName.HYBRID,
+)
+
+
+def run_ablation(runner: ExperimentRunner):
+    rows = {}
+    for gb in SIZES_GB:
+        workload = MiniFE.from_matrix_gb(gb)
+        rows[gb] = {
+            name: runner.run(workload, make_config(name), 64).metric
+            for name in CONFIGS
+        }
+    return rows
+
+
+def test_ablation_hybrid_mode(benchmark, runner, record_text):
+    rows = benchmark(run_ablation, runner)
+    table = TextTable(
+        ["Matrix (GB)"] + [c.value for c in CONFIGS],
+        title="Ablation: hybrid mode (50/50), MiniFE CG MFLOPS",
+    )
+    for gb, values in rows.items():
+        table.add_row(
+            [f"{gb:g}"]
+            + ["-" if values[c] is None else f"{values[c]:.3g}" for c in CONFIGS]
+        )
+    text = table.render()
+    record_text("ablation_hybrid_mode", text)
+    print(text)
+    # Fitting the 8 GiB flat partition: hybrid ~= HBM.
+    small = rows[3.6]
+    assert small[ConfigName.HYBRID] == pytest.approx(
+        small[ConfigName.HBM], rel=0.15
+    )
+    # Beyond the flat partition, hybrid degrades below pure HBM but stays
+    # above pure DRAM (overflow lands in cached DDR).
+    large = rows[14.4]
+    assert large[ConfigName.HYBRID] < large[ConfigName.HBM]
+    assert large[ConfigName.HYBRID] > large[ConfigName.DRAM]

@@ -1,0 +1,13 @@
+"""Fig. 1: the modelled node layout (tiles, L2 slices, both memories)."""
+
+from repro.figures.fig1 import generate
+
+
+def test_fig1_layout(benchmark, record_exhibit):
+    exhibit = benchmark(generate)
+    record_exhibit(exhibit)
+    assert exhibit.data["tiles"] == 32
+    assert exhibit.data["cores"] == 64
+    assert exhibit.data["mcdram_gb"] == 16
+    assert exhibit.data["ddr_gb"] == 96
+    print(exhibit.render())

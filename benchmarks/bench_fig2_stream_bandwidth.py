@@ -1,0 +1,26 @@
+"""Fig. 2: STREAM triad bandwidth under the three memory configurations.
+
+Paper rows reproduced: DRAM ~77 GB/s flat; HBM ~330 GB/s, absent beyond
+16 GB; cache mode 260 GB/s @ 8 GB, 125 GB/s @ 11.4 GB, below DRAM from
+~24 GB.
+"""
+
+import pytest
+
+from repro.figures.fig2 import generate
+
+
+def test_fig2_stream_bandwidth(benchmark, runner, record_exhibit):
+    exhibit = benchmark(generate, runner)
+    record_exhibit(exhibit)
+    sizes = exhibit.data["sizes_gb"]
+    cache = dict(zip(sizes, exhibit.data["Cache Mode"]))
+    hbm = dict(zip(sizes, exhibit.data["HBM"]))
+    dram = dict(zip(sizes, exhibit.data["DRAM"]))
+    assert dram[8] == pytest.approx(77.0, rel=0.02)
+    assert hbm[8] == pytest.approx(330.0, rel=0.02)
+    assert hbm[24] is None
+    assert cache[8] == pytest.approx(260.0, rel=0.03)
+    assert cache[11.4] == pytest.approx(125.0, rel=0.03)
+    assert cache[24] < dram[24]
+    print(exhibit.render())

@@ -1,0 +1,24 @@
+"""Fig. 3: TinyMemBench dual random read latency, DRAM vs HBM.
+
+Paper series reproduced: ~10 ns below 1 MB, ~200 ns tier to 64 MB, growth
+beyond 128 MB; DRAM 15-20 % faster with the gap peaking just above the
+tile L2 size.
+"""
+
+import pytest
+
+from repro.figures.fig3 import generate
+
+
+def test_fig3_dual_random_read_latency(benchmark, record_exhibit):
+    exhibit = benchmark(generate)
+    record_exhibit(exhibit)
+    by_block = dict(zip(exhibit.data["blocks"], exhibit.data["dram_ns"]))
+    assert by_block[512 * 1024] == pytest.approx(10.0, abs=1.0)
+    assert 150 <= by_block[16 << 20] <= 260
+    assert by_block[1 << 30] > by_block[64 << 20] + 150
+    gaps = dict(zip(exhibit.data["blocks"], exhibit.data["gap_percent"]))
+    big_gaps = {b: g for b, g in gaps.items() if b > (1 << 20)}
+    assert all(10 <= g <= 23 for g in big_gaps.values())
+    assert max(big_gaps, key=big_gaps.get) == 2 << 20  # peak just above L2
+    print(exhibit.render())

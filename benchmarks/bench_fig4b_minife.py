@@ -1,0 +1,25 @@
+"""Fig. 4b: MiniFE CG MFLOPS vs matrix size, three configurations.
+
+Shape: HBM ~3x DRAM; cache-mode improvement collapses toward ~1.05x at
+nearly twice the HBM capacity (28.8 GB).
+"""
+
+import pytest
+
+from repro.figures.fig4 import generate_b
+
+
+def test_fig4b_minife(benchmark, runner, record_exhibit):
+    exhibit = benchmark(generate_b, runner)
+    record_exhibit(exhibit)
+    improvements = [v for v in exhibit.data["hbm_improvement"] if v is not None]
+    assert all(2.6 <= v <= 3.5 for v in improvements)
+    cache_imp = dict(
+        zip(exhibit.data["sizes_gb"], exhibit.data["cache_improvement"])
+    )
+    assert cache_imp[3.6] > 2.3
+    assert cache_imp[28.8] == pytest.approx(1.05, abs=0.15)
+    # Absolute scale: paper's y-axis tops around 1.5e4 CG MFLOPS.
+    hbm = dict(zip(exhibit.data["sizes_gb"], exhibit.data["HBM"]))
+    assert 1.0e10 <= hbm[7.2] <= 1.8e10
+    print(exhibit.render())

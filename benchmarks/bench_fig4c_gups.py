@@ -1,0 +1,22 @@
+"""Fig. 4c: GUPS vs table size, three configurations.
+
+Shape: a narrow ~1e-2 GUPS band across 1-32 GiB tables, DRAM never worse
+than HBM or cache mode.
+"""
+
+from repro.figures.fig4 import generate_c
+
+
+def test_fig4c_gups(benchmark, runner, record_exhibit):
+    exhibit = benchmark(generate_c, runner)
+    record_exhibit(exhibit)
+    sizes = exhibit.data["sizes_gb"]
+    dram = dict(zip(sizes, exhibit.data["DRAM"]))
+    for other in ("HBM", "Cache Mode"):
+        for size, value in zip(sizes, exhibit.data[other]):
+            if value is not None:
+                assert dram[size] >= value
+    defined = [v for v in dram.values() if v is not None]
+    assert max(defined) / min(defined) < 1.3  # the paper's narrow band
+    assert 0.8e-2 <= min(defined) and max(defined) <= 1.3e-2
+    print(exhibit.render())

@@ -1,0 +1,26 @@
+"""Fig. 4d: Graph500 TEPS vs graph size, three configurations.
+
+Shape: DRAM best throughout; its advantage over cache mode grows to
+~1.3x on the largest graphs.
+"""
+
+import pytest
+
+from repro.figures.fig4 import generate_d
+
+
+def test_fig4d_graph500(benchmark, runner, record_exhibit):
+    exhibit = benchmark(generate_d, runner)
+    record_exhibit(exhibit)
+    sizes = exhibit.data["sizes_gb"]
+    dram = dict(zip(sizes, exhibit.data["DRAM"]))
+    cache = dict(zip(sizes, exhibit.data["Cache Mode"]))
+    for size in sizes:
+        for other in ("HBM", "Cache Mode"):
+            value = dict(zip(sizes, exhibit.data[other]))[size]
+            if value is not None:
+                assert dram[size] >= value
+    assert dram[35.0] / cache[35.0] == pytest.approx(1.3, rel=0.15)
+    # Absolute scale: 1-2 x 10^8 TEPS.
+    assert 0.5e8 <= dram[8.8] <= 2.5e8
+    print(exhibit.render())

@@ -1,0 +1,20 @@
+"""Fig. 4e: XSBench lookups/s vs problem size, three configurations.
+
+Shape: DRAM best at one hardware thread per core; performance declines
+gently with footprint; HBM absent beyond 16 GB.
+"""
+
+from repro.figures.fig4 import generate_e
+
+
+def test_fig4e_xsbench(benchmark, runner, record_exhibit):
+    exhibit = benchmark(generate_e, runner)
+    record_exhibit(exhibit)
+    sizes = exhibit.data["sizes_gb"]
+    dram = dict(zip(sizes, exhibit.data["DRAM"]))
+    hbm = dict(zip(sizes, exhibit.data["HBM"]))
+    assert hbm[5.6] is not None and hbm[22.5] is None
+    assert dram[5.6] > hbm[5.6]
+    assert dram[5.6] > dram[90.0]  # gentle decline with size
+    assert 2e6 <= dram[5.6] <= 3.5e6  # paper's y-axis scale
+    print(exhibit.render())

@@ -1,0 +1,23 @@
+"""Fig. 5: STREAM bandwidth vs hardware threads per core.
+
+Shape: HBM ht=2 is 1.27x ht=1 (~420 GB/s) and ht=2..4 cluster together;
+the four DRAM lines overlap at ~77-80 GB/s.
+"""
+
+import pytest
+
+from repro.figures.fig5 import generate
+
+
+def test_fig5_hardware_threads(benchmark, runner, record_exhibit):
+    exhibit = benchmark(generate, runner)
+    record_exhibit(exhibit)
+    hbm1 = exhibit.data["HBM (ht=1)"]
+    hbm2 = exhibit.data["HBM (ht=2)"]
+    for a, b in zip(hbm1, hbm2):
+        assert b / a == pytest.approx(1.27, rel=0.01)
+        assert b == pytest.approx(419.0, rel=0.01)
+    for i in range(len(exhibit.data["sizes_gb"])):
+        dram = [exhibit.data[f"DRAM (ht={h})"][i] for h in (1, 2, 3, 4)]
+        assert max(dram) / min(dram) < 1.05
+    print(exhibit.render())

@@ -1,0 +1,22 @@
+"""Fig. 6a: DGEMM GFLOPS vs thread count.
+
+Shape: ~1.7x on HBM from 64 to 192 threads; the 256-thread run fails
+(paper footnote 1); DRAM stays flat (memory-bound).
+"""
+
+import pytest
+
+from repro.figures.fig6 import generate_a
+
+
+def test_fig6a_dgemm_threads(benchmark, runner, record_exhibit):
+    exhibit = benchmark(generate_a, runner)
+    record_exhibit(exhibit)
+    speedup = dict(
+        zip(exhibit.data["threads"], exhibit.data["speedup_vs_64"]["HBM"])
+    )
+    assert speedup[192] == pytest.approx(1.7, rel=0.05)
+    assert speedup[256] is None  # run cannot complete
+    dram = dict(zip(exhibit.data["threads"], exhibit.data["DRAM"]))
+    assert dram[192] / dram[64] < 1.1
+    print(exhibit.render())

@@ -1,0 +1,23 @@
+"""Fig. 6b: MiniFE CG MFLOPS vs thread count.
+
+Shape: HBM gains with hardware threads, reaching ~3.8x over the DRAM
+64-thread baseline; the DRAM speedup line stays near 1.
+"""
+
+import pytest
+
+from repro.figures.fig6 import generate_b
+
+
+def test_fig6b_minife_threads(benchmark, runner, record_exhibit):
+    exhibit = benchmark(generate_b, runner)
+    record_exhibit(exhibit)
+    threads = exhibit.data["threads"]
+    dram64 = dict(zip(threads, exhibit.data["DRAM"]))[64]
+    best_hbm = max(v for v in exhibit.data["HBM"] if v is not None)
+    assert best_hbm / dram64 == pytest.approx(3.8, rel=0.15)
+    dram_speedups = [
+        v for v in exhibit.data["speedup_vs_64"]["DRAM"] if v is not None
+    ]
+    assert all(0.9 <= v <= 1.1 for v in dram_speedups)
+    print(exhibit.render())

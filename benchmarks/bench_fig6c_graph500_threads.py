@@ -1,0 +1,26 @@
+"""Fig. 6c: Graph500 TEPS vs thread count.
+
+Shape: ~1.5x at 128 threads; performance declines past the optimum; the
+single best (config, threads) point is DRAM at 128 threads.
+"""
+
+import pytest
+
+from repro.figures.fig6 import generate_c
+
+
+def test_fig6c_graph500_threads(benchmark, runner, record_exhibit):
+    exhibit = benchmark(generate_c, runner)
+    record_exhibit(exhibit)
+    threads = exhibit.data["threads"]
+    dram_speedup = dict(zip(threads, exhibit.data["speedup_vs_64"]["DRAM"]))
+    assert dram_speedup[128] == pytest.approx(1.5, rel=0.1)
+    assert dram_speedup[128] > dram_speedup[192] > dram_speedup[256]
+    best = max(
+        (v, name, t)
+        for name in ("DRAM", "HBM", "Cache Mode")
+        for t, v in zip(threads, exhibit.data[name])
+        if v is not None
+    )
+    assert (best[1], best[2]) == ("DRAM", 128)
+    print(exhibit.render())

@@ -1,0 +1,23 @@
+"""Fig. 6d: XSBench lookups/s vs thread count.
+
+Shape: HBM reaches ~2.5x at 256 threads, DRAM ~1.5x; the best
+configuration flips from DRAM (64 threads) to HBM (256 threads).
+"""
+
+import pytest
+
+from repro.figures.fig6 import generate_d
+
+
+def test_fig6d_xsbench_threads(benchmark, runner, record_exhibit):
+    exhibit = benchmark(generate_d, runner)
+    record_exhibit(exhibit)
+    threads = exhibit.data["threads"]
+    hbm_speedup = dict(zip(threads, exhibit.data["speedup_vs_64"]["HBM"]))
+    dram_speedup = dict(zip(threads, exhibit.data["speedup_vs_64"]["DRAM"]))
+    assert hbm_speedup[256] == pytest.approx(2.5, rel=0.1)
+    assert dram_speedup[256] == pytest.approx(1.5, rel=0.1)
+    at = lambda name, t: dict(zip(threads, exhibit.data[name]))[t]
+    assert at("DRAM", 64) > at("HBM", 64)
+    assert at("HBM", 256) > at("DRAM", 256)
+    print(exhibit.render())

@@ -1,0 +1,12 @@
+"""Table I: the evaluated-application registry."""
+
+from repro.figures.table1 import generate
+
+
+def test_table1_registry(benchmark, record_exhibit):
+    exhibit = benchmark(generate)
+    record_exhibit(exhibit)
+    assert [row[0] for row in exhibit.data["rows"]] == [
+        "DGEMM", "MiniFE", "GUPS", "Graph500", "XSBench",
+    ]
+    print(exhibit.render())

@@ -1,0 +1,12 @@
+"""Table II: NUMA distances under flat and cache MCDRAM modes."""
+
+from repro.figures.table2 import generate
+
+
+def test_table2_numa_distances(benchmark, record_exhibit):
+    exhibit = benchmark(generate)
+    record_exhibit(exhibit)
+    assert exhibit.data["flat_distances"] == [[10, 31], [31, 10]]
+    assert exhibit.data["cache_distances"] == [[10]]
+    assert exhibit.data["flat_capacities_gb"] == [96, 16]
+    print(exhibit.render())

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Multi-node capacity planning from the Section IV-C guideline.
+
+Given a 96 GB MiniFE problem and a cluster of KNL nodes, how many nodes
+should the job use?  The paper: "decompose the problem so that each
+compute node is assigned with a sub-problem that has a size close to the
+HBM capacity."  The sweep makes the knee visible.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.core.decomposition import hbm_knee, sweep_node_counts
+from repro.util.ascii_plot import AsciiChart
+from repro.workloads import MiniFE
+
+TOTAL_GB = 96.0
+
+
+def main() -> None:
+    points = sweep_node_counts(
+        MiniFE.from_matrix_gb, TOTAL_GB, [1, 2, 4, 6, 8, 12, 16, 24, 32]
+    )
+    print(f"decomposing a {TOTAL_GB:g} GB MiniFE problem:\n")
+    print(
+        f"{'nodes':>6} {'per-node':>10} {'best config':>12} "
+        f"{'aggregate CG GFLOPS':>20} {'efficiency':>11}"
+    )
+    for p in points:
+        aggregate = (
+            "does not fit"
+            if p.aggregate_metric is None
+            else f"{p.aggregate_metric / 1e9:.1f}"
+        )
+        config = p.best_config.value if p.best_config else "-"
+        print(
+            f"{p.nodes:>6} {p.per_node_gb:>8.1f}GB {config:>12} "
+            f"{aggregate:>20} {p.parallel_efficiency:>10.1%}"
+        )
+
+    knee = hbm_knee(points)
+    assert knee is not None
+    print(
+        f"\nknee: from {knee.nodes} nodes the sub-problem "
+        f"({knee.per_node_gb:.1f} GB) fits MCDRAM -> bind to HBM."
+    )
+
+    chart = AsciiChart(
+        title="aggregate throughput vs node count",
+        xlabel="nodes",
+        ylabel="GF",
+        height=12,
+    )
+    xs = [p.nodes for p in points if p.aggregate_metric is not None]
+    ys = [
+        p.aggregate_metric / 1e9
+        for p in points
+        if p.aggregate_metric is not None
+    ]
+    chart.add_series("aggregate", xs, ys)
+    print()
+    print(chart.render())
+
+
+if __name__ == "__main__":
+    main()

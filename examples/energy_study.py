@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Energy study: what does each memory configuration cost in joules?
+
+The paper motivates high-bandwidth memory partly through data-movement
+cost.  This example prices simulated runs with the energy extension and
+shows the two regimes:
+
+* bandwidth-bound (MiniFE): HBM wins time *and* energy — cheaper bytes
+  and less static burn;
+* latency-bound (GUPS): DRAM wins total energy even though HBM moves
+  bytes for a third of the picojoules, because the run takes longer and
+  static power dominates.
+
+Run:  python examples/energy_study.py
+"""
+
+from repro import ConfigName, ExperimentRunner
+from repro.core.report import energy_comparison
+from repro.engine.energy import EnergyModel, EnergyParameters
+from repro.workloads import GUPS, MiniFE
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+
+    for workload in (MiniFE.from_matrix_gb(7.2), GUPS.from_table_gb(8.0)):
+        print(energy_comparison(workload, runner=runner).render())
+        print()
+
+    # Where does the energy go?  Break one run down.
+    workload = MiniFE.from_matrix_gb(7.2)
+    record = runner.run(workload, ConfigName.HBM, 64)
+    assert record.run_result is not None
+    estimate = EnergyModel().estimate(workload.profile(), record.run_result)
+    total = estimate.total_j
+    print("MiniFE on HBM — energy breakdown:")
+    print(f"  memory traffic  {estimate.dynamic_memory_j:8.1f} J "
+          f"({estimate.dynamic_memory_j / total:5.1%})")
+    print(f"  compute         {estimate.dynamic_compute_j:8.1f} J "
+          f"({estimate.dynamic_compute_j / total:5.1%})")
+    print(f"  static          {estimate.static_j:8.1f} J "
+          f"({estimate.static_j / total:5.1%})")
+    print(f"  total           {total:8.1f} J over {record.run_result.time_s:.2f} s")
+    print()
+    params = EnergyParameters()
+    print(
+        f"(coefficients: DDR {params.dram_pj_per_byte:.0f} pJ/B, MCDRAM "
+        f"{params.hbm_pj_per_byte:.0f} pJ/B, {params.flop_pj:.0f} pJ/flop, "
+        f"{params.static_watts:.0f} W static — see docs/MODEL.md §7)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: run one application under the paper's three memory
+configurations and ask the advisor what to use.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ConfigName, ExperimentRunner, PlacementAdvisor
+from repro.memory.modes import MCDRAMConfig
+from repro.runtime.simos import SimulatedOS
+from repro.workloads import MiniFE
+
+
+def main() -> None:
+    # The modelled node: the paper's Archer KNL 7210 testbed.
+    print(SimulatedOS(MCDRAMConfig.flat()).describe())
+    print()
+
+    # A MiniFE problem whose 7.2 GB matrix fits the 16 GB MCDRAM.
+    workload = MiniFE.from_matrix_gb(7.2)
+    print(workload.describe())
+    print()
+
+    # 1. Functional face: actually solve a small instance and verify.
+    small = MiniFE(nx=16)
+    result = small.execute()
+    print(
+        f"functional check (nx=16): converged in "
+        f"{result.details['iterations']} CG iterations, "
+        f"residual {result.details['residual']:.2e}, "
+        f"verified={result.verified}"
+    )
+    print()
+
+    # 2. Profiled face: the paper's experiment under DRAM / HBM / Cache.
+    runner = ExperimentRunner()
+    print("simulated testbed performance, 64 OpenMP threads:")
+    baseline = None
+    for config in ConfigName.paper_trio():
+        record = runner.run(workload, config, num_threads=64)
+        assert record.metric is not None
+        if baseline is None:
+            baseline = record.metric
+        print(
+            f"  {config.value:<12} {record.metric / 1e6:10.0f} CG MFLOPS "
+            f"({record.metric / baseline:.2f}x vs DRAM)"
+        )
+    print()
+
+    # 3. The Section-VI advisor.
+    recommendation = PlacementAdvisor(runner).recommend(workload, 64)
+    print(recommendation.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,158 @@
+"""Command-line interface: regenerate any paper exhibit.
+
+Usage::
+
+    knl-hybridmem list
+    knl-hybridmem fig2
+    knl-hybridmem all
+    knl-hybridmem advisor minife --size-gb 7.2 --threads 128
+    knl-hybridmem describe
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.advisor import PlacementAdvisor
+from repro.core.runner import ExperimentRunner
+from repro.figures import EXHIBITS
+from repro.memory.modes import MCDRAMConfig
+from repro.runtime.simos import SimulatedOS
+from repro.workloads.registry import FROM_GB
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="knl-hybridmem",
+        description=(
+            "Reproduce the tables and figures of 'Exploring the Performance "
+            "Benefit of Hybrid Memory System on HPC Environments'"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available exhibits")
+    sub.add_parser("all", help="generate every exhibit")
+    sub.add_parser("describe", help="describe the modelled node")
+    for exhibit_id in EXHIBITS:
+        sub.add_parser(exhibit_id, help=f"generate {exhibit_id}")
+    advisor = sub.add_parser(
+        "advisor", help="recommend a memory configuration for a workload"
+    )
+    advisor.add_argument("workload", choices=sorted(FROM_GB))
+    advisor.add_argument("--size-gb", type=float, required=True)
+    advisor.add_argument("--threads", type=int, default=64)
+    decompose = sub.add_parser(
+        "decompose", help="size a multi-node decomposition (Section IV-C)"
+    )
+    decompose.add_argument("workload", choices=sorted(FROM_GB))
+    decompose.add_argument("--total-gb", type=float, required=True)
+    decompose.add_argument(
+        "--nodes", type=int, nargs="+", default=[2, 4, 8, 12, 16]
+    )
+    energy = sub.add_parser(
+        "energy", help="time/energy/EDP comparison across configurations"
+    )
+    energy.add_argument("workload", choices=sorted(FROM_GB))
+    energy.add_argument("--size-gb", type=float, required=True)
+    energy.add_argument("--threads", type=int, default=64)
+    optimize = sub.add_parser(
+        "optimize",
+        help="per-structure DRAM/HBM placement search (future-work study)",
+    )
+    optimize.add_argument("workload", choices=["minife", "graph500"])
+    optimize.add_argument("--size-gb", type=float, required=True)
+    optimize.add_argument("--threads", type=int, default=64)
+    sub.add_parser("report", help="full study report (all exhibits)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    command = args.command
+    if command == "list":
+        for exhibit_id in EXHIBITS:
+            print(exhibit_id)
+        return 0
+    if command == "describe":
+        print(SimulatedOS(MCDRAMConfig.flat()).describe())
+        return 0
+    if command == "advisor":
+        workload = FROM_GB[args.workload](args.size_gb)
+        recommendation = PlacementAdvisor().recommend(workload, args.threads)
+        print(recommendation.describe())
+        return 0
+    if command == "decompose":
+        from repro.cluster.multinode import MultiNodeModel
+
+        model = MultiNodeModel()
+        print(
+            f"{args.workload}: {args.total_gb:g} GB total over N nodes "
+            f"(per-node compute + Aries communication)"
+        )
+        for nodes in args.nodes:
+            try:
+                result = model.run(
+                    FROM_GB[args.workload], args.total_gb, nodes
+                )
+            except RuntimeError as exc:
+                print(f"  {nodes:>3} nodes: {exc}")
+                continue
+            print(
+                f"  {nodes:>3} nodes: {result.per_node_gb:6.1f} GB/node -> "
+                f"{result.config.value:<11} aggregate "
+                f"{result.aggregate_metric:.4g} "
+                f"(efficiency {result.parallel_efficiency:.1%})"
+            )
+        return 0
+    if command == "energy":
+        from repro.core.report import energy_comparison_by_name
+
+        print(
+            energy_comparison_by_name(
+                args.workload, args.size_gb, num_threads=args.threads
+            ).render()
+        )
+        return 0
+    if command == "optimize":
+        from repro.core.configs import ConfigName
+        from repro.core.placement_optimizer import PlacementOptimizer
+
+        workload = FROM_GB[args.workload](args.size_gb)
+        runner = ExperimentRunner()
+        print("coarse configurations:")
+        for config in ConfigName.paper_trio():
+            record = runner.run(workload, config, args.threads)
+            value = "-" if record.metric is None else f"{record.metric:.4g}"
+            print(f"  {config.value:<12} {value}")
+        best = PlacementOptimizer().optimize(workload, num_threads=args.threads)
+        print(f"optimized per-structure placement: {best.metric:.4g}")
+        print(f"  {best.describe()}")
+        return 0
+    if command == "report":
+        from repro.core.report import generate_report
+
+        print(generate_report(ExperimentRunner()).render())
+        return 0
+    if command == "all":
+        runner = ExperimentRunner()
+        for exhibit_id, generate in EXHIBITS.items():
+            try:
+                exhibit = generate(runner)  # type: ignore[call-arg]
+            except TypeError:
+                exhibit = generate()  # table generators take no runner
+            print(exhibit.render())
+            print()
+        return 0
+    generate = EXHIBITS[command]
+    try:
+        exhibit = generate(ExperimentRunner())  # type: ignore[call-arg]
+    except TypeError:
+        exhibit = generate()
+    print(exhibit.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Cray Aries interconnect model (alpha-beta with collectives).
+
+Parameters follow published Aries measurements: ~1.3 µs MPI latency and
+~10 GB/s injection bandwidth per node; the dragonfly topology keeps hop
+counts low enough that a flat alpha is adequate at the 2-32 node scales
+the decomposition analysis covers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class AriesInterconnect:
+    """Alpha-beta network model.
+
+    alpha_s:
+        Per-message latency (seconds).
+    beta_bytes_per_s:
+        Per-node injection bandwidth.
+    """
+
+    alpha_s: float = 1.3e-6
+    beta_bytes_per_s: float = 10e9
+
+    def __post_init__(self) -> None:
+        check_positive("alpha_s", self.alpha_s)
+        check_positive("beta_bytes_per_s", self.beta_bytes_per_s)
+
+    # -- primitives -----------------------------------------------------------
+    def point_to_point_s(self, nbytes: float) -> float:
+        """One message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.alpha_s + nbytes / self.beta_bytes_per_s
+
+    # -- collectives ------------------------------------------------------------
+    def halo_exchange_s(self, nbytes_per_face: float, faces: int = 6) -> float:
+        """Nearest-neighbour halo exchange (3-D decomposition default).
+
+        Opposite faces overlap pairwise; three sequential phases of
+        concurrent pairwise exchanges.
+        """
+        check_positive("faces", faces)
+        phases = math.ceil(faces / 2)
+        return phases * self.point_to_point_s(nbytes_per_face)
+
+    def allreduce_s(self, nbytes: float, nodes: int) -> float:
+        """Recursive-doubling allreduce."""
+        check_positive("nodes", nodes)
+        if nodes == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(nodes))
+        return rounds * self.point_to_point_s(nbytes)
+
+    def alltoall_s(self, nbytes_per_node: float, nodes: int) -> float:
+        """Pairwise-exchange alltoall of ``nbytes_per_node`` to each peer."""
+        check_positive("nodes", nodes)
+        if nodes == 1:
+            return 0.0
+        return (nodes - 1) * self.point_to_point_s(
+            nbytes_per_node / max(1, nodes - 1)
+        )

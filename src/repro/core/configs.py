@@ -1,0 +1,93 @@
+"""The experiment memory configurations (Section III-C).
+
+The paper evaluates exactly three:
+
+* **DRAM** — MCDRAM in flat mode, ``numactl --membind=0`` (all data in
+  DDR; the baseline),
+* **HBM** — MCDRAM in flat mode, ``numactl --membind=1`` (all data in
+  MCDRAM; fails when the problem exceeds 16 GB),
+* **CACHE** — MCDRAM in cache mode, ``numactl --membind=0`` "for
+  consistency even though there is only one NUMA domain available".
+
+Two more configurations support the ablation studies:
+
+* **HYBRID** — half cache / half flat node, data bound to the flat HBM
+  partition with DDR overflow,
+* **INTERLEAVE** — flat mode, pages interleaved over both nodes
+  (Section IV-C's suggestion for problems larger than either memory).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.memory.modes import MCDRAMConfig
+
+
+class ConfigName(enum.Enum):
+    """Named memory configurations."""
+
+    DRAM = "DRAM"
+    HBM = "HBM"
+    CACHE = "Cache Mode"
+    HYBRID = "Hybrid"
+    INTERLEAVE = "Interleave"
+
+    @classmethod
+    def paper_trio(cls) -> tuple["ConfigName", "ConfigName", "ConfigName"]:
+        """The three configurations every figure compares."""
+        return (cls.DRAM, cls.HBM, cls.CACHE)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A named configuration: MCDRAM mode + numactl policy."""
+
+    name: ConfigName
+    mcdram: MCDRAMConfig
+    numactl: str
+
+    @property
+    def label(self) -> str:
+        return self.name.value
+
+    def describe(self) -> str:
+        mode = self.mcdram.mode.value
+        return f"{self.label}: MCDRAM {mode} mode, numactl {self.numactl or '(none)'}"
+
+
+def make_config(
+    name: ConfigName, *, cache_associativity: int = 1, hybrid_cache_fraction: float = 0.5
+) -> SystemConfig:
+    """Build a named configuration.
+
+    ``cache_associativity`` parameterizes the cache-organization ablation;
+    ``hybrid_cache_fraction`` the hybrid split (0.25/0.5/0.75).
+    """
+    if name is ConfigName.DRAM:
+        return SystemConfig(name, MCDRAMConfig.flat(), "--membind=0")
+    if name is ConfigName.HBM:
+        return SystemConfig(name, MCDRAMConfig.flat(), "--membind=1")
+    if name is ConfigName.CACHE:
+        return SystemConfig(
+            name,
+            MCDRAMConfig.cache(cache_associativity=cache_associativity),
+            "--membind=0",
+        )
+    if name is ConfigName.HYBRID:
+        return SystemConfig(
+            name,
+            MCDRAMConfig.hybrid(
+                hybrid_cache_fraction, cache_associativity=cache_associativity
+            ),
+            "--preferred=1",
+        )
+    if name is ConfigName.INTERLEAVE:
+        return SystemConfig(name, MCDRAMConfig.flat(), "--interleave=0,1")
+    raise AssertionError(f"unhandled config {name!r}")
+
+
+def standard_configs() -> tuple[SystemConfig, SystemConfig, SystemConfig]:
+    """The paper's three configurations, in figure order (DRAM, HBM, Cache)."""
+    return tuple(make_config(n) for n in ConfigName.paper_trio())  # type: ignore[return-value]

@@ -1,0 +1,141 @@
+"""Multi-node decomposition sizing (Section IV-C's guideline).
+
+The paper: "If the application has good parallel efficiency across
+multi-nodes, with enough compute nodes, the optimal setup is to decompose
+the problem so that each compute node is assigned with a sub-problem that
+has a size close to the HBM capacity."
+
+This module makes that quantitative: split a total problem over N nodes,
+pick the best feasible memory configuration for the per-node sub-problem,
+and aggregate with a communication-efficiency factor.  The decomposition
+ablation bench sweeps N and shows the knee where sub-problems start
+fitting HBM.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.advisor import PlacementAdvisor
+from repro.core.configs import ConfigName
+from repro.core.runner import ExperimentRunner
+from repro.util.validation import check_fraction, check_positive
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class NodeCount:
+    """One point of a decomposition sweep.
+
+    Metrics are ``None`` when the sub-problem fits no memory
+    configuration at all (too few nodes — it does not even fit DDR).
+    """
+
+    nodes: int
+    per_node_gb: float
+    best_config: ConfigName | None
+    per_node_metric: float | None
+    aggregate_metric: float | None
+    parallel_efficiency: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.per_node_metric is not None
+
+
+def parallel_efficiency(nodes: int, comm_fraction: float = 0.01) -> float:
+    """Efficiency of an N-node decomposition.
+
+    A mild surface-to-volume communication term: each doubling of the
+    node count adds ``comm_fraction`` of lost time.  The paper assumes
+    "good parallel efficiency"; this keeps aggregate throughput growing
+    with N while making over-decomposition visibly sub-linear.
+    """
+    check_positive("nodes", nodes)
+    check_fraction("comm_fraction", comm_fraction)
+    import math
+
+    return 1.0 / (1.0 + comm_fraction * math.log2(nodes)) if nodes > 1 else 1.0
+
+
+def decompose(
+    factory: Callable[[float], Workload],
+    total_gb: float,
+    nodes: int,
+    *,
+    runner: ExperimentRunner | None = None,
+    num_threads: int = 64,
+    comm_fraction: float = 0.01,
+) -> NodeCount:
+    """Evaluate an N-node decomposition of a ``total_gb`` problem.
+
+    The per-node sub-problem runs under the advisor's best configuration;
+    the aggregate is N x per-node metric x parallel efficiency.
+    """
+    check_positive("total_gb", total_gb)
+    check_positive("nodes", nodes)
+    runner = runner if runner is not None else ExperimentRunner()
+    per_node_gb = total_gb / nodes
+    workload = factory(per_node_gb)
+    efficiency = parallel_efficiency(nodes, comm_fraction)
+    try:
+        recommendation = PlacementAdvisor(runner).recommend(
+            workload, num_threads
+        )
+    except RuntimeError:
+        return NodeCount(
+            nodes=nodes,
+            per_node_gb=per_node_gb,
+            best_config=None,
+            per_node_metric=None,
+            aggregate_metric=None,
+            parallel_efficiency=efficiency,
+        )
+    best = next(
+        r for r in recommendation.records if r.config is recommendation.best
+    )
+    assert best.metric is not None
+    return NodeCount(
+        nodes=nodes,
+        per_node_gb=per_node_gb,
+        best_config=recommendation.best,
+        per_node_metric=best.metric,
+        aggregate_metric=nodes * best.metric * efficiency,
+        parallel_efficiency=efficiency,
+    )
+
+
+def sweep_node_counts(
+    factory: Callable[[float], Workload],
+    total_gb: float,
+    node_counts: list[int],
+    *,
+    runner: ExperimentRunner | None = None,
+    num_threads: int = 64,
+    comm_fraction: float = 0.01,
+) -> list[NodeCount]:
+    """Decomposition sweep over node counts."""
+    if not node_counts:
+        raise ValueError("node_counts must be non-empty")
+    runner = runner if runner is not None else ExperimentRunner()
+    return [
+        decompose(
+            factory,
+            total_gb,
+            n,
+            runner=runner,
+            num_threads=num_threads,
+            comm_fraction=comm_fraction,
+        )
+        for n in node_counts
+    ]
+
+
+def hbm_knee(points: list[NodeCount], hbm_gb: float = 16.0) -> NodeCount | None:
+    """The first sweep point whose sub-problem fits HBM (the paper's
+    recommended operating point)."""
+    for point in sorted(points, key=lambda p: p.nodes):
+        if point.per_node_gb <= hbm_gb:
+            return point
+    return None

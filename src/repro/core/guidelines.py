@@ -1,0 +1,128 @@
+"""The paper's usage guidelines (Section VI), as data.
+
+Contribution 6 of the paper is "a guideline for setting correct
+expectation for performance improvement on systems with 3D-stacked
+high-bandwidth memories".  Each :class:`Guideline` encodes one of those
+rules; :func:`applicable_guidelines` selects the ones matching a
+workload's characteristics so the advisor can explain its model-driven
+recommendation in the paper's own terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.profilephase import AccessPattern
+from repro.util.units import GiB
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Guideline:
+    """One recommendation rule."""
+
+    rule_id: str
+    when: str
+    advice: str
+    paper_basis: str
+
+    def matches(
+        self,
+        pattern: AccessPattern,
+        footprint_ratio: float,
+        threads_per_core: int,
+    ) -> bool:
+        return _MATCHERS[self.rule_id](pattern, footprint_ratio, threads_per_core)
+
+
+_SEQ = AccessPattern.SEQUENTIAL
+_RAND = AccessPattern.RANDOM
+
+_MATCHERS = {
+    "seq-fits-hbm": lambda p, r, t: p is _SEQ and r <= 1.0,
+    "seq-comparable": lambda p, r, t: p is _SEQ and 1.0 < r <= 1.5,
+    "seq-oversized": lambda p, r, t: p is _SEQ and r > 1.5,
+    "rand-single-thread": lambda p, r, t: p is _RAND and t == 1,
+    "rand-multi-thread-fits": lambda p, r, t: p is _RAND and t >= 2 and r <= 1.0,
+    "rand-oversized": lambda p, r, t: p is _RAND and r > 1.0,
+    "use-hyperthreads-on-hbm": lambda p, r, t: t == 1 and r <= 1.0,
+    "decompose-to-hbm": lambda p, r, t: r > 1.0,
+}
+
+
+GUIDELINES: tuple[Guideline, ...] = (
+    Guideline(
+        "seq-fits-hbm",
+        "sequential access pattern, problem fits in HBM",
+        "bind all data to the flat HBM node (numactl --membind=1); expect "
+        "up to ~3x over DRAM-only, more with 2+ hardware threads/core",
+        "Figs. 2, 4a, 4b; Section IV-B",
+    ),
+    Guideline(
+        "seq-comparable",
+        "sequential pattern, problem larger than HBM but within ~1.5x",
+        "use cache mode; it significantly improves on DRAM in this range, "
+        "though the gain shrinks as the footprint grows",
+        "Fig. 2 (16-24 GB range); Section IV-C",
+    ),
+    Guideline(
+        "seq-oversized",
+        "sequential pattern, problem well beyond HBM capacity",
+        "bind to DRAM: the direct-mapped MCDRAM cache's conflict misses "
+        "can make cache mode slower than DRAM-only",
+        "Fig. 2 (beyond ~24 GB); Section IV-A",
+    ),
+    Guideline(
+        "rand-single-thread",
+        "random access pattern at one hardware thread per core",
+        "bind to DRAM: the workload is latency-bound and HBM's ~18% "
+        "higher latency is a net loss",
+        "Figs. 3, 4c-4e; Section IV-B",
+    ),
+    Guideline(
+        "rand-multi-thread-fits",
+        "random pattern, 2+ hardware threads/core, fits in HBM",
+        "HBM becomes competitive and can win: multiple hardware threads "
+        "hide latency and HBM sustains more concurrent requests",
+        "Fig. 6d (XSBench 256 threads); Section IV-D",
+    ),
+    Guideline(
+        "rand-oversized",
+        "random pattern, problem beyond HBM capacity",
+        "bind to DRAM; cache mode adds a tag-probe penalty on every miss "
+        "and trails DRAM by ~1.3x on large problems",
+        "Fig. 4d (Graph500 large graphs); Section IV-C",
+    ),
+    Guideline(
+        "use-hyperthreads-on-hbm",
+        "any pattern currently running one hardware thread per core",
+        "try 2-3 hardware threads per core: one thread cannot saturate "
+        "HBM bandwidth (1.27x more STREAM bandwidth at 2 threads/core)",
+        "Fig. 5; Section IV-D",
+    ),
+    Guideline(
+        "decompose-to-hbm",
+        "scalable multi-node problem larger than one node's HBM",
+        "decompose so each node's sub-problem is close to (but within) "
+        "HBM capacity, then run HBM-bound",
+        "Section IV-C (multi-node configuration advice)",
+    ),
+)
+
+
+def applicable_guidelines(
+    pattern: AccessPattern,
+    footprint_bytes: int,
+    threads_per_core: int,
+    *,
+    hbm_capacity_bytes: int = 16 * GiB,
+) -> list[Guideline]:
+    """Guidelines matching a workload situation, in GUIDELINES order."""
+    if footprint_bytes < 0:
+        raise ValueError("footprint must be non-negative")
+    check_positive("threads_per_core", threads_per_core)
+    check_positive("hbm_capacity_bytes", hbm_capacity_bytes)
+    ratio = footprint_bytes / hbm_capacity_bytes
+    return [
+        g for g in GUIDELINES if g.matches(pattern, ratio, threads_per_core)
+    ]

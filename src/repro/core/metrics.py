@@ -1,0 +1,42 @@
+"""Metric helpers shared by results and figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Metric:
+    """A named metric with its display unit and scale.
+
+    ``scale`` divides raw values for display (the paper plots CG MFLOPS as
+    1e4 units, GUPS as 1e-2, TEPS as 1e8 ...).
+    """
+
+    name: str
+    unit: str
+    scale: float = 1.0
+
+    def display(self, value: float | None) -> str:
+        if value is None:
+            return "-"
+        return f"{value / self.scale:.3g}"
+
+
+def improvement(value: float | None, baseline: float | None) -> float | None:
+    """Speedup of ``value`` over ``baseline`` (the paper's black lines);
+    None when either side is missing."""
+    if value is None or baseline is None or baseline == 0:
+        return None
+    return value / baseline
+
+
+def harmonic_mean(values: list[float]) -> float:
+    """Harmonic mean (how Graph500 aggregates per-root TEPS)."""
+    if not values:
+        raise ValueError("harmonic mean of no values")
+    for v in values:
+        check_positive("value", v)
+    return len(values) / sum(1.0 / v for v in values)

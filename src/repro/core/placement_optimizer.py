@@ -1,0 +1,164 @@
+"""Per-structure placement optimization (the future work, automated).
+
+The paper closes: "we plan to investigate a finer-grained approach in
+which we can apply our conclusions to individual data structures".  Given
+a workload that names its structures (each backing one profile phase),
+the optimizer searches all feasible DRAM/HBM assignments in flat mode and
+returns the best predicted placement — which for mixed workloads can beat
+every coarse configuration (bandwidth-hungry structures in HBM,
+latency-sensitive ones in DRAM).
+
+Structure counts are tiny (2-4 per workload), so the search is exhaustive
+and therefore exact with respect to the performance model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.engine.perfmodel import PerformanceModel
+from repro.engine.placement import Location, PlacementMix
+from repro.machine.topology import KNLMachine
+from repro.memory.modes import MCDRAMConfig, MemorySystem
+from repro.util.validation import check_positive
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class Structure:
+    """One application data structure.
+
+    ``phase`` names the profile phase whose traffic targets this
+    structure (the workloads are factored so each phase reads/writes one
+    dominant structure).
+    """
+
+    name: str
+    num_bytes: int
+    phase: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.phase:
+            raise ValueError("structure needs a name and a phase")
+        check_positive("num_bytes", self.num_bytes)
+
+
+@dataclass(frozen=True)
+class OptimizedPlacement:
+    """The search result."""
+
+    assignments: dict[str, Location]
+    metric: float
+    hbm_bytes: int
+    evaluated: int
+
+    def describe(self) -> str:
+        parts = [
+            f"{name} -> {location.value}"
+            for name, location in self.assignments.items()
+        ]
+        return (
+            ", ".join(parts)
+            + f"  (HBM {self.hbm_bytes / 1e9:.1f} GB, "
+            + f"{self.evaluated} placements evaluated)"
+        )
+
+
+def structures_for(workload: Workload) -> list[Structure]:
+    """Built-in structure decompositions for the bundled workloads."""
+    from repro.workloads.graph500 import Graph500
+    from repro.workloads.minife import MiniFE
+
+    if isinstance(workload, MiniFE):
+        return [
+            Structure("stiffness-matrix", workload.matrix_bytes, "spmv-stream"),
+            Structure("x-vector", workload.n_rows * 8, "spmv-gather"),
+            Structure("cg-vectors", workload.vector_bytes, "vector-ops"),
+        ]
+    if isinstance(workload, Graph500):
+        csr = workload.directed_entries * 8 + (workload.n_vertices + 1) * 8
+        return [
+            Structure("csr-adjacency", csr, "adjacency-stream"),
+            Structure(
+                "vertex-arrays", 3 * workload.n_vertices * 8, "visit-random"
+            ),
+        ]
+    raise ValueError(
+        f"no built-in structure decomposition for {workload.spec.name}; "
+        f"pass structures explicitly"
+    )
+
+
+class PlacementOptimizer:
+    """Exhaustive per-structure DRAM/HBM placement search (flat mode)."""
+
+    def __init__(self, machine: KNLMachine | None = None) -> None:
+        from repro.machine.presets import knl7210
+
+        self.machine = machine if machine is not None else knl7210()
+        self.memory = MemorySystem(MCDRAMConfig.flat())
+        self.model = PerformanceModel(self.machine, self.memory)
+
+    def optimize(
+        self,
+        workload: Workload,
+        structures: list[Structure] | None = None,
+        *,
+        num_threads: int = 64,
+    ) -> OptimizedPlacement:
+        """Search all feasible assignments; returns the best placement.
+
+        Raises when the workload's profile has phases not covered by the
+        structures, or when no assignment fits (total > DDR + HBM is the
+        caller's problem — node capacities are not modelled here beyond
+        the HBM constraint, since DDR dwarfs every workload structure).
+        """
+        if structures is None:
+            structures = structures_for(workload)
+        profile = workload.profile()
+        phase_names = {p.name for p in profile.phases}
+        covered = {s.phase for s in structures}
+        if phase_names != covered:
+            raise ValueError(
+                f"structures cover phases {sorted(covered)} but the profile "
+                f"has {sorted(phase_names)}"
+            )
+        hbm_capacity = self.memory.mcdram.capacity_bytes
+
+        best: OptimizedPlacement | None = None
+        evaluated = 0
+        for assignment in itertools.product(
+            (Location.DRAM, Location.HBM), repeat=len(structures)
+        ):
+            hbm_bytes = sum(
+                s.num_bytes
+                for s, loc in zip(structures, assignment)
+                if loc is Location.HBM
+            )
+            if hbm_bytes > hbm_capacity:
+                continue
+            evaluated += 1
+            mixes = {
+                s.phase: PlacementMix.pure(loc)
+                for s, loc in zip(structures, assignment)
+            }
+            run = self.model.run(profile, mixes, num_threads)
+            metric = workload.metric(run)
+            if best is None or metric > best.metric:
+                best = OptimizedPlacement(
+                    assignments={
+                        s.name: loc for s, loc in zip(structures, assignment)
+                    },
+                    metric=metric,
+                    hbm_bytes=hbm_bytes,
+                    evaluated=evaluated,
+                )
+        if best is None:
+            raise RuntimeError("no feasible assignment (HBM capacity)")
+        return OptimizedPlacement(
+            assignments=best.assignments,
+            metric=best.metric,
+            hbm_bytes=best.hbm_bytes,
+            evaluated=evaluated,
+        )

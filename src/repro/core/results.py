@@ -1,0 +1,173 @@
+"""Result containers: series and tables over run records."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.configs import ConfigName
+from repro.core.metrics import improvement
+from repro.core.runner import RunRecord
+from repro.util.ascii_plot import AsciiChart
+from repro.util.tables import TextTable
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plottable series: x values and (possibly missing) y values."""
+
+    name: str
+    xs: tuple[float, ...]
+    ys: tuple[float | None, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError("xs and ys must have the same length")
+
+    def defined(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """(xs, ys) restricted to present points."""
+        pairs = [(x, y) for x, y in zip(self.xs, self.ys) if y is not None]
+        if not pairs:
+            return (), ()
+        xs, ys = zip(*pairs)
+        return tuple(xs), tuple(ys)
+
+    @property
+    def max_y(self) -> float | None:
+        _, ys = self.defined()
+        return max(ys) if ys else None
+
+
+class ResultSet:
+    """Records from a sweep, indexable by (x, config)."""
+
+    def __init__(
+        self,
+        records: Iterable[tuple[float, RunRecord]],
+        *,
+        x_label: str,
+        title: str,
+    ) -> None:
+        self.records: list[tuple[float, RunRecord]] = list(records)
+        if not self.records:
+            raise ValueError("result set needs at least one record")
+        self.x_label = x_label
+        self.title = title
+
+    # -- access -----------------------------------------------------------------
+    @property
+    def xs(self) -> list[float]:
+        seen: list[float] = []
+        for x, _ in self.records:
+            if x not in seen:
+                seen.append(x)
+        return seen
+
+    @property
+    def configs(self) -> list[ConfigName]:
+        seen: list[ConfigName] = []
+        for _, rec in self.records:
+            if rec.config not in seen:
+                seen.append(rec.config)
+        return seen
+
+    def record(self, x: float, config: ConfigName) -> RunRecord | None:
+        for rx, rec in self.records:
+            if rx == x and rec.config is config:
+                return rec
+        return None
+
+    def value(self, x: float, config: ConfigName) -> float | None:
+        rec = self.record(x, config)
+        return None if rec is None else rec.metric
+
+    def series(self, config: ConfigName) -> Series:
+        xs = self.xs
+        return Series(
+            name=config.value,
+            xs=tuple(xs),
+            ys=tuple(self.value(x, config) for x in xs),
+        )
+
+    def improvement_series(
+        self, config: ConfigName, baseline: ConfigName
+    ) -> Series:
+        """The paper's black improvement lines (config vs baseline)."""
+        xs = self.xs
+        return Series(
+            name=f"{config.value} / {baseline.value}",
+            xs=tuple(xs),
+            ys=tuple(
+                improvement(self.value(x, config), self.value(x, baseline))
+                for x in xs
+            ),
+        )
+
+    # -- rendering ---------------------------------------------------------------
+    def to_table(self, *, x_format: str = "{:g}") -> TextTable:
+        configs = self.configs
+        sample = self.records[0][1]
+        table = TextTable(
+            [self.x_label] + [c.value for c in configs],
+            title=f"{self.title}  [{sample.metric_name}, {sample.metric_unit}]",
+        )
+        for x in self.xs:
+            row: list[object] = [x_format.format(x)]
+            for config in configs:
+                value = self.value(x, config)
+                row.append("-" if value is None else f"{value:.4g}")
+            table.add_row(row)
+        return table
+
+    def to_chart(self, *, logx: bool = False, ylabel: str = "") -> AsciiChart:
+        chart = AsciiChart(title=self.title, logx=logx, ylabel=ylabel,
+                           xlabel=self.x_label)
+        for config in self.configs:
+            xs, ys = self.series(config).defined()
+            if xs:
+                chart.add_series(config.value, xs, ys)
+        return chart
+
+    def render(self, *, logx: bool = False) -> str:
+        return self.to_table().render() + "\n\n" + self.to_chart(logx=logx).render()
+
+    # -- export -----------------------------------------------------------------
+    def to_csv(self) -> str:
+        """CSV with one row per x value, one column per configuration.
+
+        Missing measurements render as empty cells, the conventional CSV
+        encoding for absent data.
+        """
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        configs = self.configs
+        writer.writerow([self.x_label] + [c.value for c in configs])
+        for x in self.xs:
+            row: list[object] = [x]
+            for config in configs:
+                value = self.value(x, config)
+                row.append("" if value is None else repr(value))
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def to_records(self) -> list[dict[str, object]]:
+        """JSON-ready list of per-measurement dicts (including failures)."""
+        out: list[dict[str, object]] = []
+        for x, record in self.records:
+            out.append(
+                {
+                    "x": x,
+                    "x_label": self.x_label,
+                    "workload": record.workload,
+                    "config": record.config.value,
+                    "threads": record.num_threads,
+                    "metric": record.metric,
+                    "metric_name": record.metric_name,
+                    "metric_unit": record.metric_unit,
+                    "infeasible_reason": record.infeasible_reason,
+                }
+            )
+        return out

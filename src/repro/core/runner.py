@@ -1,0 +1,131 @@
+"""The experiment runner.
+
+Executes one workload under one configuration the way the paper's scripts
+did: boot (simulated) into the MCDRAM mode, apply the numactl policy,
+allocate the problem, run, report the metric.  Two failure paths are
+modelled faithfully rather than papered over:
+
+* the allocation can exceed the bound node's capacity (HBM flat with a
+  problem over 16 GB) — the record carries ``infeasible_reason`` and a
+  ``None`` metric, which the figures render as the paper's missing bars;
+* the workload itself can declare a configuration unrunnable
+  (DGEMM at 256 threads, paper footnote 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.configs import ConfigName, SystemConfig, make_config
+from repro.engine.perfmodel import PerformanceModel, RunResult
+from repro.engine.placement import PlacementMix
+from repro.machine.presets import knl7210
+from repro.machine.topology import KNLMachine
+from repro.memory.numa import OutOfNodeMemory
+from repro.runtime.simos import SimulatedOS
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (workload, configuration, threads) measurement."""
+
+    workload: str
+    workload_params: dict[str, Any]
+    config: ConfigName
+    num_threads: int
+    metric: float | None
+    metric_name: str
+    metric_unit: str
+    infeasible_reason: str | None = None
+    run_result: RunResult | None = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.metric is not None
+
+
+class ExperimentRunner:
+    """Runs workloads under named configurations on one machine model."""
+
+    def __init__(self, machine: KNLMachine | None = None) -> None:
+        self.machine = machine if machine is not None else knl7210()
+
+    # -- internals ---------------------------------------------------------
+    def _boot(self, config: SystemConfig) -> SimulatedOS:
+        return SimulatedOS(config.mcdram, machine=self.machine)
+
+    def _infeasible(
+        self, workload: Workload, config: SystemConfig, threads: int, reason: str
+    ) -> RunRecord:
+        return RunRecord(
+            workload=workload.spec.name,
+            workload_params=workload.params(),
+            config=config.name,
+            num_threads=threads,
+            metric=None,
+            metric_name=workload.spec.metric_name,
+            metric_unit=workload.spec.metric_unit,
+            infeasible_reason=reason,
+        )
+
+    # -- public API ---------------------------------------------------------
+    def run(
+        self,
+        workload: Workload,
+        config: SystemConfig | ConfigName,
+        num_threads: int = 64,
+    ) -> RunRecord:
+        """Simulate one run; never raises for modelled failure modes."""
+        if isinstance(config, ConfigName):
+            config = make_config(config)
+        sim_os = self._boot(config)
+
+        try:
+            workload.check_runnable(num_threads)
+        except RuntimeError as exc:
+            return self._infeasible(workload, config, num_threads, str(exc))
+
+        try:
+            with sim_os.allocation_scope():
+                allocation = sim_os.malloc(
+                    f"{workload.spec.name}-data",
+                    workload.footprint_bytes,
+                    numactl=config.numactl,
+                )
+                mix = PlacementMix.from_allocation_split(
+                    allocation.split,
+                    dram_cached=sim_os.memory.dram_fronted_by_cache,
+                )
+                model = PerformanceModel(self.machine, sim_os.memory)
+                result = model.run(workload.profile(), mix, num_threads)
+        except OutOfNodeMemory as exc:
+            return self._infeasible(
+                workload,
+                config,
+                num_threads,
+                f"problem does not fit the bound NUMA node: {exc}",
+            )
+        return RunRecord(
+            workload=workload.spec.name,
+            workload_params=workload.params(),
+            config=config.name,
+            num_threads=num_threads,
+            metric=workload.metric(result),
+            metric_name=workload.spec.metric_name,
+            metric_unit=workload.spec.metric_unit,
+            run_result=result,
+        )
+
+    def run_configs(
+        self,
+        workload: Workload,
+        configs: tuple[SystemConfig | ConfigName, ...] | None = None,
+        num_threads: int = 64,
+    ) -> list[RunRecord]:
+        """Run the workload under several configurations (default: the
+        paper's trio)."""
+        if configs is None:
+            configs = ConfigName.paper_trio()
+        return [self.run(workload, c, num_threads) for c in configs]

@@ -1,0 +1,58 @@
+"""Parameter sweeps: the two axes every figure varies.
+
+* :func:`size_sweep` — problem size at fixed threads (Fig. 2, Fig. 4),
+* :func:`thread_sweep` — OpenMP threads at fixed size (Fig. 5, Fig. 6).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.configs import ConfigName, SystemConfig
+from repro.core.results import ResultSet
+from repro.core.runner import ExperimentRunner
+from repro.workloads.base import Workload
+
+
+def size_sweep(
+    runner: ExperimentRunner,
+    factory: Callable[[float], Workload],
+    sizes_gb: Sequence[float],
+    *,
+    configs: Sequence[SystemConfig | ConfigName] | None = None,
+    num_threads: int = 64,
+    title: str = "size sweep",
+    x_label: str = "Size (GB)",
+) -> ResultSet:
+    """Run ``factory(size)`` for every size under every configuration."""
+    if not sizes_gb:
+        raise ValueError("sizes_gb must be non-empty")
+    config_list = list(configs) if configs is not None else list(ConfigName.paper_trio())
+    records = []
+    for size in sizes_gb:
+        workload = factory(size)
+        for config in config_list:
+            records.append((float(size), runner.run(workload, config, num_threads)))
+    return ResultSet(records, x_label=x_label, title=title)
+
+
+def thread_sweep(
+    runner: ExperimentRunner,
+    workload: Workload,
+    thread_counts: Sequence[int],
+    *,
+    configs: Sequence[SystemConfig | ConfigName] | None = None,
+    title: str = "thread sweep",
+    x_label: str = "No. of Threads",
+) -> ResultSet:
+    """Run the workload at each thread count under every configuration."""
+    if not thread_counts:
+        raise ValueError("thread_counts must be non-empty")
+    config_list = list(configs) if configs is not None else list(ConfigName.paper_trio())
+    records = []
+    for threads in thread_counts:
+        for config in config_list:
+            records.append(
+                (float(threads), runner.run(workload, config, int(threads)))
+            )
+    return ResultSet(records, x_label=x_label, title=title)

@@ -1,0 +1,62 @@
+"""Little's law and request-concurrency arithmetic.
+
+The paper (Section IV-B, citing Gustafson's encyclopedia entry) frames the
+whole access-pattern story through Little's law:
+
+    throughput = outstanding requests / latency
+
+Sequential codes reach high outstanding-request counts (prefetchers), so
+they are limited by device bandwidth; random codes sustain only a couple
+of outstanding requests per thread, so they are limited by latency — and
+HBM's *higher* latency makes it a net loss for them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.units import CACHE_LINE, NS_PER_S
+from repro.util.validation import check_non_negative, check_positive
+
+
+def littles_law_bandwidth(
+    outstanding_requests: float,
+    latency_ns: float,
+    request_bytes: int = CACHE_LINE,
+) -> float:
+    """Bandwidth (bytes/s) demanded by ``outstanding_requests`` in-flight
+    requests of ``request_bytes`` each at ``latency_ns`` service latency."""
+    check_non_negative("outstanding_requests", outstanding_requests)
+    check_positive("latency_ns", latency_ns)
+    check_positive("request_bytes", request_bytes)
+    return outstanding_requests * request_bytes / (latency_ns / NS_PER_S)
+
+
+def required_concurrency(
+    bandwidth: float, latency_ns: float, request_bytes: int = CACHE_LINE
+) -> float:
+    """Outstanding requests needed to sustain ``bandwidth`` at ``latency_ns``.
+
+    The classic bandwidth-delay product; e.g. 330 GB/s at 154 ns needs
+    ~794 outstanding lines machine-wide (about 12 per core on 64 cores).
+    """
+    check_non_negative("bandwidth", bandwidth)
+    check_positive("latency_ns", latency_ns)
+    check_positive("request_bytes", request_bytes)
+    return bandwidth * (latency_ns / NS_PER_S) / request_bytes
+
+
+def saturating_rate(demand: float, capacity: float) -> float:
+    """Achieved rate when ``demand`` is offered to a resource of ``capacity``.
+
+    Smooth exponential saturation ``capacity * (1 - exp(-demand/capacity))``:
+    linear for demand << capacity, asymptotic to capacity, never exceeding
+    either input.  Used for random-access request streams hitting the
+    devices' bank-level parallelism limit — it is what bends the
+    hyper-threading curves of Fig. 6 from linear to saturating.
+    """
+    check_non_negative("demand", demand)
+    check_positive("capacity", capacity)
+    if demand == 0.0:
+        return 0.0
+    return capacity * (1.0 - math.exp(-demand / capacity))

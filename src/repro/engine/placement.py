@@ -1,0 +1,114 @@
+"""Data placement descriptions consumed by the performance model.
+
+A :class:`PlacementMix` says where a phase's traffic goes:
+
+* ``Location.DRAM`` — the DDR node accessed directly (flat mode,
+  ``--membind=0``),
+* ``Location.HBM`` — the MCDRAM node accessed directly (flat mode,
+  ``--membind=1``),
+* ``Location.DRAM_CACHED`` — DDR fronted by the MCDRAM cache (cache or
+  hybrid mode).
+
+The paper's three configurations are pure mixes; the memkind fine-grained
+extension produces genuine mixtures (e.g. matrix in HBM, everything else
+in DRAM).  :meth:`PlacementMix.from_allocation_split` bridges from the
+allocator's per-node byte split to a mix.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.validation import check_fraction
+
+
+class Location(enum.Enum):
+    """Where a byte of application data physically lives."""
+
+    DRAM = "dram"
+    HBM = "hbm"
+    DRAM_CACHED = "dram-cached"
+
+
+@dataclass(frozen=True)
+class PlacementMix:
+    """Traffic fractions per location; fractions must sum to 1."""
+
+    fractions: tuple[tuple[Location, float], ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        total = 0.0
+        for location, fraction in self.fractions:
+            if location in seen:
+                raise ValueError(f"duplicate location {location}")
+            seen.add(location)
+            check_fraction(f"fraction[{location.value}]", fraction)
+            total += fraction
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"fractions must sum to 1, got {total}")
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def pure(cls, location: Location) -> "PlacementMix":
+        return cls(((location, 1.0),))
+
+    @classmethod
+    def of(cls, **kwargs: float) -> "PlacementMix":
+        """Build from keyword fractions, e.g. ``of(hbm=0.6, dram=0.4)``.
+
+        Keys are lowercase location names with '-' as '_'.
+        """
+        mapping = {
+            "dram": Location.DRAM,
+            "hbm": Location.HBM,
+            "dram_cached": Location.DRAM_CACHED,
+        }
+        items = []
+        for key, value in kwargs.items():
+            if key not in mapping:
+                raise ValueError(f"unknown location {key!r}")
+            if value > 0:
+                items.append((mapping[key], float(value)))
+        return cls(tuple(items))
+
+    @classmethod
+    def from_allocation_split(
+        cls, split: dict[int, int], *, dram_cached: bool = False
+    ) -> "PlacementMix":
+        """Translate an allocator ``{node_id: bytes}`` split.
+
+        Node 0 is DDR (cached if the memory system runs the MCDRAM cache),
+        node 1 is the flat HBM node.
+        """
+        total = sum(split.values())
+        if total <= 0:
+            raise ValueError("split must contain bytes")
+        items = []
+        node0 = split.get(0, 0)
+        node1 = split.get(1, 0)
+        if set(split) - {0, 1}:
+            raise ValueError(f"unknown nodes in split: {sorted(split)}")
+        if node0:
+            location = Location.DRAM_CACHED if dram_cached else Location.DRAM
+            items.append((location, node0 / total))
+        if node1:
+            items.append((Location.HBM, node1 / total))
+        return cls(tuple(items))
+
+    # -- queries ----------------------------------------------------------------
+    def fraction(self, location: Location) -> float:
+        for loc, frac in self.fractions:
+            if loc is location:
+                return frac
+        return 0.0
+
+    @property
+    def locations(self) -> tuple[Location, ...]:
+        return tuple(loc for loc, frac in self.fractions if frac > 0)
+
+    def describe(self) -> str:
+        return " + ".join(
+            f"{frac:.0%} {loc.value}" for loc, frac in self.fractions if frac > 0
+        )

@@ -1,0 +1,167 @@
+"""Workload memory profiles.
+
+A workload run is summarized as a sequence of :class:`Phase` objects, each
+describing one homogeneous stretch of execution: how many bytes move, how
+many flops retire, over what footprint, with what access pattern and
+memory-level parallelism.  Profiles are *derived by the workloads from
+their real data structures* (a CG iteration knows its nnz, a BFS knows its
+frontier sizes), so the performance engine's inputs follow the algorithms,
+not hand-tuned tables.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.util.units import CACHE_LINE
+from repro.util.validation import check_fraction, check_non_negative, check_positive
+
+
+class AccessPattern(enum.Enum):
+    """Dominant access pattern of a phase.
+
+    SEQUENTIAL — streaming/strided, prefetcher-friendly (DGEMM, MiniFE,
+    STREAM).  RANDOM — data-dependent addresses, prefetchers useless (GUPS,
+    Graph500, XSBench).  The paper's headline result is the contrast in how
+    these two classes respond to HBM.
+    """
+
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One homogeneous execution phase.
+
+    Parameters
+    ----------
+    name:
+        Label for reporting ("cg-spmv", "bfs-expand", ...).
+    pattern:
+        Dominant access pattern.
+    traffic_bytes:
+        Bytes that must move to/from main memory over the phase, assuming
+        the on-chip caches filter what they filter (the workload computes
+        this from its data structures).  For RANDOM phases this counts
+        *useful* bytes; line-granularity inflation is applied by the
+        engine via ``access_bytes``.
+    flops:
+        Floating-point work of the phase (0 for pure data workloads).
+    footprint_bytes:
+        Size of the data the phase touches — drives cache-mode hit rates
+        and TLB behaviour.
+    access_bytes:
+        Useful bytes per memory access for RANDOM phases (8 for GUPS
+        doubles, ~16 for XSBench grid pairs).  Each access still moves a
+        full 64 B line.
+    mlp_per_thread:
+        Outstanding memory requests one hardware thread sustains in this
+        phase.  Defaults: sequential phases inherit the core's prefetcher
+        MLP; random phases the core's out-of-order MLP (set explicitly to
+        model e.g. software prefetching).
+    compute_efficiency:
+        Fraction of machine peak flops reachable by this phase's kernel
+        (MKL DGEMM ~0.8; bandwidth-bound codes can leave it at 1.0 since
+        memory time dominates anyway).
+    sync_fraction:
+        Linear serial/synchronization overhead per extra hardware-thread
+        multiple beyond one per core (Amdahl-style).
+    sync_quadratic:
+        Quadratic overhead term in the same variable; models contended
+        atomics/barriers whose cost grows superlinearly with threads —
+        BFS's per-level frontier atomics give Graph500 its 128-thread
+        optimum (Fig. 6c).
+    write_fraction:
+        Share of traffic that is stores (affects DRAM-cache fills and the
+        scattered-write capacity penalty).
+    """
+
+    name: str
+    pattern: AccessPattern
+    traffic_bytes: float
+    flops: float = 0.0
+    footprint_bytes: int = 0
+    access_bytes: int = CACHE_LINE
+    mlp_per_thread: float | None = None
+    compute_efficiency: float = 1.0
+    sync_fraction: float = 0.0
+    sync_quadratic: float = 0.0
+    write_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("phase needs a name")
+        check_non_negative("traffic_bytes", self.traffic_bytes)
+        check_non_negative("flops", self.flops)
+        check_non_negative("footprint_bytes", self.footprint_bytes)
+        check_positive("access_bytes", self.access_bytes)
+        if self.access_bytes > CACHE_LINE:
+            raise ValueError(
+                f"access_bytes cannot exceed the {CACHE_LINE} B line size"
+            )
+        if self.mlp_per_thread is not None:
+            check_positive("mlp_per_thread", self.mlp_per_thread)
+        if not 0.0 < self.compute_efficiency <= 1.0:
+            raise ValueError(
+                f"compute_efficiency must be in (0, 1], got {self.compute_efficiency}"
+            )
+        check_non_negative("sync_fraction", self.sync_fraction)
+        check_non_negative("sync_quadratic", self.sync_quadratic)
+        check_fraction("write_fraction", self.write_fraction)
+
+    @property
+    def accesses(self) -> float:
+        """Number of memory accesses implied by traffic and granularity."""
+        return self.traffic_bytes / self.access_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of memory traffic (roofline x-axis)."""
+        if self.traffic_bytes == 0:
+            return float("inf") if self.flops else 0.0
+        return self.flops / self.traffic_bytes
+
+    def scaled(self, factor: float) -> "Phase":
+        """A copy with traffic and flops scaled (e.g. per-iteration phases
+        repeated ``factor`` times)."""
+        check_positive("factor", factor)
+        return replace(
+            self,
+            traffic_bytes=self.traffic_bytes * factor,
+            flops=self.flops * factor,
+        )
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """A complete workload run: ordered phases plus identity metadata."""
+
+    workload: str
+    phases: tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ValueError("profile needs a workload name")
+        if not self.phases:
+            raise ValueError("profile needs at least one phase")
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Peak footprint across phases (what must be allocated)."""
+        return max(p.footprint_bytes for p in self.phases)
+
+    @property
+    def total_traffic_bytes(self) -> float:
+        return sum(p.traffic_bytes for p in self.phases)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(p.flops for p in self.phases)
+
+    @property
+    def dominant_pattern(self) -> AccessPattern:
+        """Pattern of the phase carrying the most traffic."""
+        top = max(self.phases, key=lambda p: p.traffic_bytes)
+        return top.pattern

@@ -1,0 +1,90 @@
+"""Roofline model over the hybrid memory system.
+
+An extension beyond the paper's exhibits: place each workload on a
+roofline with *two* bandwidth ceilings (DDR4 and MCDRAM).  The ridge
+points make the paper's guideline quantitative — a kernel left of the
+MCDRAM ridge cannot benefit from HBM no matter what, a kernel between the
+ridges is exactly the population the paper says gains up to ~4x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.profilephase import MemoryProfile
+from repro.machine.topology import KNLMachine
+from repro.memory.device import MemoryDevice
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload's position on the roofline."""
+
+    name: str
+    arithmetic_intensity: float
+    attainable_gflops_dram: float
+    attainable_gflops_hbm: float
+
+    @property
+    def hbm_speedup_bound(self) -> float:
+        """Upper bound on the HBM/DRAM speedup for this intensity."""
+        if self.attainable_gflops_dram == 0:
+            return 1.0
+        return self.attainable_gflops_hbm / self.attainable_gflops_dram
+
+
+class RooflineModel:
+    """Two-ceiling roofline for a machine with DDR4 + MCDRAM."""
+
+    def __init__(
+        self,
+        machine: KNLMachine,
+        dram: MemoryDevice,
+        mcdram: MemoryDevice,
+        *,
+        threads_per_core: int = 1,
+    ) -> None:
+        self.machine = machine
+        self.dram = dram
+        self.mcdram = mcdram
+        self.threads_per_core = threads_per_core
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.machine.peak_dp_gflops
+
+    def dram_bandwidth(self) -> float:
+        return self.dram.stream_bandwidth(self.threads_per_core)
+
+    def hbm_bandwidth(self) -> float:
+        return self.mcdram.stream_bandwidth(self.threads_per_core)
+
+    def ridge_intensity_dram(self) -> float:
+        """Flops/byte where the DRAM roof meets the compute roof."""
+        return self.peak_gflops * 1e9 / self.dram_bandwidth()
+
+    def ridge_intensity_hbm(self) -> float:
+        """Flops/byte where the MCDRAM roof meets the compute roof."""
+        return self.peak_gflops * 1e9 / self.hbm_bandwidth()
+
+    def attainable_gflops(self, intensity: float, bandwidth: float) -> float:
+        """min(peak, intensity * bandwidth) in GFLOP/s."""
+        check_positive("intensity", intensity)
+        check_positive("bandwidth", bandwidth)
+        return min(self.peak_gflops, intensity * bandwidth / 1e9)
+
+    def locate(self, profile: MemoryProfile) -> RooflinePoint:
+        """Place a workload profile on the roofline."""
+        intensity = profile.total_flops / max(profile.total_traffic_bytes, 1.0)
+        intensity = max(intensity, 1e-12)
+        return RooflinePoint(
+            name=profile.workload,
+            arithmetic_intensity=intensity,
+            attainable_gflops_dram=self.attainable_gflops(
+                intensity, self.dram_bandwidth()
+            ),
+            attainable_gflops_hbm=self.attainable_gflops(
+                intensity, self.hbm_bandwidth()
+            ),
+        )

@@ -1,0 +1,67 @@
+"""Hardware-thread scaling model.
+
+Section IV-D of the paper: hyper-threading raises the number of
+outstanding memory requests (hence bandwidth via Little's law) and hides
+latency for irregular codes, at the price of shared core resources.  This
+module converts an OpenMP thread count into:
+
+* machine-wide outstanding-request counts for a phase's pattern,
+* the SMT compute-issue multiplier, and
+* the synchronization overhead factor (per-phase ``sync_fraction``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.profilephase import AccessPattern, Phase
+from repro.machine.topology import KNLMachine
+from repro.runtime.process import OpenMPEnvironment
+
+
+@dataclass(frozen=True)
+class ThreadingModel:
+    """Scaling rules for a machine."""
+
+    machine: KNLMachine
+
+    def outstanding_requests(
+        self, phase: Phase, env: OpenMPEnvironment
+    ) -> float:
+        """Machine-wide in-flight cache-line requests for this phase.
+
+        Per-thread MLP comes from the phase (or the core's default for the
+        pattern), multiplied by threads per core and clamped by the core's
+        request-queue capacity, then summed over active cores.
+        """
+        core = self.machine.reference_core
+        if phase.mlp_per_thread is not None:
+            per_thread = phase.mlp_per_thread
+        elif phase.pattern is AccessPattern.SEQUENTIAL:
+            per_thread = core.mlp_sequential
+        else:
+            per_thread = core.mlp_random
+        placement = env.placement
+        per_core = core.outstanding_lines(per_thread, placement.max_threads_per_core)
+        return per_core * placement.active_cores
+
+    def compute_scale(self, env: OpenMPEnvironment) -> float:
+        """Fraction of machine peak flops reachable at this thread count."""
+        core = self.machine.reference_core
+        placement = env.placement
+        issue = core.smt_issue_efficiency(placement.max_threads_per_core)
+        return issue * placement.active_cores / self.machine.num_cores
+
+    def sync_overhead_factor(self, phase: Phase, env: OpenMPEnvironment) -> float:
+        """Multiplier >= 1 on phase time from synchronization.
+
+        Grows with the *total* thread count relative to the one-per-core
+        baseline: barriers and reductions cost O(threads)
+        (``sync_fraction``); contended atomics cost O(threads^2)
+        (``sync_quadratic``).
+        """
+        if phase.sync_fraction == 0.0 and phase.sync_quadratic == 0.0:
+            return 1.0
+        baseline = self.machine.num_cores
+        extra = max(0.0, env.num_threads / baseline - 1.0)
+        return 1.0 + phase.sync_fraction * extra + phase.sync_quadratic * extra**2

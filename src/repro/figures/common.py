@@ -1,0 +1,29 @@
+"""Shared exhibit container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Exhibit:
+    """One reproduced table/figure.
+
+    ``data`` holds machine-readable series/rows for tests and
+    EXPERIMENTS.md generation; ``text`` is the printable rendering;
+    ``paper_expectation`` states what the paper reports for the same
+    exhibit so the harness output is self-describing.
+    """
+
+    exhibit_id: str
+    title: str
+    text: str
+    data: dict[str, Any] = field(default_factory=dict)
+    paper_expectation: str = ""
+
+    def render(self) -> str:
+        parts = [f"=== {self.exhibit_id}: {self.title} ===", self.text]
+        if self.paper_expectation:
+            parts.append(f"[paper] {self.paper_expectation}")
+        return "\n".join(parts)

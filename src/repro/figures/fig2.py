@@ -1,0 +1,70 @@
+"""Fig. 2: STREAM triad peak bandwidth under the three configurations.
+
+Paper: DRAM plateaus at 77 GB/s; HBM at 330 GB/s (series stops at the
+16 GB capacity); cache mode peaks at 260 GB/s around 8 GB, drops to
+125 GB/s at 11.4 GB, and falls below DRAM beyond ~24 GB.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.runner import ExperimentRunner
+from repro.core.sweep import size_sweep
+from repro.figures.common import Exhibit
+from repro.workloads.stream import StreamBenchmark
+
+DEFAULT_SIZES_GB: tuple[float, ...] = (
+    2, 4, 6, 8, 10, 11.4, 12, 14, 16, 18, 20, 22.8, 24, 28, 32, 36, 40
+)
+
+
+def generate(
+    runner: ExperimentRunner | None = None,
+    sizes_gb: Sequence[float] | None = None,
+    num_threads: int = 64,
+) -> Exhibit:
+    runner = runner if runner is not None else ExperimentRunner()
+    sizes = tuple(sizes_gb) if sizes_gb is not None else DEFAULT_SIZES_GB
+    results = size_sweep(
+        runner,
+        lambda gb: StreamBenchmark(size_bytes=int(gb * 1e9)),
+        sizes,
+        num_threads=num_threads,
+        title="Fig. 2: STREAM triad bandwidth",
+        x_label="Size (GB)",
+    )
+    # Report in GB/s (the workload metric is bytes/s).
+    data = {
+        config.value: [
+            None if v is None else v / 1e9
+            for v in results.series(config).ys
+        ]
+        for config in results.configs
+    }
+    data["sizes_gb"] = list(sizes)
+    table = results.to_table()
+    # Re-render values as GB/s for readability.
+    from repro.util.tables import TextTable
+
+    gbs_table = TextTable(
+        ["Size (GB)"] + [c.value for c in results.configs],
+        title="Fig. 2: STREAM triad bandwidth (GB/s), 64 threads",
+    )
+    for x in results.xs:
+        row: list[object] = [f"{x:g}"]
+        for config in results.configs:
+            v = results.value(x, config)
+            row.append("-" if v is None else f"{v / 1e9:.1f}")
+        gbs_table.add_row(row)
+    chart = results.to_chart()
+    return Exhibit(
+        exhibit_id="fig2",
+        title="STREAM peak bandwidth, three memory configurations",
+        text=gbs_table.render() + "\n\n" + chart.render(),
+        data=data,
+        paper_expectation=(
+            "DRAM ~77 GB/s flat; HBM ~330 GB/s up to 16 GB then absent; "
+            "cache ~260 GB/s @8 GB, 125 GB/s @11.4 GB, below DRAM >= ~24 GB"
+        ),
+    )

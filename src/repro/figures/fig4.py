@@ -1,0 +1,135 @@
+"""Fig. 4: application performance vs problem size (five panels).
+
+Top panels (sequential pattern): DGEMM (a) and MiniFE (b) — HBM best,
+~2x / ~3x over DRAM; cache mode in between, degrading with size; HBM bar
+missing beyond 16 GB.
+
+Bottom panels (random pattern): GUPS (c), Graph500 (d), XSBench (e) —
+DRAM best everywhere; the DRAM advantage grows with problem size
+(Graph500 reaches ~1.3x over cache mode on the largest graphs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.runner import ExperimentRunner
+from repro.core.sweep import size_sweep
+from repro.figures.common import Exhibit
+from repro.workloads.base import Workload
+from repro.workloads.dgemm import DGEMM
+from repro.workloads.graph500 import Graph500
+from repro.workloads.gups import GUPS
+from repro.workloads.minife import MiniFE
+from repro.workloads.xsbench import XSBench
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One Fig. 4 panel definition (the paper's x-axis values)."""
+
+    panel_id: str
+    factory: Callable[[float], Workload]
+    sizes_gb: tuple[float, ...]
+    x_label: str
+    expectation: str
+
+
+PANELS: dict[str, Panel] = {
+    "fig4a": Panel(
+        "fig4a",
+        DGEMM.from_array_gb,
+        (0.1, 0.4, 1.5, 6.0, 24.0),
+        "Array Size (GB)",
+        "HBM ~2x DRAM; HBM absent at 24 GB; cache between",
+    ),
+    "fig4b": Panel(
+        "fig4b",
+        MiniFE.from_matrix_gb,
+        (0.1, 0.9, 1.8, 3.6, 7.2, 14.4, 28.8),
+        "Matrix Size (GB)",
+        "HBM ~3x DRAM; cache improvement drops to ~1.05x at 28.8 GB",
+    ),
+    "fig4c": Panel(
+        "fig4c",
+        GUPS.from_table_gb,
+        (1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+        "Table Size (GB)",
+        "narrow band ~1.06-1.1e-2 GUPS; DRAM marginally best",
+    ),
+    "fig4d": Panel(
+        "fig4d",
+        Graph500.from_graph_gb,
+        (1.1, 2.2, 4.4, 8.8, 17.5, 35.0),
+        "Graph Size (GB)",
+        "DRAM best; ~1.3x over cache mode at the largest graphs",
+    ),
+    "fig4e": Panel(
+        "fig4e",
+        XSBench.from_problem_gb,
+        (5.6, 11.3, 22.5, 45.0, 90.0),
+        "Problem Size (GB)",
+        "DRAM best, ~2.5-3e6 lookups/s, declining with size",
+    ),
+}
+
+
+def _generate(panel: Panel, runner: ExperimentRunner | None, num_threads: int) -> Exhibit:
+    runner = runner if runner is not None else ExperimentRunner()
+    sample = panel.factory(panel.sizes_gb[0])
+    results = size_sweep(
+        runner,
+        panel.factory,
+        panel.sizes_gb,
+        num_threads=num_threads,
+        title=(
+            f"Fig. 4{panel.panel_id[-1]}: {sample.spec.name} "
+            f"({sample.spec.metric_name}) vs problem size, {num_threads} threads"
+        ),
+        x_label=panel.x_label,
+    )
+    data = {c.value: list(results.series(c).ys) for c in results.configs}
+    data["sizes_gb"] = list(panel.sizes_gb)
+    hbm_vs_dram = results.improvement_series(
+        results.configs[1], results.configs[0]
+    )
+    cache_vs_dram = results.improvement_series(
+        results.configs[2], results.configs[0]
+    )
+    data["hbm_improvement"] = list(hbm_vs_dram.ys)
+    data["cache_improvement"] = list(cache_vs_dram.ys)
+    text = results.render()
+    text += "\n\nImprovement vs DRAM: HBM " + ", ".join(
+        "-" if v is None else f"{v:.2f}x" for v in hbm_vs_dram.ys
+    )
+    text += "\n                   Cache " + ", ".join(
+        "-" if v is None else f"{v:.2f}x" for v in cache_vs_dram.ys
+    )
+    return Exhibit(
+        exhibit_id=panel.panel_id,
+        title=results.title,
+        text=text,
+        data=data,
+        paper_expectation=panel.expectation,
+    )
+
+
+def generate_a(runner: ExperimentRunner | None = None, num_threads: int = 64) -> Exhibit:
+    return _generate(PANELS["fig4a"], runner, num_threads)
+
+
+def generate_b(runner: ExperimentRunner | None = None, num_threads: int = 64) -> Exhibit:
+    return _generate(PANELS["fig4b"], runner, num_threads)
+
+
+def generate_c(runner: ExperimentRunner | None = None, num_threads: int = 64) -> Exhibit:
+    return _generate(PANELS["fig4c"], runner, num_threads)
+
+
+def generate_d(runner: ExperimentRunner | None = None, num_threads: int = 64) -> Exhibit:
+    return _generate(PANELS["fig4d"], runner, num_threads)
+
+
+def generate_e(runner: ExperimentRunner | None = None, num_threads: int = 64) -> Exhibit:
+    return _generate(PANELS["fig4e"], runner, num_threads)

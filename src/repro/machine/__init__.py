@@ -1,0 +1,42 @@
+"""KNL machine model.
+
+Models the compute side of the Knights Landing node the paper measures
+(Section II): cores with four hardware threads, tiles of two cores sharing a
+1 MB L2, a 2D mesh interconnect with a distributed MESIF tag directory in
+quadrant cluster mode, and the per-level cache parameters that produce the
+latency tiers of Fig. 3.
+
+The machine model is *structural*: it knows capacities, latencies and
+concurrency limits.  Timing behaviour is computed by :mod:`repro.engine`
+from these parameters together with the memory subsystem model
+(:mod:`repro.memory`).
+"""
+
+from repro.machine.caches import (
+    CacheGeometry,
+    SetAssociativeCache,
+    CacheStats,
+    knl_l1d,
+    knl_l2,
+)
+from repro.machine.core import Core, HardwareThread
+from repro.machine.tile import Tile
+from repro.machine.mesh import Mesh2D, ClusterMode
+from repro.machine.topology import KNLMachine
+from repro.machine.presets import knl7210, knl7250
+
+__all__ = [
+    "CacheGeometry",
+    "SetAssociativeCache",
+    "CacheStats",
+    "knl_l1d",
+    "knl_l2",
+    "Core",
+    "HardwareThread",
+    "Tile",
+    "Mesh2D",
+    "ClusterMode",
+    "KNLMachine",
+    "knl7210",
+    "knl7250",
+]

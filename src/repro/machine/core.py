@@ -1,0 +1,135 @@
+"""Core and hardware-thread model.
+
+A KNL (Silvermont-derived) core runs up to four hardware threads.  The
+performance engine needs just a handful of per-core parameters:
+
+* clock frequency (1.3 GHz on the 7210),
+* the number of hardware threads and how sharing them scales per-thread
+  issue capacity,
+* memory-level parallelism (MLP): how many outstanding cache-line requests
+  a thread sustains for *sequential* streams (hardware prefetchers working)
+  vs *random* streams (only out-of-order dual issue; the paper's
+  TinyMemBench "dual random read" measures exactly this), and
+* per-core double-precision FLOP peak (2 × AVX-512 FMA units).
+
+The MLP values drive the Little's-law throughput model that the paper
+invokes in Section IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class HardwareThread:
+    """One SMT context of a core; identified by (core_id, slot)."""
+
+    core_id: int
+    slot: int
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise ValueError(f"thread slot must be >= 0, got {self.slot}")
+        if self.core_id < 0:
+            raise ValueError(f"core_id must be >= 0, got {self.core_id}")
+
+
+@dataclass(frozen=True)
+class Core:
+    """Static parameters of a single KNL core.
+
+    Parameters
+    ----------
+    core_id:
+        Index within the machine (0..63 on a 7210).
+    frequency_ghz:
+        Core clock; 1.3 GHz on the 7210 testbed.
+    smt_threads:
+        Hardware threads per core (4 on KNL).
+    mlp_sequential:
+        Outstanding 64 B lines a single thread sustains with the hardware
+        prefetcher engaged (sequential access).  KNL's L2 prefetcher tracks
+        many streams; an effective ~13 lines reproduces the measured
+        single-thread-per-core STREAM point (64 cores x 13.4 x 64 B /
+        165 ns loaded latency ~= 330 GB/s on MCDRAM).
+    mlp_random:
+        Outstanding lines under dependent/random access; the out-of-order
+        window of the Silvermont-based core sustains about two concurrent
+        demand misses (hence TinyMemBench's *dual* random read).
+    dp_flops_per_cycle:
+        Peak double-precision FLOPs per cycle (2 x 8-wide AVX-512 FMA = 32).
+    """
+
+    core_id: int
+    frequency_ghz: float = 1.3
+    smt_threads: int = 4
+    mlp_sequential: float = 13.4
+    mlp_random: float = 2.0
+    dp_flops_per_cycle: float = 32.0
+
+    def __post_init__(self) -> None:
+        check_positive("frequency_ghz", self.frequency_ghz)
+        check_positive("smt_threads", self.smt_threads)
+        check_positive("mlp_sequential", self.mlp_sequential)
+        check_positive("mlp_random", self.mlp_random)
+        check_positive("dp_flops_per_cycle", self.dp_flops_per_cycle)
+        if self.core_id < 0:
+            raise ValueError(f"core_id must be >= 0, got {self.core_id}")
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of one cycle in nanoseconds."""
+        return 1.0 / self.frequency_ghz
+
+    @property
+    def peak_dp_gflops(self) -> float:
+        """Peak double-precision GFLOP/s of this core."""
+        return self.frequency_ghz * self.dp_flops_per_cycle
+
+    def threads(self) -> list[HardwareThread]:
+        """Enumerate this core's hardware-thread contexts."""
+        return [HardwareThread(self.core_id, s) for s in range(self.smt_threads)]
+
+    def smt_issue_efficiency(self, active_threads: int) -> float:
+        """Per-core *compute* throughput multiplier with ``active_threads`` SMT
+        contexts active.
+
+        KNL cores cannot issue from a single thread every cycle (the front
+        end alternates); two threads are needed to saturate issue.  Beyond
+        two, compute throughput is flat while resource sharing adds slight
+        overhead.  These factors reproduce the paper's observation that even
+        DGEMM (compute-heavy) gains from 2-3 threads/core (Fig. 6a).
+        """
+        if not 1 <= active_threads <= self.smt_threads:
+            raise ValueError(
+                f"active_threads must be in [1, {self.smt_threads}], "
+                f"got {active_threads}"
+            )
+        # KNL's front end issues at most one instruction per thread per
+        # cycle from the same thread every other cycle, so one thread
+        # reaches only ~55% of peak issue; three threads peak, four pay a
+        # little contention.  The 0.95/0.55 ~ 1.7x span reproduces the
+        # paper's DGEMM/MiniFE hyper-threading gain (Fig. 6a/6b, 192 vs 64
+        # threads), consistent with the Joo et al. Wilson-Dslash study the
+        # paper cites on the importance of hyper-threads on KNL.
+        factors = {1: 0.55, 2: 0.85, 3: 0.95, 4: 0.92}
+        return factors[active_threads]
+
+    def outstanding_lines(self, pattern_mlp: float, active_threads: int) -> float:
+        """Total outstanding cache-line requests this core sustains.
+
+        Each hardware thread contributes its own miss-status registers, but
+        the core's superqueue bounds the total in flight.  KNL supports
+        about 16 outstanding L2 misses per tile per core-pair; we cap at
+        a per-core limit so SMT gains taper realistically.
+        """
+        if not 1 <= active_threads <= self.smt_threads:
+            raise ValueError(
+                f"active_threads must be in [1, {self.smt_threads}], "
+                f"got {active_threads}"
+            )
+        per_core_cap = 17.0
+        return min(pattern_mlp * active_threads, per_core_cap)

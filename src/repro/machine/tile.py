@@ -1,0 +1,44 @@
+"""Tile model: two cores sharing a 1 MB L2 (Fig. 1 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.caches import CacheGeometry, knl_l2
+from repro.machine.core import Core
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One mesh tile: a core pair plus the shared L2 slice.
+
+    The distributed tag directory (MESIF) lives per tile; remote-L2
+    forwarding latency is modelled in :class:`repro.machine.mesh.Mesh2D`.
+    """
+
+    tile_id: int
+    cores: tuple[Core, Core]
+    l2: CacheGeometry
+
+    def __post_init__(self) -> None:
+        if self.tile_id < 0:
+            raise ValueError(f"tile_id must be >= 0, got {self.tile_id}")
+        if len(self.cores) != 2:
+            raise ValueError(f"a KNL tile has exactly 2 cores, got {len(self.cores)}")
+
+    @classmethod
+    def build(cls, tile_id: int, first_core_id: int, **core_kwargs: object) -> "Tile":
+        """Construct a tile with consecutive core ids and the standard L2."""
+        cores = (
+            Core(core_id=first_core_id, **core_kwargs),  # type: ignore[arg-type]
+            Core(core_id=first_core_id + 1, **core_kwargs),  # type: ignore[arg-type]
+        )
+        return cls(tile_id=tile_id, cores=cores, l2=knl_l2())
+
+    @property
+    def l2_capacity_bytes(self) -> int:
+        return self.l2.capacity_bytes
+
+    @property
+    def core_ids(self) -> tuple[int, int]:
+        return (self.cores[0].core_id, self.cores[1].core_id)

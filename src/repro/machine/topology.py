@@ -1,0 +1,125 @@
+"""Whole-node compute topology."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.caches import CacheGeometry
+from repro.machine.core import Core
+from repro.machine.mesh import Mesh2D
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ThreadPlacement:
+    """How an OpenMP thread count maps onto cores.
+
+    The paper's runs use compact-by-core placement: 64 threads = 1 per core,
+    128 = 2 per core, etc.  ``active_cores`` and ``threads_per_core``
+    describe the resulting shape; uneven counts put the remainder on the
+    low-numbered cores (``extra_cores`` of them run one more thread).
+    """
+
+    total_threads: int
+    active_cores: int
+    threads_per_core: int
+    extra_cores: int
+
+    @property
+    def max_threads_per_core(self) -> int:
+        return self.threads_per_core + (1 if self.extra_cores else 0)
+
+
+@dataclass(frozen=True)
+class KNLMachine:
+    """A single KNL node's compute side.
+
+    Combines the tile mesh with per-core L1 geometry and exposes the
+    aggregates the performance engine consumes.  Memory devices and modes
+    are configured separately (:mod:`repro.memory`) and paired with a
+    machine inside :class:`repro.core.configs.SystemConfig`.
+    """
+
+    name: str
+    mesh: Mesh2D
+    l1d: CacheGeometry
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("machine needs a name")
+
+    # -- counts ---------------------------------------------------------------
+    @property
+    def num_cores(self) -> int:
+        return 2 * self.mesh.num_tiles
+
+    @property
+    def smt_per_core(self) -> int:
+        return self.mesh.tiles[0].cores[0].smt_threads
+
+    @property
+    def max_threads(self) -> int:
+        return self.num_cores * self.smt_per_core
+
+    @property
+    def frequency_ghz(self) -> float:
+        return self.mesh.tiles[0].cores[0].frequency_ghz
+
+    @property
+    def reference_core(self) -> Core:
+        """A representative core (all cores are homogeneous)."""
+        return self.mesh.tiles[0].cores[0]
+
+    # -- aggregates -------------------------------------------------------------
+    @property
+    def peak_dp_gflops(self) -> float:
+        """Node peak double-precision GFLOP/s (~2662 for a 7210)."""
+        return sum(c.peak_dp_gflops for c in self.mesh.cores())
+
+    @property
+    def total_l2_bytes(self) -> int:
+        return self.mesh.total_l2_bytes
+
+    @property
+    def tile_l2_bytes(self) -> int:
+        return self.mesh.tiles[0].l2_capacity_bytes
+
+    # -- thread placement ---------------------------------------------------
+    def place_threads(self, num_threads: int) -> ThreadPlacement:
+        """Map an OpenMP thread count to cores, compact-by-core.
+
+        Raises if the count exceeds the node's hardware-thread capacity
+        (the 7210 tops out at 256).
+        """
+        check_positive("num_threads", num_threads)
+        if num_threads > self.max_threads:
+            raise ValueError(
+                f"{num_threads} threads exceed the node capacity of "
+                f"{self.max_threads} ({self.num_cores} cores x "
+                f"{self.smt_per_core} hardware threads)"
+            )
+        if num_threads <= self.num_cores:
+            return ThreadPlacement(
+                total_threads=num_threads,
+                active_cores=num_threads,
+                threads_per_core=1,
+                extra_cores=0,
+            )
+        per_core, extra = divmod(num_threads, self.num_cores)
+        return ThreadPlacement(
+            total_threads=num_threads,
+            active_cores=self.num_cores,
+            threads_per_core=per_core,
+            extra_cores=extra,
+        )
+
+    def describe(self) -> str:
+        """One-paragraph summary used by the CLI."""
+        return (
+            f"{self.name}: {self.num_cores} cores @ {self.frequency_ghz:.1f} GHz, "
+            f"{self.smt_per_core} HW threads/core ({self.max_threads} total), "
+            f"{self.mesh.num_tiles} tiles x {self.tile_l2_bytes // (1 << 20)} MB L2 "
+            f"({self.total_l2_bytes // (1 << 20)} MB mesh L2), "
+            f"{self.mesh.cluster_mode.value} cluster mode, "
+            f"peak {self.peak_dp_gflops:.0f} DP GFLOP/s"
+        )

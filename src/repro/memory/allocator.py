@@ -1,0 +1,172 @@
+"""memkind-style heap allocator over the simulated NUMA topology.
+
+The paper (Section II, flat mode) points at the memkind library for
+fine-grained data placement; its future-work section proposes placing
+*individual data structures* by access pattern.  This allocator provides
+that capability for the simulation:
+
+* :class:`Kind` mirrors memkind's kinds (``DEFAULT``, ``HBW``,
+  ``HBW_PREFERRED``, ``HBW_INTERLEAVE``, ``INTERLEAVE``).
+* :class:`HeapAllocator` tracks named allocations, enforces node
+  capacities, and reports where every structure landed — the ablation
+  bench `bench_ablation_finegrained_placement` drives exactly this API.
+
+The allocator is bookkeeping-only: no real memory moves, but the
+capacity/placement semantics (including failures) match numactl/memkind.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from repro.memory.numa import NUMATopology
+from repro.memory.policy import (
+    DefaultLocal,
+    Interleave,
+    Membind,
+    PlacementPolicy,
+    Preferred,
+)
+from repro.util.validation import check_positive
+
+
+class AllocationError(MemoryError):
+    """Raised when an allocation cannot be satisfied by its kind."""
+
+
+class Kind(enum.Enum):
+    """memkind allocation kinds relevant to a two-node KNL."""
+
+    DEFAULT = "memkind_default"
+    HBW = "memkind_hbw"
+    HBW_PREFERRED = "memkind_hbw_preferred"
+    HBW_INTERLEAVE = "memkind_hbw_interleave"
+    INTERLEAVE = "memkind_interleave"
+
+    def policy(self, topology: NUMATopology) -> PlacementPolicy:
+        """Resolve this kind to a placement policy on ``topology``.
+
+        Strict HBW kinds require an HBM node (node 1 in flat mode); in
+        cache mode — where the OS sees one node — ``HBW`` fails exactly
+        like memkind does on a cache-mode machine, while ``HBW_PREFERRED``
+        degrades to the DDR node.
+        """
+        has_hbm = topology.num_nodes > 1
+        if self is Kind.DEFAULT:
+            return DefaultLocal()
+        if self is Kind.HBW:
+            if not has_hbm:
+                raise AllocationError(
+                    "memkind_hbw: no high-bandwidth node exposed "
+                    "(MCDRAM is not in flat/hybrid mode)"
+                )
+            return Membind(1)
+        if self is Kind.HBW_PREFERRED:
+            return Preferred(1) if has_hbm else DefaultLocal()
+        if self is Kind.HBW_INTERLEAVE:
+            if not has_hbm:
+                raise AllocationError(
+                    "memkind_hbw_interleave: no high-bandwidth node exposed"
+                )
+            return Interleave((1,))
+        if self is Kind.INTERLEAVE:
+            return Interleave(tuple(n.node_id for n in topology.nodes))
+        raise AssertionError(f"unhandled kind {self!r}")
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A named, placed allocation."""
+
+    alloc_id: int
+    name: str
+    num_bytes: int
+    split: dict[int, int]
+    kind: Kind | None = None
+
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        return tuple(sorted(self.split))
+
+    def fraction_on(self, node_id: int) -> float:
+        """Share of this allocation's bytes living on ``node_id``."""
+        if self.num_bytes == 0:
+            return 0.0
+        return self.split.get(node_id, 0) / self.num_bytes
+
+
+class HeapAllocator:
+    """Tracks live allocations against a NUMA topology."""
+
+    def __init__(self, topology: NUMATopology) -> None:
+        self.topology = topology
+        self._live: dict[int, Allocation] = {}
+        self._ids = itertools.count(1)
+
+    # -- allocation -----------------------------------------------------------
+    def malloc(
+        self,
+        name: str,
+        num_bytes: int,
+        *,
+        kind: Kind | None = None,
+        policy: PlacementPolicy | None = None,
+    ) -> Allocation:
+        """Allocate ``num_bytes`` under a kind or an explicit policy.
+
+        Exactly one of ``kind``/``policy`` may be given; omitting both uses
+        ``Kind.DEFAULT``.  Raises :class:`AllocationError` (kind cannot be
+        resolved) or :class:`OutOfNodeMemory` (capacity).
+        """
+        check_positive("num_bytes", num_bytes)
+        if kind is not None and policy is not None:
+            raise ValueError("pass either kind or policy, not both")
+        if policy is None:
+            policy = (kind or Kind.DEFAULT).policy(self.topology)
+        split = policy.split(self.topology, num_bytes)
+        assert sum(split.values()) == num_bytes
+        for node_id, amount in split.items():
+            self.topology.node(node_id).reserve(amount)
+        allocation = Allocation(
+            alloc_id=next(self._ids),
+            name=name,
+            num_bytes=num_bytes,
+            split=dict(split),
+            kind=kind,
+        )
+        self._live[allocation.alloc_id] = allocation
+        return allocation
+
+    def free(self, allocation: Allocation) -> None:
+        """Release an allocation; double frees raise."""
+        if allocation.alloc_id not in self._live:
+            raise ValueError(f"allocation {allocation.alloc_id} is not live")
+        for node_id, amount in allocation.split.items():
+            self.topology.node(node_id).release(amount)
+        del self._live[allocation.alloc_id]
+
+    def free_all(self) -> None:
+        """Release every live allocation."""
+        for allocation in list(self._live.values()):
+            self.free(allocation)
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def live_allocations(self) -> list[Allocation]:
+        return list(self._live.values())
+
+    def used_bytes(self, node_id: int | None = None) -> int:
+        """Bytes used by live allocations, optionally for one node."""
+        if node_id is None:
+            return sum(a.num_bytes for a in self._live.values())
+        self.topology.node(node_id)
+        return sum(a.split.get(node_id, 0) for a in self._live.values())
+
+    def hbm_fraction(self) -> float:
+        """Overall share of live bytes on the HBM node (node 1), if any."""
+        total = self.used_bytes()
+        if total == 0 or self.topology.num_nodes < 2:
+            return 0.0
+        return self.used_bytes(1) / total

@@ -1,0 +1,146 @@
+"""Memory device model.
+
+A :class:`MemoryDevice` carries the *measured* characteristics the paper's
+analysis rests on rather than datasheet peaks:
+
+* ``stream_bandwidth(threads_per_core)`` — sustained sequential (STREAM
+  triad) bandwidth as a function of hardware threading.  For DDR4 the six
+  channels saturate with one thread per core (the four overlapping red
+  lines of Fig. 5); for MCDRAM one thread per core is concurrency-limited
+  at ~330 GB/s and two threads per core reach the ~420 GB/s device limit
+  (the 1.27x of Section IV-D).
+* ``random_bandwidth_cap`` — the sustained rate for independent random
+  64 B accesses, limited by bank/row behaviour.  It is much lower than the
+  sequential rate on both devices and higher on MCDRAM (more channels and
+  banks), which is what lets XSBench flip from DRAM-best at 64 threads to
+  HBM-best at 256 threads (Fig. 6d).
+* ``idle_latency_ns`` — unloaded access latency (130.4 ns DDR4, 154.0 ns
+  MCDRAM; Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GB
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MemoryDevice:
+    """Static description of one memory technology on the node.
+
+    Parameters
+    ----------
+    name:
+        "DDR4" or "MCDRAM".
+    capacity_bytes:
+        Installed capacity (96 GiB / 16 GiB on the testbed).
+    channels:
+        Memory channels (6 DDR4 channels / 8 MCDRAM modules).
+    idle_latency_ns:
+        Unloaded random-read latency.
+    peak_bandwidth:
+        Aggregate device limit in bytes/s, reached only with enough request
+        concurrency.
+    stream_efficiency_1t:
+        Fraction of :attr:`peak_bandwidth` achieved by the STREAM triad with
+        one hardware thread per core.
+    smt_bandwidth_gain:
+        Multiplier on the 1-thread STREAM bandwidth when two or more
+        hardware threads per core are used (bounded by ``peak_bandwidth``).
+    random_bandwidth_cap:
+        Sustained bandwidth for independent 64 B random accesses.
+    random_write_penalty:
+        Fractional capacity loss per unit write share of a random stream.
+        Scattered read-modify-writes are expensive on MCDRAM (the EDCs
+        serialize partial-line updates), which is why GUPS never profits
+        from HBM even though HBM's random *read* capacity is higher.
+    """
+
+    name: str
+    capacity_bytes: int
+    channels: int
+    idle_latency_ns: float
+    peak_bandwidth: float
+    stream_efficiency_1t: float
+    smt_bandwidth_gain: float
+    random_bandwidth_cap: float
+    random_write_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("capacity_bytes", self.capacity_bytes)
+        check_positive("channels", self.channels)
+        check_positive("idle_latency_ns", self.idle_latency_ns)
+        check_positive("peak_bandwidth", self.peak_bandwidth)
+        check_positive("random_bandwidth_cap", self.random_bandwidth_cap)
+        if not 0.0 < self.stream_efficiency_1t <= 1.0:
+            raise ValueError(
+                f"stream_efficiency_1t must be in (0, 1], got "
+                f"{self.stream_efficiency_1t}"
+            )
+        if self.smt_bandwidth_gain < 1.0:
+            raise ValueError(
+                f"smt_bandwidth_gain must be >= 1, got {self.smt_bandwidth_gain}"
+            )
+        if not 0.0 <= self.random_write_penalty <= 1.0:
+            raise ValueError(
+                f"random_write_penalty must be in [0, 1], got "
+                f"{self.random_write_penalty}"
+            )
+
+    # -- bandwidth ------------------------------------------------------------
+    def stream_bandwidth(self, threads_per_core: int = 1) -> float:
+        """Sustained sequential bandwidth (bytes/s) at a threading level.
+
+        One thread per core achieves ``peak * stream_efficiency_1t``; two or
+        more threads per core recover the concurrency shortfall up to
+        ``smt_bandwidth_gain`` (clamped to the device peak).  The gain ramps
+        with the second thread and stays flat after (Fig. 5: ht=2..4 cluster
+        together on MCDRAM).
+        """
+        check_positive("threads_per_core", threads_per_core)
+        base = self.peak_bandwidth * self.stream_efficiency_1t
+        if threads_per_core == 1:
+            return base
+        return min(self.peak_bandwidth, base * self.smt_bandwidth_gain)
+
+    def random_bandwidth(
+        self, threads_per_core: int = 1, write_fraction: float = 0.0
+    ) -> float:
+        """Sustained random-access bandwidth cap (bytes/s).
+
+        The cap is a device property (bank-level parallelism); threading
+        affects how much of it the cores can *demand*, which is the
+        engine's job, so the cap itself is threading-independent.
+        ``threads_per_core`` is accepted for interface symmetry.
+        ``write_fraction`` applies the scattered-write penalty.
+        """
+        check_positive("threads_per_core", threads_per_core)
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError(
+                f"write_fraction must be in [0, 1], got {write_fraction}"
+            )
+        return self.random_bandwidth_cap * (
+            1.0 - write_fraction * self.random_write_penalty
+        )
+
+    # -- convenience ----------------------------------------------------------
+    @property
+    def peak_bandwidth_gbs(self) -> float:
+        return self.peak_bandwidth / GB
+
+    def fits(self, footprint_bytes: int) -> bool:
+        """True if ``footprint_bytes`` fits in this device."""
+        if footprint_bytes < 0:
+            raise ValueError("footprint must be non-negative")
+        return footprint_bytes <= self.capacity_bytes
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.capacity_bytes / (1 << 30):.0f} GiB, "
+            f"{self.channels} channels, idle latency {self.idle_latency_ns:.1f} ns, "
+            f"stream {self.stream_bandwidth(1) / GB:.0f}-"
+            f"{self.stream_bandwidth(2) / GB:.0f} GB/s, "
+            f"random cap {self.random_bandwidth_cap / GB:.0f} GB/s"
+        )

@@ -1,0 +1,52 @@
+"""Loaded-latency model.
+
+Memory latency rises when the device is driven close to its bandwidth
+limit: requests queue at the controllers.  The performance engine uses
+this when computing latency-bound throughput at high thread counts — it is
+the mechanism that makes hyper-threading gains taper (Figs. 6c/6d) before
+the raw MLP scaling would predict.
+
+The model is the standard open-queue inflation ``idle * (1 + k * rho /
+(1 - rho))`` with utilization clamped below 1; it is deliberately simple
+(the paper never measures loaded latency directly, only its consequences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class LoadedLatencyModel:
+    """Latency inflation as a function of device utilization.
+
+    Parameters
+    ----------
+    queue_factor:
+        Strength of the queueing term; 0 disables inflation.
+    max_utilization:
+        Utilization at which inflation is evaluated at most (keeps the
+        model finite when demand exceeds the device limit).
+    """
+
+    queue_factor: float = 0.35
+    max_utilization: float = 0.95
+
+    def __post_init__(self) -> None:
+        check_non_negative("queue_factor", self.queue_factor)
+        if not 0.0 < self.max_utilization < 1.0:
+            raise ValueError(
+                f"max_utilization must be in (0, 1), got {self.max_utilization}"
+            )
+
+    def effective_latency_ns(
+        self, idle_latency_ns: float, demand_bandwidth: float, device_bandwidth: float
+    ) -> float:
+        """Latency (ns) at a given bandwidth demand against a device limit."""
+        check_positive("idle_latency_ns", idle_latency_ns)
+        check_non_negative("demand_bandwidth", demand_bandwidth)
+        check_positive("device_bandwidth", device_bandwidth)
+        rho = min(self.max_utilization, demand_bandwidth / device_bandwidth)
+        return idle_latency_ns * (1.0 + self.queue_factor * rho / (1.0 - rho))

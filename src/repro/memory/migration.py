@@ -1,0 +1,165 @@
+"""Epoch-based hot-page migration between DDR and the flat HBM node.
+
+The paper's future work points from coarse binding toward per-structure
+and eventually automatic placement.  This module models the next step on
+that road — an AutoHBW-style runtime that samples page access counts per
+epoch and migrates the hottest pages into the (limited) HBM node:
+
+* pages have per-epoch access frequencies (the caller supplies a
+  distribution; Zipf for graph-like workloads, uniform for GUPS-like),
+* each epoch the policy promotes the hottest non-resident pages and
+  demotes the coldest resident ones, bounded by a migration budget,
+* migrations cost real traffic (a page read + write across both
+  memories), charged against the epoch's useful traffic.
+
+The study's question — when does dynamic migration beat the static
+placements the paper evaluates? — is answered in
+``bench_ablation_migration.py``: skewed access wins big, uniform access
+can lose to plain DRAM binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.prng import make_rng
+from repro.util.validation import check_positive
+
+PAGE_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class MigrationOutcome:
+    """Result of simulating one epoch sequence."""
+
+    epochs: int
+    hbm_hit_fraction: float        # share of accesses served from HBM
+    migrated_pages: int
+    migration_traffic_bytes: int
+    steady_state_epoch: int        # first epoch within 1% of final hit rate
+
+    @property
+    def converged(self) -> bool:
+        return self.steady_state_epoch < self.epochs
+
+
+@dataclass(frozen=True)
+class MigrationPolicy:
+    """Hot-page promotion policy.
+
+    Parameters
+    ----------
+    hbm_pages:
+        Capacity of the HBM node in pages.
+    budget_pages_per_epoch:
+        Migration bandwidth bound per epoch.
+    promotion_threshold:
+        A page must be accessed at least this many times in an epoch to
+        be a promotion candidate (filters cold noise).
+    """
+
+    hbm_pages: int
+    budget_pages_per_epoch: int = 4096
+    promotion_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive("hbm_pages", self.hbm_pages)
+        check_positive("budget_pages_per_epoch", self.budget_pages_per_epoch)
+        check_positive("promotion_threshold", self.promotion_threshold)
+
+
+def zipfian_page_weights(n_pages: int, skew: float = 0.99) -> np.ndarray:
+    """Zipf popularity over pages, scattered so rank is uncorrelated with
+    page index."""
+    check_positive("n_pages", n_pages)
+    if skew <= 0:
+        raise ValueError(f"skew must be positive, got {skew}")
+    weights = np.arange(1, n_pages + 1, dtype=np.float64) ** -skew
+    rng = make_rng(None, "zipf-pages", n_pages, skew)
+    rng.shuffle(weights)
+    return weights / weights.sum()
+
+
+def uniform_page_weights(n_pages: int) -> np.ndarray:
+    """Uniform popularity (the GUPS situation: no hot set to find)."""
+    check_positive("n_pages", n_pages)
+    return np.full(n_pages, 1.0 / n_pages)
+
+
+def simulate_migration(
+    page_weights: np.ndarray,
+    policy: MigrationPolicy,
+    *,
+    epochs: int = 20,
+    accesses_per_epoch: int = 200_000,
+    seed: int | None = None,
+) -> MigrationOutcome:
+    """Run the epoch loop.
+
+    Each epoch samples accesses from ``page_weights``, counts per-page
+    frequencies, and applies the policy; the HBM hit fraction is
+    accumulated over all epochs (including the cold start).
+    """
+    weights = np.asarray(page_weights, dtype=np.float64)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValueError("page_weights must be a non-empty 1-D array")
+    if not np.isclose(weights.sum(), 1.0):
+        raise ValueError("page_weights must sum to 1")
+    check_positive("epochs", epochs)
+    check_positive("accesses_per_epoch", accesses_per_epoch)
+    rng = make_rng(seed, "migration", weights.size, epochs)
+
+    n_pages = weights.size
+    resident = np.zeros(n_pages, dtype=bool)
+    hits = 0
+    total = 0
+    migrated = 0
+    hit_history: list[float] = []
+
+    for _ in range(epochs):
+        pages = rng.choice(n_pages, size=accesses_per_epoch, p=weights)
+        counts = np.bincount(pages, minlength=n_pages)
+        epoch_hits = int(counts[resident].sum())
+        hits += epoch_hits
+        total += accesses_per_epoch
+        hit_history.append(epoch_hits / accesses_per_epoch)
+
+        # Promotion candidates: hot non-resident pages.
+        candidates = np.flatnonzero(
+            (~resident) & (counts >= policy.promotion_threshold)
+        )
+        if candidates.size == 0:
+            continue
+        order = candidates[np.argsort(counts[candidates])[::-1]]
+        order = order[: policy.budget_pages_per_epoch]
+        free = policy.hbm_pages - int(resident.sum())
+        promote_into_free = order[:free]
+        resident[promote_into_free] = True
+        migrated += promote_into_free.size
+        overflow = order[free:]
+        if overflow.size:
+            # Demote the coldest resident pages to make room, but only
+            # where the newcomer is strictly hotter.
+            resident_idx = np.flatnonzero(resident)
+            coldest = resident_idx[np.argsort(counts[resident_idx])]
+            swaps = min(overflow.size, coldest.size)
+            hotter = counts[overflow[:swaps]] > counts[coldest[:swaps]]
+            resident[coldest[:swaps][hotter]] = False
+            resident[overflow[:swaps][hotter]] = True
+            migrated += 2 * int(hotter.sum())
+
+    final = hit_history[-1]
+    steady = epochs
+    for i, value in enumerate(hit_history):
+        if abs(value - final) <= 0.01:
+            steady = i
+            break
+    return MigrationOutcome(
+        epochs=epochs,
+        hbm_hit_fraction=hits / total,
+        migrated_pages=migrated,
+        migration_traffic_bytes=migrated * 2 * PAGE_BYTES,
+        steady_state_epoch=steady,
+    )

@@ -1,0 +1,171 @@
+"""MCDRAM memory modes and the assembled memory system.
+
+Section II of the paper: MCDRAM can be configured at boot in three modes —
+
+* **flat**: MCDRAM is a second NUMA node beside DDR (Table II: node 0 =
+  96 GB DDR, node 1 = 16 GB MCDRAM, distances 10/31),
+* **cache**: MCDRAM is an OS-transparent direct-mapped memory-side cache
+  (one NUMA node visible), and
+* **hybrid**: a boot-time split — part cache, part flat node.
+
+Changing mode requires "a system reboot and modification of the BIOS"; in
+the simulation that corresponds to constructing a fresh
+:class:`MemorySystem`, which is exactly as stateless as the paper's
+per-configuration experiment sets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.memory.device import MemoryDevice
+from repro.memory.dram import ddr4_archer
+from repro.memory.mcdram import mcdram_archer
+from repro.memory.mcdram_cache import MCDRAMCacheModel
+from repro.memory.numa import (
+    KNL_REMOTE_DISTANCE,
+    LOCAL_DISTANCE,
+    NUMANode,
+    NUMATopology,
+)
+
+
+class MemoryMode(enum.Enum):
+    """BIOS-selected MCDRAM operating mode."""
+
+    FLAT = "flat"
+    CACHE = "cache"
+    HYBRID = "hybrid"
+
+
+# Hybrid mode on real hardware allows 25%, 50% or 75% of MCDRAM as cache.
+HYBRID_CACHE_FRACTIONS = (0.25, 0.5, 0.75)
+
+
+@dataclass(frozen=True)
+class MCDRAMConfig:
+    """Mode selection plus the hybrid split.
+
+    ``cache_fraction`` is the share of MCDRAM acting as cache: it is forced
+    to 0.0 in flat mode and 1.0 in cache mode, and must be one of
+    :data:`HYBRID_CACHE_FRACTIONS` in hybrid mode (the BIOS only offers
+    quarter steps).
+    """
+
+    mode: MemoryMode = MemoryMode.CACHE
+    cache_fraction: float = 1.0
+    cache_associativity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cache_associativity < 1:
+            raise ValueError(
+                f"cache_associativity must be >= 1, got {self.cache_associativity}"
+            )
+        if self.mode is MemoryMode.FLAT and self.cache_fraction != 0.0:
+            raise ValueError("flat mode requires cache_fraction == 0.0")
+        if self.mode is MemoryMode.CACHE and self.cache_fraction != 1.0:
+            raise ValueError("cache mode requires cache_fraction == 1.0")
+        if (
+            self.mode is MemoryMode.HYBRID
+            and self.cache_fraction not in HYBRID_CACHE_FRACTIONS
+        ):
+            raise ValueError(
+                f"hybrid cache_fraction must be one of {HYBRID_CACHE_FRACTIONS}, "
+                f"got {self.cache_fraction}"
+            )
+
+    @classmethod
+    def flat(cls, *, cache_associativity: int = 1) -> "MCDRAMConfig":
+        return cls(MemoryMode.FLAT, 0.0, cache_associativity)
+
+    @classmethod
+    def cache(cls, *, cache_associativity: int = 1) -> "MCDRAMConfig":
+        return cls(MemoryMode.CACHE, 1.0, cache_associativity)
+
+    @classmethod
+    def hybrid(
+        cls, cache_fraction: float = 0.5, *, cache_associativity: int = 1
+    ) -> "MCDRAMConfig":
+        return cls(MemoryMode.HYBRID, cache_fraction, cache_associativity)
+
+
+class MemorySystem:
+    """The node's memory subsystem under one MCDRAM configuration.
+
+    Exposes the OS-visible NUMA topology (with capacity accounting), the
+    per-node backing devices, and — in cache/hybrid modes — the
+    :class:`MCDRAMCacheModel` standing in front of DDR.
+    """
+
+    def __init__(
+        self,
+        config: MCDRAMConfig,
+        *,
+        dram: MemoryDevice | None = None,
+        mcdram: MemoryDevice | None = None,
+    ) -> None:
+        self.config = config
+        self.dram = dram if dram is not None else ddr4_archer()
+        self.mcdram = mcdram if mcdram is not None else mcdram_archer()
+
+        cache_bytes = int(round(self.mcdram.capacity_bytes * config.cache_fraction))
+        flat_hbm_bytes = self.mcdram.capacity_bytes - cache_bytes
+        self.cache_bytes = cache_bytes
+        self.flat_hbm_bytes = flat_hbm_bytes
+
+        nodes = [NUMANode(0, self.dram, self.dram.capacity_bytes)]
+        if flat_hbm_bytes > 0:
+            nodes.append(NUMANode(1, self.mcdram, flat_hbm_bytes))
+        n = len(nodes)
+        distances = [
+            [LOCAL_DISTANCE if i == j else KNL_REMOTE_DISTANCE for j in range(n)]
+            for i in range(n)
+        ]
+        self.topology = NUMATopology(nodes, distances)
+
+        self.cache_model: MCDRAMCacheModel | None = None
+        if cache_bytes > 0:
+            self.cache_model = MCDRAMCacheModel(
+                self.mcdram,
+                self.dram,
+                capacity_bytes=cache_bytes,
+                associativity=config.cache_associativity,
+            )
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def mode(self) -> MemoryMode:
+        return self.config.mode
+
+    @property
+    def has_flat_hbm(self) -> bool:
+        return self.flat_hbm_bytes > 0
+
+    @property
+    def dram_fronted_by_cache(self) -> bool:
+        """True when accesses to node 0 pass through the MCDRAM cache."""
+        return self.cache_model is not None
+
+    def device_of_node(self, node_id: int) -> MemoryDevice:
+        """The technology backing a NUMA node."""
+        self.topology.node(node_id)
+        return self.dram if node_id == 0 else self.mcdram
+
+    def numactl_hardware(self) -> str:
+        """The `numactl --hardware` distance table (reproduces Table II)."""
+        return self.topology.describe_hardware()
+
+    def describe(self) -> str:
+        parts = [f"MCDRAM mode: {self.mode.value}"]
+        if self.cache_bytes:
+            parts.append(
+                f"cache partition {self.cache_bytes / (1 << 30):.0f} GiB "
+                f"({self.config.cache_associativity}-way)"
+            )
+        if self.flat_hbm_bytes:
+            parts.append(
+                f"flat HBM node {self.flat_hbm_bytes / (1 << 30):.0f} GiB"
+            )
+        parts.append(f"DDR node {self.dram.capacity_bytes / (1 << 30):.0f} GiB")
+        return ", ".join(parts)

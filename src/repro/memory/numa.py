@@ -1,0 +1,155 @@
+"""NUMA nodes, distances and capacity accounting.
+
+This is the layer `numactl --hardware` reads on the real machine: when
+MCDRAM is in flat mode the OS exposes two NUMA nodes (node 0 = 96 GB DDR,
+node 1 = 16 GB MCDRAM, distance 10 local / 31 remote — Table II); in cache
+mode only node 0 exists.
+
+:class:`NUMATopology` also does *capacity accounting*: every simulated
+allocation reserves bytes on a node, and over-subscription raises
+:class:`OutOfNodeMemory`.  This mechanically reproduces the missing
+HBM bars of Fig. 4 ("No measurements for HBM in flat mode when the problem
+size exceeds its capacity").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.device import MemoryDevice
+from repro.util.units import GiB
+from repro.util.validation import check_non_negative
+
+
+class OutOfNodeMemory(MemoryError):
+    """An allocation exceeded a NUMA node's remaining capacity."""
+
+    def __init__(self, node_id: int, requested: int, available: int) -> None:
+        super().__init__(
+            f"NUMA node {node_id}: requested {requested} bytes but only "
+            f"{available} available"
+        )
+        self.node_id = node_id
+        self.requested = requested
+        self.available = available
+
+
+@dataclass
+class NUMANode:
+    """One OS-visible memory node backed by a device (or a slice of one)."""
+
+    node_id: int
+    device: MemoryDevice
+    capacity_bytes: int
+    used_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        check_non_negative("capacity_bytes", self.capacity_bytes)
+        check_non_negative("used_bytes", self.used_bytes)
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be >= 0, got {self.node_id}")
+        if self.capacity_bytes > self.device.capacity_bytes:
+            raise ValueError(
+                f"node capacity {self.capacity_bytes} exceeds device capacity "
+                f"{self.device.capacity_bytes}"
+            )
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def reserve(self, num_bytes: int) -> None:
+        """Account an allocation; raises :class:`OutOfNodeMemory` on overflow."""
+        check_non_negative("num_bytes", num_bytes)
+        if num_bytes > self.free_bytes:
+            raise OutOfNodeMemory(self.node_id, num_bytes, self.free_bytes)
+        self.used_bytes += num_bytes
+
+    def release(self, num_bytes: int) -> None:
+        """Return bytes to the node; raises on underflow (double free)."""
+        check_non_negative("num_bytes", num_bytes)
+        if num_bytes > self.used_bytes:
+            raise ValueError(
+                f"NUMA node {self.node_id}: releasing {num_bytes} bytes but "
+                f"only {self.used_bytes} in use"
+            )
+        self.used_bytes -= num_bytes
+
+
+# numactl reports these two constants on KNL: 10 within a node, 31 between
+# the DDR node and the MCDRAM node (Table II of the paper).
+LOCAL_DISTANCE = 10
+KNL_REMOTE_DISTANCE = 31
+
+
+class NUMATopology:
+    """A set of NUMA nodes plus the numactl distance matrix."""
+
+    def __init__(
+        self,
+        nodes: list[NUMANode],
+        distances: list[list[int]] | None = None,
+    ) -> None:
+        if not nodes:
+            raise ValueError("topology needs at least one node")
+        ids = [n.node_id for n in nodes]
+        if ids != list(range(len(nodes))):
+            raise ValueError(f"node ids must be 0..{len(nodes) - 1}, got {ids}")
+        self.nodes = list(nodes)
+        n = len(nodes)
+        if distances is None:
+            distances = [
+                [
+                    LOCAL_DISTANCE if i == j else KNL_REMOTE_DISTANCE
+                    for j in range(n)
+                ]
+                for i in range(n)
+            ]
+        if len(distances) != n or any(len(row) != n for row in distances):
+            raise ValueError("distance matrix shape must match node count")
+        for i in range(n):
+            if distances[i][i] != LOCAL_DISTANCE:
+                raise ValueError("self-distance must be 10 (numactl convention)")
+            for j in range(n):
+                if distances[i][j] != distances[j][i]:
+                    raise ValueError("distance matrix must be symmetric")
+                if distances[i][j] < LOCAL_DISTANCE:
+                    raise ValueError("distances must be >= 10")
+        self.distances = [row[:] for row in distances]
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> NUMANode:
+        if not 0 <= node_id < len(self.nodes):
+            raise ValueError(
+                f"no NUMA node {node_id}; topology has nodes "
+                f"0..{len(self.nodes) - 1}"
+            )
+        return self.nodes[node_id]
+
+    def distance(self, a: int, b: int) -> int:
+        self.node(a), self.node(b)
+        return self.distances[a][b]
+
+    def total_capacity_bytes(self) -> int:
+        return sum(n.capacity_bytes for n in self.nodes)
+
+    def total_free_bytes(self) -> int:
+        return sum(n.free_bytes for n in self.nodes)
+
+    def describe_hardware(self) -> str:
+        """Render the `numactl --hardware` style distance table (Table II)."""
+        header = ["Distances:"] + [
+            f"{n.node_id} ({n.capacity_bytes // GiB} GB)" for n in self.nodes
+        ]
+        widths = [len(h) for h in header]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+        for i, row in enumerate(self.distances):
+            cells = [str(i).ljust(widths[0])] + [
+                str(d).ljust(w) for d, w in zip(row, widths[1:])
+            ]
+            lines.append("  ".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Placement policies mirroring numactl semantics.
+
+The paper's three configurations are expressed through these policies:
+
+* ``DRAM``  = flat mode + :class:`Membind` (node 0),
+* ``HBM``   = flat mode + :class:`Membind` (node 1),
+* ``Cache`` = cache mode + :class:`Membind` (node 0), the only node.
+
+:class:`Interleave` covers the paper's Section IV-C remark about running
+problems larger than either memory by interleaving pages across both, and
+:class:`Preferred` is the memkind ``HBW_PREFERRED`` fallback behaviour.
+
+A policy, given a topology and a request size, yields the per-node byte
+split; strict policies raise :class:`~repro.memory.numa.OutOfNodeMemory`
+through the node accounting, while ``Preferred`` falls back.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.memory.numa import NUMATopology, OutOfNodeMemory
+from repro.util.validation import check_non_negative
+
+
+class PlacementPolicy(abc.ABC):
+    """Strategy deciding which NUMA node(s) back an allocation."""
+
+    @abc.abstractmethod
+    def split(self, topology: NUMATopology, num_bytes: int) -> dict[int, int]:
+        """Return ``{node_id: bytes}`` for an allocation of ``num_bytes``.
+
+        The split must sum to ``num_bytes``.  Implementations may raise
+        :class:`OutOfNodeMemory` for strict bindings that cannot be
+        satisfied; they must *not* mutate node accounting (the allocator
+        reserves after a successful split).
+        """
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """numactl-style rendering, e.g. ``--membind=1``."""
+
+
+@dataclass(frozen=True)
+class Membind(PlacementPolicy):
+    """Strict binding to one node (``numactl --membind=N``)."""
+
+    node_id: int
+
+    def split(self, topology: NUMATopology, num_bytes: int) -> dict[int, int]:
+        check_non_negative("num_bytes", num_bytes)
+        node = topology.node(self.node_id)
+        if num_bytes > node.free_bytes:
+            raise OutOfNodeMemory(self.node_id, num_bytes, node.free_bytes)
+        return {self.node_id: num_bytes}
+
+    def describe(self) -> str:
+        return f"--membind={self.node_id}"
+
+
+@dataclass(frozen=True)
+class Preferred(PlacementPolicy):
+    """Prefer one node, overflow to the others (``numactl --preferred=N``).
+
+    Overflow goes to the remaining nodes in id order, matching Linux's
+    default fallback ordering on a two-node KNL.
+    """
+
+    node_id: int
+
+    def split(self, topology: NUMATopology, num_bytes: int) -> dict[int, int]:
+        check_non_negative("num_bytes", num_bytes)
+        topology.node(self.node_id)
+        remaining = num_bytes
+        split: dict[int, int] = {}
+        order = [self.node_id] + [
+            n.node_id for n in topology.nodes if n.node_id != self.node_id
+        ]
+        for node_id in order:
+            if remaining == 0:
+                break
+            take = min(remaining, topology.node(node_id).free_bytes)
+            if take:
+                split[node_id] = take
+                remaining -= take
+        if remaining:
+            raise OutOfNodeMemory(self.node_id, num_bytes, num_bytes - remaining)
+        return split
+
+    def describe(self) -> str:
+        return f"--preferred={self.node_id}"
+
+
+@dataclass(frozen=True)
+class Interleave(PlacementPolicy):
+    """Round-robin pages over a node set (``numactl --interleave=...``).
+
+    The byte split is proportional to equal page shares, truncated by each
+    node's free space; a node running out redirects its share to the
+    remaining nodes (Linux behaviour).
+    """
+
+    node_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.node_ids:
+            raise ValueError("interleave needs at least one node")
+        if len(set(self.node_ids)) != len(self.node_ids):
+            raise ValueError(f"duplicate node ids: {self.node_ids}")
+
+    def split(self, topology: NUMATopology, num_bytes: int) -> dict[int, int]:
+        check_non_negative("num_bytes", num_bytes)
+        for node_id in self.node_ids:
+            topology.node(node_id)
+        active = list(self.node_ids)
+        split = {node_id: 0 for node_id in active}
+        remaining = num_bytes
+        while remaining and active:
+            share, leftover = divmod(remaining, len(active))
+            progressed = False
+            next_active: list[int] = []
+            for idx, node_id in enumerate(active):
+                want = share + (1 if idx < leftover else 0)
+                room = topology.node(node_id).free_bytes - split[node_id]
+                take = min(want, room)
+                split[node_id] += take
+                remaining -= take
+                if take:
+                    progressed = True
+                if room - take > 0:
+                    next_active.append(node_id)
+            active = next_active
+            if not progressed and remaining:
+                break
+        if remaining:
+            raise OutOfNodeMemory(self.node_ids[0], num_bytes, num_bytes - remaining)
+        return {k: v for k, v in split.items() if v}
+
+    def describe(self) -> str:
+        return "--interleave=" + ",".join(str(n) for n in self.node_ids)
+
+
+@dataclass(frozen=True)
+class DefaultLocal(PlacementPolicy):
+    """First-touch local allocation (no numactl).
+
+    On the KNL testbed threads run on the cores, whose local node is the
+    DDR node in both flat and cache modes, so default-local behaves like
+    ``Membind(0)`` with ``Preferred``-style overflow to other nodes.
+    """
+
+    def split(self, topology: NUMATopology, num_bytes: int) -> dict[int, int]:
+        return Preferred(0).split(topology, num_bytes)
+
+    def describe(self) -> str:
+        return "(default local)"

@@ -1,0 +1,128 @@
+"""TLB and page-walk model.
+
+Fig. 3 of the paper notes that beyond 128 MB the measured random-read
+latency "includes effects from cache misses, TLB misses and page walk".
+This module models the KNL address-translation path:
+
+* a first-level DTLB (64 entries x 4 KB pages = 256 KB coverage),
+* a second-level TLB (256 entries, 1 MB coverage with 4 KB pages), and
+* a hardware page walker whose accesses themselves hit in the cache
+  hierarchy while the page tables are small and fall out to memory as the
+  footprint grows — page walks to a slower memory are slower, which keeps
+  the DRAM-vs-HBM latency gap alive at gigabyte block sizes.
+
+The output is an *additional* average latency per random access as a
+function of block size and backing-memory latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.units import KiB, MiB
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class TLBModel:
+    """Two-level TLB with a hardware page walker.
+
+    Parameters
+    ----------
+    l1_entries, l2_entries:
+        TLB entry counts (KNL: 64 / 256 for 4 KB pages).
+    page_bytes:
+        Page size used for translations (the testbed ran 4 KB pages; pass
+        2 MiB to model hugepage runs).
+    l2_tlb_hit_ns:
+        Cost of an L1-TLB miss that hits the second-level TLB.
+    walk_levels:
+        Page-table levels walked on a full miss (4 on x86-64).
+    walk_cache_coverage_bytes:
+        Footprint up to which walker accesses mostly hit cached page-table
+        entries (the mesh L2 caching the page tables).
+    walk_overlap:
+        Fraction of walk time *not* hidden under the data access.
+    """
+
+    l1_entries: int = 64
+    l2_entries: int = 256
+    page_bytes: int = 4 * KiB
+    l2_tlb_hit_ns: float = 8.0
+    walk_levels: int = 4
+    walk_cache_coverage_bytes: int = 64 * MiB
+    walk_overlap: float = 0.85
+
+    def __post_init__(self) -> None:
+        check_positive("l1_entries", self.l1_entries)
+        check_positive("l2_entries", self.l2_entries)
+        check_positive("page_bytes", self.page_bytes)
+        check_non_negative("l2_tlb_hit_ns", self.l2_tlb_hit_ns)
+        check_positive("walk_levels", self.walk_levels)
+        check_positive("walk_cache_coverage_bytes", self.walk_cache_coverage_bytes)
+        if not 0.0 <= self.walk_overlap <= 1.0:
+            raise ValueError(f"walk_overlap must be in [0, 1], got {self.walk_overlap}")
+
+    # -- coverage -----------------------------------------------------------
+    @property
+    def l1_coverage_bytes(self) -> int:
+        return self.l1_entries * self.page_bytes
+
+    @property
+    def l2_coverage_bytes(self) -> int:
+        return self.l2_entries * self.page_bytes
+
+    def l1_miss_rate(self, footprint_bytes: int) -> float:
+        """Probability a random access misses the first-level TLB."""
+        check_non_negative("footprint_bytes", footprint_bytes)
+        if footprint_bytes <= self.l1_coverage_bytes:
+            return 0.0
+        return 1.0 - self.l1_coverage_bytes / footprint_bytes
+
+    def l2_miss_rate(self, footprint_bytes: int) -> float:
+        """Probability a random access misses both TLB levels."""
+        check_non_negative("footprint_bytes", footprint_bytes)
+        if footprint_bytes <= self.l2_coverage_bytes:
+            return 0.0
+        return 1.0 - self.l2_coverage_bytes / footprint_bytes
+
+    # -- cost -----------------------------------------------------------------
+    def walk_depth(self, footprint_bytes: int) -> float:
+        """Average page-table levels that fall out of the walker caches.
+
+        While the leaf tables fit in the mesh L2 (below
+        ``walk_cache_coverage_bytes`` of mapped data) walks cost cache
+        hits; each doubling beyond pushes roughly half a level out to
+        memory, saturating at ``walk_levels`` (at extreme footprints even
+        the upper levels fall out of cache between touches — this slow
+        tail is the gentle large-size decline of Figs. 4d/4e).
+        """
+        check_non_negative("footprint_bytes", footprint_bytes)
+        if footprint_bytes <= self.walk_cache_coverage_bytes:
+            return 0.0
+        doublings = math.log2(footprint_bytes / self.walk_cache_coverage_bytes)
+        return min(float(self.walk_levels), 0.5 * doublings)
+
+    def translation_overhead_ns(
+        self,
+        footprint_bytes: int,
+        memory_latency_ns: float,
+        cached_walk_ns: float = 40.0,
+    ) -> float:
+        """Average added latency per random access from address translation.
+
+        Three contributions: L1-TLB misses that hit the L2 TLB, L2-TLB
+        misses whose walk stays in cache (``cached_walk_ns``), and the
+        memory-resident share of deep walks, priced at the backing memory's
+        latency per level.
+        """
+        check_positive("memory_latency_ns", memory_latency_ns)
+        check_non_negative("cached_walk_ns", cached_walk_ns)
+        l1_miss = self.l1_miss_rate(footprint_bytes)
+        l2_miss = self.l2_miss_rate(footprint_bytes)
+        depth = self.walk_depth(footprint_bytes)
+        stlb_term = (l1_miss - l2_miss) * self.l2_tlb_hit_ns
+        cached_walk_term = l2_miss * cached_walk_ns
+        memory_walk_term = l2_miss * depth * memory_latency_ns * self.walk_overlap
+        return stlb_term + cached_walk_term + memory_walk_term

@@ -1,0 +1,19 @@
+"""Simulated OS/runtime layer.
+
+The paper drives its experiments with `numactl` and OpenMP environment
+variables on a Linux node.  This subpackage provides the equivalents over
+the simulated machine:
+
+* :mod:`repro.runtime.simos` — a :class:`SimulatedOS` owning the memory
+  system, the heap allocator, and process state.
+* :mod:`repro.runtime.numactl` — the `numactl` command emulation
+  (``--hardware``, ``--membind``, ``--preferred``, ``--interleave``).
+* :mod:`repro.runtime.process` — OpenMP-style thread configuration and
+  placement (OMP_NUM_THREADS, compact affinity).
+"""
+
+from repro.runtime.simos import SimulatedOS
+from repro.runtime.numactl import Numactl, NumactlError
+from repro.runtime.process import OpenMPEnvironment
+
+__all__ = ["SimulatedOS", "Numactl", "NumactlError", "OpenMPEnvironment"]

@@ -1,0 +1,85 @@
+"""`numactl` emulation over the simulated NUMA topology.
+
+Supports the subset of numactl the paper uses (Section III-C):
+
+* ``numactl --hardware`` — the distance/capacity table (Table II),
+* ``numactl --membind=N`` — strict binding,
+* ``numactl --preferred=N`` — preferred binding with fallback,
+* ``numactl --interleave=a,b`` — page interleaving.
+
+:meth:`Numactl.parse` accepts the command-line string form so experiment
+configs can be written exactly as the paper writes them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.memory.numa import NUMATopology
+from repro.memory.policy import (
+    DefaultLocal,
+    Interleave,
+    Membind,
+    PlacementPolicy,
+    Preferred,
+)
+
+
+class NumactlError(ValueError):
+    """Malformed numactl invocation or unknown node."""
+
+
+_FLAG_RE = re.compile(
+    r"^--(?P<flag>membind|preferred|interleave)=(?P<arg>[\d,]+)$"
+)
+
+
+@dataclass(frozen=True)
+class Numactl:
+    """A parsed numactl policy bound to a topology."""
+
+    topology: NUMATopology
+    policy: PlacementPolicy
+
+    @classmethod
+    def parse(cls, topology: NUMATopology, command: str) -> "Numactl":
+        """Parse e.g. ``"--membind=1"`` or ``"--interleave=0,1"``.
+
+        An empty command yields the default-local policy.  Node ids are
+        validated against the topology — binding to the HBM node of a
+        cache-mode system fails here, like on the real machine.
+        """
+        command = command.strip()
+        if not command:
+            return cls(topology, DefaultLocal())
+        match = _FLAG_RE.match(command)
+        if match is None:
+            raise NumactlError(f"unsupported numactl invocation: {command!r}")
+        flag = match.group("flag")
+        try:
+            node_ids = tuple(int(tok) for tok in match.group("arg").split(","))
+        except ValueError as exc:
+            raise NumactlError(f"bad node list in {command!r}") from exc
+        for node_id in node_ids:
+            if not 0 <= node_id < topology.num_nodes:
+                raise NumactlError(
+                    f"{command}: node {node_id} does not exist "
+                    f"(topology has {topology.num_nodes} node(s))"
+                )
+        if flag == "membind":
+            if len(node_ids) != 1:
+                raise NumactlError("--membind takes exactly one node")
+            return cls(topology, Membind(node_ids[0]))
+        if flag == "preferred":
+            if len(node_ids) != 1:
+                raise NumactlError("--preferred takes exactly one node")
+            return cls(topology, Preferred(node_ids[0]))
+        return cls(topology, Interleave(node_ids))
+
+    def hardware(self) -> str:
+        """``numactl --hardware`` output (Table II of the paper)."""
+        return self.topology.describe_hardware()
+
+    def describe(self) -> str:
+        return f"numactl {self.policy.describe()}"

@@ -1,0 +1,57 @@
+"""OpenMP-style thread environment.
+
+The paper controls threading with ``OMP_NUM_THREADS`` (64/128/192/256) and
+compact placement.  :class:`OpenMPEnvironment` validates a thread count
+against a machine and exposes the resulting placement, which the
+performance engine consumes (threads per core drive both SMT issue scaling
+and memory-level parallelism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.topology import KNLMachine, ThreadPlacement
+
+
+@dataclass(frozen=True)
+class OpenMPEnvironment:
+    """Thread count + placement over a machine.
+
+    ``affinity`` is informational; only compact placement (the paper's
+    setup) is modelled.
+    """
+
+    machine: KNLMachine
+    num_threads: int
+    affinity: str = "compact"
+
+    def __post_init__(self) -> None:
+        # Validates the count against the machine capacity.
+        self.machine.place_threads(self.num_threads)
+        if self.affinity != "compact":
+            raise ValueError(
+                f"only compact affinity is modelled, got {self.affinity!r}"
+            )
+
+    @property
+    def placement(self) -> ThreadPlacement:
+        return self.machine.place_threads(self.num_threads)
+
+    @property
+    def threads_per_core(self) -> int:
+        """Hardware threads per active core (the dominant, rounded-up
+        level; 65 threads on 64 cores counts as 2)."""
+        return self.placement.max_threads_per_core
+
+    @property
+    def active_cores(self) -> int:
+        return self.placement.active_cores
+
+    def env(self) -> dict[str, str]:
+        """The environment variables an equivalent real run would export."""
+        return {
+            "OMP_NUM_THREADS": str(self.num_threads),
+            "OMP_PROC_BIND": "close",
+            "OMP_PLACES": "threads",
+        }

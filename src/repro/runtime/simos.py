@@ -1,0 +1,103 @@
+"""A simulated OS instance: machine + memory system + allocator + threads.
+
+:class:`SimulatedOS` is what an "execution" binds to.  It provides:
+
+* NUMA discovery (``numactl --hardware``),
+* policy-controlled allocation via the memkind-style heap allocator,
+* OpenMP thread environment handling, and
+* a context-manager allocation scope so experiment sweeps can't leak
+  simulated memory between runs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterator
+
+from repro.machine.presets import knl7210
+from repro.machine.topology import KNLMachine
+from repro.memory.allocator import Allocation, HeapAllocator, Kind
+from repro.memory.modes import MCDRAMConfig, MemorySystem
+from repro.memory.policy import PlacementPolicy
+from repro.runtime.numactl import Numactl
+from repro.runtime.process import OpenMPEnvironment
+
+
+class SimulatedOS:
+    """One booted node: a machine plus a memory-mode configuration.
+
+    Rebooting into a different MCDRAM mode means constructing a new
+    instance, mirroring the BIOS-reconfiguration cost the paper describes.
+    """
+
+    def __init__(
+        self,
+        memory_config: MCDRAMConfig | None = None,
+        *,
+        machine: KNLMachine | None = None,
+        memory: MemorySystem | None = None,
+    ) -> None:
+        if memory is not None and memory_config is not None:
+            raise ValueError("pass either memory_config or memory, not both")
+        self.machine = machine if machine is not None else knl7210()
+        self.memory = (
+            memory
+            if memory is not None
+            else MemorySystem(memory_config or MCDRAMConfig.cache())
+        )
+        self.allocator = HeapAllocator(self.memory.topology)
+
+    # -- numactl -----------------------------------------------------------
+    def numactl(self, command: str = "") -> Numactl:
+        """Parse a numactl invocation against this node's topology."""
+        return Numactl.parse(self.memory.topology, command)
+
+    def numactl_hardware(self) -> str:
+        return self.memory.numactl_hardware()
+
+    # -- threads -----------------------------------------------------------
+    def openmp(self, num_threads: int) -> OpenMPEnvironment:
+        """Build the OpenMP environment for a run on this node."""
+        return OpenMPEnvironment(self.machine, num_threads)
+
+    # -- allocation -----------------------------------------------------------
+    def malloc(
+        self,
+        name: str,
+        num_bytes: int,
+        *,
+        kind: Kind | None = None,
+        policy: PlacementPolicy | None = None,
+        numactl: str | None = None,
+    ) -> Allocation:
+        """Allocate through the heap allocator.
+
+        ``numactl`` is a convenience accepting the command-line string form
+        (mutually exclusive with ``kind``/``policy``).
+        """
+        if numactl is not None:
+            if kind is not None or policy is not None:
+                raise ValueError("numactl is exclusive with kind/policy")
+            policy = self.numactl(numactl).policy
+        return self.allocator.malloc(name, num_bytes, kind=kind, policy=policy)
+
+    def free(self, allocation: Allocation) -> None:
+        self.allocator.free(allocation)
+
+    @contextlib.contextmanager
+    def allocation_scope(self) -> Iterator[HeapAllocator]:
+        """Context manager releasing all allocations made inside it.
+
+        Uses a simple watermark: allocations live at entry are preserved,
+        everything allocated inside is freed on exit (even on error).
+        """
+        before = {a.alloc_id for a in self.allocator.live_allocations}
+        try:
+            yield self.allocator
+        finally:
+            for allocation in list(self.allocator.live_allocations):
+                if allocation.alloc_id not in before:
+                    self.allocator.free(allocation)
+
+    def describe(self) -> str:
+        return f"{self.machine.describe()}\n{self.memory.describe()}"

@@ -1,0 +1,120 @@
+"""Terminal line charts.
+
+The figure generators can render their series as ASCII charts so the shape
+of each reproduced exhibit (crossover points, saturation, who-wins ordering)
+is visible directly in benchmark output without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+class AsciiChart:
+    """Plot one or more (x, y) series on a shared character grid.
+
+    Series are drawn with distinct glyphs; overlapping points show the glyph
+    of the *last* series added (documented, deterministic).  X positions are
+    mapped onto the column grid by nearest-column; this is a sketch, not a
+    plotting library.
+    """
+
+    GLYPHS = "*o+x#@%&"
+
+    def __init__(
+        self,
+        *,
+        width: int = 72,
+        height: int = 18,
+        title: str | None = None,
+        ylabel: str = "",
+        xlabel: str = "",
+        logx: bool = False,
+    ) -> None:
+        if width < 16 or height < 4:
+            raise ValueError("chart must be at least 16x4 characters")
+        self.width = width
+        self.height = height
+        self.title = title
+        self.ylabel = ylabel
+        self.xlabel = xlabel
+        self.logx = logx
+        self._series: list[tuple[str, list[float], list[float]]] = []
+
+    def add_series(
+        self, name: str, xs: Sequence[float], ys: Sequence[float]
+    ) -> None:
+        """Add a named series; NaN y-values are skipped when drawing."""
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have the same length")
+        if not xs:
+            raise ValueError("series must be non-empty")
+        if len(self._series) >= len(self.GLYPHS):
+            raise ValueError("too many series for distinct glyphs")
+        self._series.append((name, [float(x) for x in xs], [float(y) for y in ys]))
+
+    def _xpos(self, x: float, xmin: float, xmax: float) -> int:
+        if self.logx:
+            x, xmin, xmax = math.log10(x), math.log10(xmin), math.log10(xmax)
+        if xmax == xmin:
+            return 0
+        frac = (x - xmin) / (xmax - xmin)
+        return min(self.width - 1, max(0, int(round(frac * (self.width - 1)))))
+
+    def render(self) -> str:
+        """Render the chart; raises if no series were added."""
+        if not self._series:
+            raise ValueError("nothing to plot")
+        all_x = [x for _, xs, _ in self._series for x in xs]
+        all_y = [
+            y for _, _, ys in self._series for y in ys if not math.isnan(y)
+        ]
+        if not all_y:
+            raise ValueError("all points are NaN")
+        xmin, xmax = min(all_x), max(all_x)
+        ymin, ymax = min(all_y), max(all_y)
+        if ymax == ymin:
+            ymax = ymin + 1.0
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for idx, (_, xs, ys) in enumerate(self._series):
+            glyph = self.GLYPHS[idx]
+            for x, y in zip(xs, ys):
+                if math.isnan(y):
+                    continue
+                col = self._xpos(x, xmin, xmax)
+                frac = (y - ymin) / (ymax - ymin)
+                row = self.height - 1 - int(round(frac * (self.height - 1)))
+                grid[row][col] = glyph
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        legend = "  ".join(
+            f"{self.GLYPHS[i]}={name}" for i, (name, _, _) in enumerate(self._series)
+        )
+        lines.append(legend)
+        ytop = f"{ymax:.3g}"
+        ybot = f"{ymin:.3g}"
+        label_w = max(len(ytop), len(ybot), len(self.ylabel)) + 1
+        for r, row in enumerate(grid):
+            if r == 0:
+                prefix = ytop.rjust(label_w)
+            elif r == self.height - 1:
+                prefix = ybot.rjust(label_w)
+            elif r == self.height // 2 and self.ylabel:
+                prefix = self.ylabel.rjust(label_w)
+            else:
+                prefix = " " * label_w
+            lines.append(f"{prefix}|{''.join(row)}")
+        lines.append(" " * label_w + "+" + "-" * self.width)
+        xleft = f"{xmin:.3g}"
+        xright = f"{xmax:.3g}"
+        gap = self.width - len(xleft) - len(xright)
+        xaxis = " " * (label_w + 1) + xleft + " " * max(1, gap) + xright
+        lines.append(xaxis)
+        if self.xlabel:
+            lines.append(" " * (label_w + 1) + self.xlabel.center(self.width))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

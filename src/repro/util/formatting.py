@@ -1,0 +1,64 @@
+"""Human-readable quantity formatting for harness and CLI output."""
+
+from __future__ import annotations
+
+import math
+
+_SI_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "µ"),
+    (1e-9, "n"),
+]
+
+
+def si_prefix(value: float) -> tuple[float, str]:
+    """Return ``(scaled_value, prefix)`` for an SI-scaled rendering.
+
+    Zero maps to ``(0.0, "")``; values below 1e-9 keep the nano prefix.
+    """
+    if value == 0:
+        return 0.0, ""
+    magnitude = abs(value)
+    for factor, prefix in _SI_PREFIXES:
+        if magnitude >= factor:
+            return value / factor, prefix
+    return value / 1e-9, "n"
+
+
+def format_quantity(value: float, unit: str = "", *, precision: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_quantity(2.5e8, "TEPS")
+    -> '250 MTEPS'``."""
+    if math.isnan(value):
+        return "nan"
+    scaled, prefix = si_prefix(value)
+    text = f"{scaled:.{precision}g}"
+    suffix = f" {prefix}{unit}".rstrip()
+    return f"{text}{suffix}" if suffix else text
+
+
+def format_rate(bytes_per_s: float, *, precision: int = 1) -> str:
+    """Format a bandwidth in decimal GB/s, the unit used by every figure."""
+    return f"{bytes_per_s / 1e9:.{precision}f} GB/s"
+
+
+def format_time_ns(ns: float, *, precision: int = 1) -> str:
+    """Format a duration given in nanoseconds, choosing ns/µs/ms/s."""
+    if math.isnan(ns):
+        return "nan"
+    if ns < 1e3:
+        return f"{ns:.{precision}f} ns"
+    if ns < 1e6:
+        return f"{ns / 1e3:.{precision}f} µs"
+    if ns < 1e9:
+        return f"{ns / 1e6:.{precision}f} ms"
+    return f"{ns / 1e9:.{precision}f} s"
+
+
+def format_ratio(ratio: float, *, precision: int = 2) -> str:
+    """Format a speedup/improvement factor the way the paper writes it (3.8x)."""
+    return f"{ratio:.{precision}f}x"

@@ -1,0 +1,94 @@
+"""Plain-text table rendering.
+
+The benchmark harness prints the same rows the paper's tables/figures report;
+:class:`TextTable` is the single rendering path so all exhibits share a
+format.  No third-party dependency (tabulate etc. is not available offline).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+
+class TextTable:
+    """A minimal monospace table builder.
+
+    >>> t = TextTable(["size", "DRAM", "HBM"], title="Fig. 2")
+    >>> t.add_row(["2 GiB", "77.0", "330.0"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        *,
+        title: str | None = None,
+        align: Sequence[str] | None = None,
+    ) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        if align is None:
+            align = ["l"] + ["r"] * (len(columns) - 1)
+        if len(align) != len(columns):
+            raise ValueError(
+                f"align has {len(align)} entries for {len(columns)} columns"
+            )
+        for a in align:
+            if a not in ("l", "r", "c"):
+                raise ValueError(f"alignment must be l/r/c, got {a!r}")
+        self.align = list(align)
+        self._rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        """Append a row; cells are str()-ified, None renders as '-'."""
+        cells = ["-" if cell is None else str(cell) for cell in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells for {len(self.columns)} columns"
+            )
+        self._rows.append(cells)
+
+    def add_rows(self, rows: Iterable[Iterable[Any]]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    @property
+    def nrows(self) -> int:
+        return len(self._rows)
+
+    def _pad(self, text: str, width: int, align: str) -> str:
+        if align == "l":
+            return text.ljust(width)
+        if align == "r":
+            return text.rjust(width)
+        return text.center(width)
+
+    def render(self) -> str:
+        """Render the table as a string (no trailing newline)."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "+".join("-" * (w + 2) for w in widths)
+        header = " | ".join(
+            self._pad(c, w, "c") for c, w in zip(self.columns, widths)
+        )
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(header)
+        lines.append(sep)
+        for row in self._rows:
+            lines.append(
+                " | ".join(
+                    self._pad(cell, w, a)
+                    for cell, w, a in zip(row, widths, self.align)
+                )
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,117 @@
+"""Unit conventions and conversions.
+
+Conventions used throughout the package (documented once, here):
+
+* **Capacities and footprints** are binary: ``GiB = 2**30`` bytes.  The
+  paper writes "16 GB MCDRAM" and "96 GB DDR"; those are device capacities
+  and are treated as GiB (the KNL 7210 really ships 16 GiB of MCDRAM).
+* **Bandwidths** are decimal: ``GB/s = 1e9`` bytes per second, matching how
+  STREAM and vendor datasheets report them (77 GB/s, 330 GB/s, ...).
+* **Time** is kept in nanoseconds (floats) inside the performance engine;
+  seconds only appear at the reporting boundary.
+* **Cache lines** are 64 bytes everywhere on KNL.
+
+These choices make the paper's numbers round-trip exactly: a 16 GiB MCDRAM
+footprint ratio of 0.5 corresponds to the paper's "8 GB" STREAM point.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Binary byte units (capacities).
+KiB: int = 1 << 10
+MiB: int = 1 << 20
+GiB: int = 1 << 30
+TiB: int = 1 << 40
+
+# Decimal byte units (rates, sizes quoted decimally).
+KB: int = 10**3
+MB: int = 10**6
+GB: int = 10**9
+
+# Time conversion factors.
+NS_PER_S: float = 1e9
+US_PER_S: float = 1e6
+MS_PER_S: float = 1e3
+
+# KNL cache-line size in bytes (L1, L2 and the MCDRAM cache all use 64 B).
+CACHE_LINE: int = 64
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>[0-9]*\.?[0-9]+)\s*(?P<unit>[KMGT]i?B|B)?\s*$",
+    re.IGNORECASE,
+)
+
+_UNIT_FACTORS = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": 10**12,
+    "kib": KiB,
+    "mib": MiB,
+    "gib": GiB,
+    "tib": TiB,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size like ``"11.4 GiB"`` or ``"256KB"`` to bytes.
+
+    Integers/floats pass through unchanged (interpreted as bytes).  A bare
+    number with no unit is taken as bytes.  Raises :class:`ValueError` for
+    malformed strings or negative values.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text!r}")
+        return int(text)
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"unparseable size: {text!r}")
+    value = float(match.group("num"))
+    unit = (match.group("unit") or "B").lower()
+    return int(round(value * _UNIT_FACTORS[unit]))
+
+
+def format_size(num_bytes: float, *, binary: bool = True, precision: int = 1) -> str:
+    """Render a byte count with the largest sensible unit.
+
+    ``binary=True`` (default) renders KiB/MiB/GiB; ``binary=False`` renders
+    decimal KB/MB/GB, which matches how the paper labels figure axes.
+    """
+    if num_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {num_bytes!r}")
+    step = 1024.0 if binary else 1000.0
+    units = ["B", "KiB", "MiB", "GiB", "TiB"] if binary else ["B", "KB", "MB", "GB", "TB"]
+    value = float(num_bytes)
+    for unit in units[:-1]:
+        if value < step:
+            return f"{value:.{precision}f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= step
+    return f"{value:.{precision}f} {units[-1]}"
+
+
+def bytes_to_gib(num_bytes: float) -> float:
+    """Convert bytes to binary gibibytes."""
+    return float(num_bytes) / GiB
+
+
+def gib_to_bytes(gib: float) -> int:
+    """Convert binary gibibytes to bytes (rounded to the nearest byte)."""
+    if gib < 0:
+        raise ValueError(f"size must be non-negative, got {gib!r}")
+    return int(round(gib * GiB))
+
+
+def bytes_to_gb(num_bytes: float) -> float:
+    """Convert bytes to decimal gigabytes (figure-axis units)."""
+    return float(num_bytes) / GB
+
+
+def gb_to_bytes(gb: float) -> int:
+    """Convert decimal gigabytes to bytes (rounded to the nearest byte)."""
+    if gb < 0:
+        raise ValueError(f"size must be non-negative, got {gb!r}")
+    return int(round(gb * GB))

@@ -1,0 +1,45 @@
+"""Argument-validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+from collections.abc import Container
+from typing import Any, TypeVar
+
+T = TypeVar("T")
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; returns the value for inline use."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in(name: str, value: T, allowed: Container[T]) -> T:
+    """Require membership in ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value
+
+
+def check_type(name: str, value: Any, types: type | tuple[type, ...]) -> Any:
+    """Require ``isinstance(value, types)``."""
+    if not isinstance(value, types):
+        raise TypeError(
+            f"{name} must be {types!r}, got {type(value).__name__} ({value!r})"
+        )
+    return value

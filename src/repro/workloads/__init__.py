@@ -1,0 +1,53 @@
+"""Benchmark and application implementations (Table I plus the two
+micro-benchmarks).
+
+Every workload has two faces:
+
+* **functional** — the algorithm really runs (vectorized numpy), at any
+  size that fits the host, with validated results; tests exercise this.
+* **profiled** — the same parameterization yields a
+  :class:`~repro.engine.profilephase.MemoryProfile` derived from the data
+  structures (array sizes, nnz, edge counts, lookup counts), which the
+  performance engine turns into the paper's metrics at full testbed scale.
+
+Workloads:
+
+======================  ==========  ==========  =======================
+workload                type        pattern     metric
+======================  ==========  ==========  =======================
+STREAM                  micro       sequential  GB/s (triad)
+TinyMemBench            micro       random      dual random read ns
+DGEMM                   scientific  sequential  GFLOPS
+MiniFE                  scientific  sequential  CG MFLOPS
+GUPS                    analytics   random      giga-updates/s
+Graph500                analytics   random      TEPS
+XSBench                 scientific  random      lookups/s
+======================  ==========  ==========  =======================
+"""
+
+from repro.workloads.base import WorkloadSpec, Workload, ExecutionResult
+from repro.workloads.stream import StreamBenchmark, StreamKernel
+from repro.workloads.tinymembench import TinyMemBench
+from repro.workloads.dgemm import DGEMM
+from repro.workloads.gups import GUPS
+from repro.workloads.minife import MiniFE
+from repro.workloads.graph500 import Graph500
+from repro.workloads.xsbench import XSBench
+from repro.workloads.registry import WORKLOADS, get_workload, table1_rows
+
+__all__ = [
+    "WorkloadSpec",
+    "Workload",
+    "ExecutionResult",
+    "StreamBenchmark",
+    "StreamKernel",
+    "TinyMemBench",
+    "DGEMM",
+    "GUPS",
+    "MiniFE",
+    "Graph500",
+    "XSBench",
+    "WORKLOADS",
+    "get_workload",
+    "table1_rows",
+]

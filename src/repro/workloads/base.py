@@ -1,0 +1,98 @@
+"""Workload base classes.
+
+A :class:`Workload` instance is one parameterized problem (a given matrix
+order, table size, graph scale...).  It can
+
+* :meth:`~Workload.execute` — actually run the algorithm (functional face;
+  sizes are the caller's business — tests run small, examples medium), and
+* :meth:`~Workload.profile` — describe its memory behaviour for the
+  performance engine (profiled face, any size).
+
+``calibration`` maps the engine's raw operation rate to the absolute scale
+the paper reports for that benchmark binary (documented per workload);
+it is a single scalar per workload, identical across memory
+configurations, problem sizes and thread counts — so every *comparison*
+the reproduction makes is calibration-free.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from repro.engine.perfmodel import RunResult
+from repro.engine.profilephase import MemoryProfile
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Identity row of Table I."""
+
+    name: str
+    app_type: str          # "Scientific" | "Data analytics" | "Micro"
+    pattern: str           # "Sequential" | "Random"
+    metric_name: str       # e.g. "GFLOPS"
+    metric_unit: str       # e.g. "Gflop/s"
+    max_scale_gb: float    # largest problem the paper runs (Table I)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a functional run."""
+
+    workload: str
+    params: dict[str, Any]
+    operations: float
+    verified: bool
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class Workload(abc.ABC):
+    """One parameterized problem instance."""
+
+    spec: ClassVar[WorkloadSpec]
+    #: Scalar mapping engine op-rates to the paper's absolute metric scale.
+    calibration: ClassVar[float] = 1.0
+
+    # -- sizing -----------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def footprint_bytes(self) -> int:
+        """Bytes of main-memory data the problem allocates."""
+
+    @property
+    @abc.abstractmethod
+    def operations(self) -> float:
+        """Metric numerator for one profiled run (flops, updates, edges,
+        lookups ... whatever the workload's metric counts)."""
+
+    # -- the two faces ------------------------------------------------------------
+    @abc.abstractmethod
+    def profile(self) -> MemoryProfile:
+        """Memory profile of one run at this instance's parameters."""
+
+    @abc.abstractmethod
+    def execute(self, *, seed: int | None = None) -> ExecutionResult:
+        """Really run the algorithm and self-validate the result."""
+
+    # -- feasibility -----------------------------------------------------------
+    def check_runnable(self, num_threads: int) -> None:
+        """Raise ``RuntimeError`` for configurations the real benchmark
+        could not run (default: everything runs).  DGEMM overrides this
+        to reproduce the paper's failed 256-thread runs."""
+
+    # -- metrics ------------------------------------------------------------
+    def metric(self, run: RunResult) -> float:
+        """The paper's reported metric from a simulated run."""
+        return run.rate_per_s(self.operations) * self.calibration
+
+    def params(self) -> dict[str, Any]:
+        """Instance parameters for reporting (overridden as useful)."""
+        return {"footprint_bytes": self.footprint_bytes}
+
+    def describe(self) -> str:
+        return (
+            f"{self.spec.name} ({self.spec.app_type}, {self.spec.pattern}): "
+            f"{self.footprint_bytes / 1e9:.2f} GB footprint"
+        )

@@ -1,0 +1,5 @@
+"""Shared substrate data structures for the workloads (CSR sparse matrix)."""
+
+from repro.workloads.common.sparse import CSRMatrix
+
+__all__ = ["CSRMatrix"]

@@ -1,0 +1,168 @@
+"""Compressed Sparse Row matrix, built from scratch on numpy.
+
+Used by MiniFE (weighted stiffness matrix, matvec) and Graph500 (the
+reference implementation's CSR adjacency).  The matvec is fully
+vectorized: gather + segment-sum via ``np.add.reduceat`` with an explicit
+empty-row correction (reduceat repeats the element at the boundary for
+empty segments, which would corrupt isolated-vertex rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+@dataclass
+class CSRMatrix:
+    """CSR storage: ``indptr`` (n+1), ``indices`` (nnz), ``data`` (nnz).
+
+    ``data=None`` models a pattern/adjacency matrix (all ones), storing no
+    value array — Graph500's CSR.
+    """
+
+    n_rows: int
+    n_cols: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        check_positive("n_rows", self.n_rows)
+        check_positive("n_cols", self.n_cols)
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        if self.indptr.shape != (self.n_rows + 1,):
+            raise ValueError(
+                f"indptr must have {self.n_rows + 1} entries, got "
+                f"{self.indptr.shape}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.n_cols
+        ):
+            raise ValueError("column indices out of range")
+        if self.data is not None:
+            self.data = np.asarray(self.data, dtype=np.float64)
+            if self.data.shape != self.indices.shape:
+                raise ValueError("data and indices must have the same length")
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        n_rows: int,
+        n_cols: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray | None = None,
+        *,
+        sum_duplicates: bool = True,
+    ) -> "CSRMatrix":
+        """Build from COO triplets; duplicate entries are summed (values)
+        or collapsed (pattern matrices)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape:
+            raise ValueError("rows and cols must have the same length")
+        if rows.size and (rows.min() < 0 or rows.max() >= n_rows):
+            raise ValueError("row indices out of range")
+        if rows.size and (cols.min() < 0 or cols.max() >= n_cols):
+            raise ValueError("column indices out of range")
+        order = np.lexsort((cols, rows))
+        rows, cols = rows[order], cols[order]
+        vals = None if values is None else np.asarray(values, dtype=np.float64)[order]
+        if sum_duplicates and rows.size:
+            # Collapse duplicate (row, col) pairs.
+            key_new = np.empty(rows.size, dtype=bool)
+            key_new[0] = True
+            key_new[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            group_start = np.flatnonzero(key_new)
+            rows_u = rows[group_start]
+            cols_u = cols[group_start]
+            if vals is not None:
+                sums = np.add.reduceat(vals, group_start)
+                vals = sums
+            rows, cols = rows_u, cols_u
+        counts = np.bincount(rows, minlength=n_rows)
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(n_rows, n_cols, indptr, cols, vals)
+
+    # -- properties -------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def has_values(self) -> bool:
+        return self.data is not None
+
+    def row_degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def memory_bytes(self) -> int:
+        """Bytes of the CSR arrays (what the workloads' footprints count)."""
+        total = self.indptr.nbytes + self.indices.nbytes
+        if self.data is not None:
+            total += self.data.nbytes
+        return total
+
+    # -- operations ---------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """y = A @ x, vectorized; requires a value array."""
+        if self.data is None:
+            raise ValueError("pattern matrix has no values; use spmv_pattern")
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ValueError(f"x must have shape ({self.n_cols},), got {x.shape}")
+        products = self.data * x[self.indices]
+        return self._segment_sum(products)
+
+    def spmv_pattern(self, x: np.ndarray) -> np.ndarray:
+        """y = A @ x for an implicit all-ones matrix (graph aggregation)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ValueError(f"x must have shape ({self.n_cols},), got {x.shape}")
+        return self._segment_sum(x[self.indices])
+
+    def _segment_sum(self, products: np.ndarray) -> np.ndarray:
+        y = np.zeros(self.n_rows, dtype=np.float64)
+        nonempty = np.flatnonzero(np.diff(self.indptr) > 0)
+        if nonempty.size:
+            starts = self.indptr[nonempty]
+            y[nonempty] = np.add.reduceat(products, starts)
+        return y
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray | None]:
+        """(column indices, values) of row ``i``."""
+        if not 0 <= i < self.n_rows:
+            raise IndexError(f"row {i} out of range")
+        sl = slice(self.indptr[i], self.indptr[i + 1])
+        return self.indices[sl], None if self.data is None else self.data[sl]
+
+    def to_dense(self) -> np.ndarray:
+        """Dense copy for tests (small matrices only)."""
+        dense = np.zeros((self.n_rows, self.n_cols))
+        for i in range(self.n_rows):
+            cols, vals = self.row(i)
+            dense[i, cols] = 1.0 if vals is None else vals
+        return dense
+
+    def transpose(self) -> "CSRMatrix":
+        """CSR of the transpose (CSC view re-expressed as CSR)."""
+        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_degrees())
+        return CSRMatrix.from_coo(
+            self.n_cols,
+            self.n_rows,
+            self.indices,
+            rows,
+            self.data,
+            sum_duplicates=False,
+        )

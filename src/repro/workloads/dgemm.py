@@ -1,0 +1,156 @@
+"""DGEMM benchmark (dense matrix multiply, C = alpha*A*B + beta*C).
+
+The paper runs the NERSC APEX DGEMM benchmark linked against MKL and
+reports GFLOPS for array sizes from 0.1 to 24 GB (Figs. 4a, 6a).  Two
+measured behaviours pin the model:
+
+* HBM gives ~2x over DRAM at 64 threads — the kernel as run is
+  bandwidth-sensitive, with an effective arithmetic intensity around
+  ``BLOCK/8`` flops/byte for L1-sized blocking (BLOCK=32 -> 4 flops/byte;
+  at higher intensities the 64-thread compute roof would hide the memory
+  system entirely and the measured 2x could not occur);
+* 192 threads give ~1.7x over 64 — the KNL front end needs >= 2 threads
+  per core to approach full issue (see
+  :meth:`repro.machine.core.Core.smt_issue_efficiency`).
+
+The paper also notes the 256-thread DGEMM run "can not complete
+successfully"; :meth:`DGEMM.check_runnable` reproduces that as an
+explicit failure (per-thread MKL buffers exhaust the node at 256
+threads), which the experiment runner reports as a missing data point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.engine.profilephase import AccessPattern, MemoryProfile, Phase
+from repro.util.prng import make_rng
+from repro.util.validation import check_positive
+from repro.workloads.base import ExecutionResult, Workload, WorkloadSpec
+
+#: Effective blocking of the benchmark binary as measured (see module doc).
+EFFECTIVE_BLOCK = 32
+#: Fraction of machine peak DP flops the kernel reaches at full issue,
+#: calibrated to the ~600 GFLOPS the paper measures on HBM at 64 threads.
+MKL_EFFICIENCY = 0.42
+#: Thread count at which the paper's DGEMM run fails to complete.
+FAILING_THREADS = 256
+
+
+class WorkloadFailure(RuntimeError):
+    """A configuration the real benchmark could not run (paper footnote 1)."""
+
+
+@dataclass
+class DGEMM(Workload):
+    """One DGEMM problem: three dense n x n double matrices."""
+
+    n: int
+
+    spec: ClassVar[WorkloadSpec] = WorkloadSpec(
+        name="DGEMM",
+        app_type="Scientific",
+        pattern="Sequential",
+        metric_name="GFLOPS",
+        metric_unit="Gflop/s",
+        max_scale_gb=24.0,
+    )
+
+    def __post_init__(self) -> None:
+        check_positive("n", self.n)
+
+    @classmethod
+    def from_array_gb(cls, array_gb: float) -> "DGEMM":
+        """Instance whose three matrices total ``array_gb`` decimal GB
+        (the Fig. 4a x-axis)."""
+        check_positive("array_gb", array_gb)
+        n = int(round((array_gb * 1e9 / (3 * 8)) ** 0.5))
+        return cls(n=max(n, 1))
+
+    # -- sizing -----------------------------------------------------------------
+    @property
+    def footprint_bytes(self) -> int:
+        return 3 * self.n * self.n * 8
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * float(self.n) ** 3
+
+    @property
+    def operations(self) -> float:
+        return self.flops
+
+    def params(self) -> dict[str, Any]:
+        return {"n": self.n, "array_gb": self.footprint_bytes / 1e9}
+
+    # -- feasibility --------------------------------------------------------------
+    def check_runnable(self, num_threads: int) -> None:
+        """Raise :class:`WorkloadFailure` for the configurations the paper
+        could not run."""
+        if num_threads >= FAILING_THREADS:
+            raise WorkloadFailure(
+                f"DGEMM with {num_threads} threads does not complete on the "
+                f"testbed (per-thread MKL buffers exhaust memory; paper "
+                f"footnote 1)"
+            )
+
+    # -- profiled face ------------------------------------------------------------
+    def profile(self) -> MemoryProfile:
+        # Blocked matmul traffic: each A/B element is loaded n/BLOCK times.
+        traffic = 2.0 * 8.0 * float(self.n) ** 3 / EFFECTIVE_BLOCK
+        # C read+write once.
+        traffic += 2.0 * 8.0 * float(self.n) ** 2
+        phase = Phase(
+            name="dgemm",
+            pattern=AccessPattern.SEQUENTIAL,
+            traffic_bytes=traffic,
+            flops=self.flops,
+            footprint_bytes=self.footprint_bytes,
+            compute_efficiency=MKL_EFFICIENCY,
+            write_fraction=0.1,
+        )
+        return MemoryProfile(workload="dgemm", phases=(phase,))
+
+    # -- functional face ----------------------------------------------------------
+    @staticmethod
+    def blocked_matmul(
+        a: np.ndarray, b: np.ndarray, block: int = EFFECTIVE_BLOCK
+    ) -> np.ndarray:
+        """Cache-blocked matrix multiply (the kernel the profile models).
+
+        Panel-blocked over k and j so the inner product accumulates into a
+        C block that stays resident, exactly the traffic structure the
+        profile's ``2 * 8 * n^3 / BLOCK`` term counts.
+        """
+        check_positive("block", block)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
+        m, k = a.shape
+        _, n = b.shape
+        c = np.zeros((m, n), dtype=np.result_type(a, b))
+        for jj in range(0, n, block):
+            j_end = min(jj + block, n)
+            for kk in range(0, k, block):
+                k_end = min(kk + block, k)
+                # One panel update; numpy does the inner dense block.
+                c[:, jj:j_end] += a[:, kk:k_end] @ b[kk:k_end, jj:j_end]
+        return c
+
+    def execute(self, *, seed: int | None = None) -> ExecutionResult:
+        """Run the blocked kernel and verify against numpy's reference."""
+        rng = make_rng(seed, "dgemm", self.n)
+        a = rng.standard_normal((self.n, self.n))
+        b = rng.standard_normal((self.n, self.n))
+        c = self.blocked_matmul(a, b)
+        reference = a @ b
+        verified = bool(np.allclose(c, reference, rtol=1e-10, atol=1e-8))
+        return ExecutionResult(
+            workload="dgemm",
+            params=self.params(),
+            operations=self.flops,
+            verified=verified,
+            details={"max_abs_err": float(np.max(np.abs(c - reference)))},
+        )

@@ -1,0 +1,28 @@
+"""Graph500 breadth-first search benchmark (reference OpenMP/CSR flavour).
+
+The paper's data-analytics representative (Figs. 4d, 6c): generate a
+Kronecker graph (scale S, edge factor 16), build the CSR compression the
+reference code uses, run BFS from sampled roots, validate the parent
+trees, and report the harmonic-mean TEPS.
+
+* :mod:`repro.workloads.graph500.kronecker` — the spec's R-MAT generator.
+* :mod:`repro.workloads.graph500.bfs` — vectorized level-synchronous BFS.
+* :mod:`repro.workloads.graph500.validate` — the spec's result validation.
+* :mod:`repro.workloads.graph500.workload` — the Workload adapter.
+"""
+
+from repro.workloads.graph500.kronecker import kronecker_edges, KroneckerParams
+from repro.workloads.graph500.bfs import BFSResult, bfs_csr, build_adjacency
+from repro.workloads.graph500.validate import validate_bfs
+from repro.workloads.graph500.workload import Graph500, harmonic_mean_teps
+
+__all__ = [
+    "kronecker_edges",
+    "KroneckerParams",
+    "BFSResult",
+    "bfs_csr",
+    "build_adjacency",
+    "validate_bfs",
+    "Graph500",
+    "harmonic_mean_teps",
+]

@@ -1,0 +1,113 @@
+"""Level-synchronous BFS over CSR, vectorized.
+
+The reference Graph500 OpenMP code does top-down level-synchronous BFS
+over the CSR "compression" of the symmetrized Kronecker graph; this is a
+numpy port with the same structure: per level, gather all frontier
+neighbours, filter unvisited, write parents, form the next frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.common.sparse import CSRMatrix
+
+
+def build_adjacency(edges: np.ndarray, n_vertices: int) -> CSRMatrix:
+    """Symmetrized, deduplicated, self-loop-free CSR adjacency.
+
+    This is the benchmark's "graph construction" kernel (untimed in the
+    spec, but part of the footprint).
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[0] != 2:
+        raise ValueError(f"edges must be (2, m), got {edges.shape}")
+    src, dst = edges
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    rows = np.concatenate([src, dst])
+    cols = np.concatenate([dst, src])
+    return CSRMatrix.from_coo(n_vertices, n_vertices, rows, cols, None)
+
+
+@dataclass
+class BFSResult:
+    """Parent tree plus traversal accounting."""
+
+    root: int
+    parent: np.ndarray   # -1 for unreached
+    level: np.ndarray    # -1 for unreached
+    edges_traversed: int
+    levels: int
+
+    @property
+    def vertices_visited(self) -> int:
+        return int((self.parent >= 0).sum())
+
+
+def _gather_neighbors(
+    graph: CSRMatrix, frontier: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (neighbor, source) pairs of the frontier, vectorized.
+
+    Expands CSR row slices without a Python loop: positions are built from
+    cumulative degree offsets.
+    """
+    starts = graph.indptr[frontier]
+    degrees = graph.indptr[frontier + 1] - starts
+    total = int(degrees.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    offsets = np.zeros(frontier.size, dtype=np.int64)
+    np.cumsum(degrees[:-1], out=offsets[1:])
+    positions = np.arange(total, dtype=np.int64)
+    positions += np.repeat(starts - offsets, degrees)
+    neighbors = graph.indices[positions]
+    sources = np.repeat(frontier, degrees)
+    return neighbors, sources
+
+
+def bfs_csr(graph: CSRMatrix, root: int) -> BFSResult:
+    """Top-down level-synchronous BFS from ``root``."""
+    n = graph.n_rows
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range for {n} vertices")
+    parent = np.full(n, -1, dtype=np.int64)
+    level = np.full(n, -1, dtype=np.int64)
+    parent[root] = root
+    level[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    edges_traversed = 0
+    depth = 0
+    while frontier.size:
+        neighbors, sources = _gather_neighbors(graph, frontier)
+        edges_traversed += neighbors.size
+        fresh = parent[neighbors] == -1
+        neighbors = neighbors[fresh]
+        sources = sources[fresh]
+        if neighbors.size:
+            # First occurrence wins, like the reference's atomic CAS: keep
+            # the first (neighbor, source) pair per neighbor.
+            order = np.argsort(neighbors, kind="stable")
+            neighbors = neighbors[order]
+            sources = sources[order]
+            first = np.ones(neighbors.size, dtype=bool)
+            first[1:] = neighbors[1:] != neighbors[:-1]
+            neighbors = neighbors[first]
+            sources = sources[first]
+            parent[neighbors] = sources
+            depth += 1
+            level[neighbors] = depth
+            frontier = neighbors
+        else:
+            break
+    return BFSResult(
+        root=root,
+        parent=parent,
+        level=level,
+        edges_traversed=edges_traversed,
+        levels=depth,
+    )

@@ -1,0 +1,91 @@
+"""Graph500 result validation (spec section "Validation").
+
+Checks, given the original edge list and a BFS result:
+
+1. the parent of the root is the root;
+2. every reached vertex has a reached parent, with level exactly one more
+   than its parent's;
+3. every tree edge (v, parent[v]) exists in the graph;
+4. every graph edge spans at most one level (both endpoints reached on
+   levels differing by <= 1, or both unreached — reached/unreached pairs
+   are impossible in a correct BFS);
+5. the set of reached vertices is exactly the root's connected component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.graph500.bfs import BFSResult, _gather_neighbors
+from repro.workloads.common.sparse import CSRMatrix
+
+
+def _edge_exists(graph: CSRMatrix, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Vectorized membership test: is v in u's adjacency row?
+
+    CSR rows are sorted by construction (lexsort in from_coo), so a
+    searchsorted per row segment suffices.
+    """
+    starts = graph.indptr[u]
+    ends = graph.indptr[u + 1]
+    found = np.zeros(u.size, dtype=bool)
+    # Search within the global indices array, bounded per row.
+    for i in range(u.size):  # row segments are tiny; clarity over cleverness
+        row = graph.indices[starts[i] : ends[i]]
+        j = np.searchsorted(row, v[i])
+        found[i] = j < row.size and row[j] == v[i]
+    return found
+
+
+def validate_bfs(
+    graph: CSRMatrix, result: BFSResult, *, check_component: bool = True
+) -> tuple[bool, list[str]]:
+    """Run the spec's checks; returns (ok, list of violation messages)."""
+    errors: list[str] = []
+    parent, level, root = result.parent, result.level, result.root
+
+    if parent[root] != root:
+        errors.append(f"root parent is {parent[root]}, expected {root}")
+    if level[root] != 0:
+        errors.append(f"root level is {level[root]}, expected 0")
+
+    reached = np.flatnonzero(parent >= 0)
+    non_root = reached[reached != root]
+    if non_root.size:
+        parents = parent[non_root]
+        if (parent[parents] < 0).any():
+            errors.append("some parents are unreached vertices")
+        bad_level = level[non_root] != level[parents] + 1
+        if bad_level.any():
+            errors.append(
+                f"{int(bad_level.sum())} vertices with level != parent level + 1"
+            )
+        exists = _edge_exists(graph, non_root, parents)
+        if not exists.all():
+            errors.append(
+                f"{int((~exists).sum())} tree edges missing from the graph"
+            )
+
+    # Level-span check over all edges, via frontier expansion of reached set.
+    if reached.size:
+        neighbors, sources = _gather_neighbors(graph, reached)
+        unreached_neighbor = parent[neighbors] < 0
+        if unreached_neighbor.any():
+            errors.append(
+                f"{int(unreached_neighbor.sum())} edges from reached to "
+                f"unreached vertices (component not fully explored)"
+            )
+        span = np.abs(level[neighbors] - level[sources])
+        if (span[~unreached_neighbor] > 1).any():
+            errors.append("some graph edges span more than one BFS level")
+
+    if check_component and (parent < 0).any():
+        # Any unreached vertex adjacent to a reached one is an error; the
+        # frontier check above covers it, so here only assert consistency
+        # of the unreached set being closed under adjacency.
+        unreached = np.flatnonzero(parent < 0)
+        neighbors, _ = _gather_neighbors(graph, unreached)
+        if neighbors.size and (parent[neighbors] >= 0).any():
+            errors.append("unreached set is adjacent to the BFS tree")
+
+    return not errors, errors

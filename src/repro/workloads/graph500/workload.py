@@ -1,0 +1,193 @@
+"""Graph500 workload adapter.
+
+Functional face: generate a Kronecker graph, BFS from sampled roots (the
+spec runs 64; small instances use fewer), validate every parent tree, and
+report the harmonic-mean TEPS accounting.
+
+Profiled face: one BFS over the whole graph decomposes into
+
+* ``adjacency-stream`` — the CSR row slices of the frontier stream
+  through sequentially (indices array, 8 B per directed edge);
+* ``visit-random`` — the parent/visited check per traversed edge is a
+  random 8-byte access over the vertex arrays: latency-bound, data-
+  dependent (mlp barely above the pointer-chase floor), with contended
+  frontier atomics (quadratic sync) — together these give the
+  DRAM-is-best ordering of Fig. 4d and the 128-thread optimum of Fig. 6c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.engine.profilephase import AccessPattern, MemoryProfile, Phase
+from repro.util.prng import make_rng
+from repro.util.validation import check_positive
+from repro.workloads.base import ExecutionResult, Workload, WorkloadSpec
+from repro.workloads.graph500.bfs import bfs_csr, build_adjacency
+from repro.workloads.graph500.kronecker import KroneckerParams, kronecker_edges
+from repro.workloads.graph500.validate import validate_bfs
+
+def harmonic_mean_teps(
+    edges_traversed: list[int], times_s: list[float]
+) -> float:
+    """The spec's reported statistic: harmonic mean of per-root TEPS.
+
+    Graph500 reports the harmonic mean over the 64 search roots because
+    TEPS is a rate — the harmonic mean weights each search by its time,
+    matching aggregate edges / aggregate time for equal edge counts.
+    """
+    if len(edges_traversed) != len(times_s) or not edges_traversed:
+        raise ValueError("need matching, non-empty edge and time lists")
+    rates = []
+    for edges, time_s in zip(edges_traversed, times_s):
+        if edges <= 0 or time_s <= 0:
+            raise ValueError("edges and times must be positive")
+        rates.append(edges / time_s)
+    return len(rates) / sum(1.0 / r for r in rates)
+
+
+#: Data-dependent edge inspection sustains little memory parallelism.
+BFS_MLP = 1.2
+#: Contended frontier atomics (quadratic in extra hardware threads).
+BFS_SYNC_QUADRATIC = 0.06
+BFS_SYNC_LINEAR = 0.27
+
+
+@dataclass
+class Graph500(Workload):
+    """One Graph500 problem (scale, edgefactor)."""
+
+    scale: int
+    edgefactor: int = 16
+    n_roots: int = 64
+
+    spec: ClassVar[WorkloadSpec] = WorkloadSpec(
+        name="Graph500",
+        app_type="Data analytics",
+        pattern="Random",
+        metric_name="TEPS",
+        metric_unit="traversed edges/s",
+        max_scale_gb=35.0,
+    )
+
+    #: The reference OpenMP code reaches about half of the raw random-
+    #: access edge-inspection rate (validation bookkeeping, bitmap
+    #: maintenance); single scalar, identical across configurations.
+    calibration: ClassVar[float] = 1.15
+
+    def __post_init__(self) -> None:
+        check_positive("scale", self.scale)
+        check_positive("edgefactor", self.edgefactor)
+        check_positive("n_roots", self.n_roots)
+
+    @classmethod
+    def from_graph_gb(cls, graph_gb: float) -> "Graph500":
+        """Instance whose CSR graph occupies ~``graph_gb`` decimal GB
+        (the Fig. 4d x-axis)."""
+        check_positive("graph_gb", graph_gb)
+        # CSR bytes ~ 2 * edgefactor * n * 8 (symmetrized int64 indices).
+        for scale in range(10, 40):
+            if cls(scale=scale).footprint_bytes >= graph_gb * 1e9:
+                return cls(scale=scale)
+        raise ValueError(f"no scale reaches {graph_gb} GB")
+
+    # -- sizing -----------------------------------------------------------------
+    @property
+    def params_kron(self) -> KroneckerParams:
+        return KroneckerParams(scale=self.scale, edgefactor=self.edgefactor)
+
+    @property
+    def n_vertices(self) -> int:
+        return self.params_kron.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        return self.params_kron.n_edges
+
+    @property
+    def directed_entries(self) -> int:
+        """CSR entries after symmetrization (~2 per input edge)."""
+        return 2 * self.n_edges
+
+    @property
+    def footprint_bytes(self) -> int:
+        csr = self.directed_entries * 8 + (self.n_vertices + 1) * 8
+        vertex_arrays = 3 * self.n_vertices * 8  # parent, level, frontier
+        return csr + vertex_arrays
+
+    @property
+    def operations(self) -> float:
+        """Input edges per BFS (the TEPS numerator, spec definition)."""
+        return float(self.n_edges)
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "scale": self.scale,
+            "edgefactor": self.edgefactor,
+            "vertices": self.n_vertices,
+            "edges": self.n_edges,
+            "graph_gb": self.footprint_bytes / 1e9,
+        }
+
+    # -- profiled face ------------------------------------------------------------
+    def profile(self) -> MemoryProfile:
+        adjacency_stream = Phase(
+            name="adjacency-stream",
+            pattern=AccessPattern.SEQUENTIAL,
+            traffic_bytes=float(self.directed_entries * 8),
+            footprint_bytes=self.footprint_bytes,
+            sync_fraction=BFS_SYNC_LINEAR,
+        )
+        visit_random = Phase(
+            name="visit-random",
+            pattern=AccessPattern.RANDOM,
+            # One parent/visited probe per directed edge, plus the parent
+            # and level writes for each discovered vertex (~n of each).
+            traffic_bytes=float(self.directed_entries * 8 + 2 * self.n_vertices * 8),
+            footprint_bytes=self.footprint_bytes,
+            access_bytes=8,
+            mlp_per_thread=BFS_MLP,
+            sync_fraction=BFS_SYNC_LINEAR,
+            sync_quadratic=BFS_SYNC_QUADRATIC,
+            write_fraction=0.1,
+        )
+        return MemoryProfile(
+            workload="graph500", phases=(adjacency_stream, visit_random)
+        )
+
+    # -- functional face ----------------------------------------------------------
+    def execute(self, *, seed: int | None = None) -> ExecutionResult:
+        """Generate, BFS from sampled roots, validate each tree."""
+        rng = make_rng(seed, "graph500", self.scale, self.edgefactor)
+        edges = kronecker_edges(self.params_kron, seed=seed)
+        graph = build_adjacency(edges, self.n_vertices)
+        degrees = graph.row_degrees()
+        candidates = np.flatnonzero(degrees > 0)
+        if candidates.size == 0:
+            raise RuntimeError("generated graph has no edges")
+        n_roots = min(self.n_roots, candidates.size)
+        roots = rng.choice(candidates, size=n_roots, replace=False)
+        all_ok = True
+        traversed = 0
+        messages: list[str] = []
+        for root in roots:
+            result = bfs_csr(graph, int(root))
+            ok, errs = validate_bfs(graph, result)
+            all_ok &= ok
+            messages.extend(errs)
+            traversed += result.edges_traversed
+        return ExecutionResult(
+            workload="graph500",
+            params=self.params(),
+            operations=float(self.n_edges * n_roots),
+            verified=all_ok,
+            details={
+                "roots": n_roots,
+                "edges_traversed": traversed,
+                "errors": messages,
+                "csr_entries": graph.nnz,
+            },
+        )

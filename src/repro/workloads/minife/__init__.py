@@ -1,0 +1,34 @@
+"""MiniFE — the Mantevo implicit finite-element proxy application.
+
+The paper's second sequential-pattern application (Fig. 4b, 6b): assemble
+a hexahedral finite-element diffusion problem and solve it with
+(unpreconditioned) conjugate gradient, reporting the MFLOPS of the CG
+phase.
+
+* :mod:`repro.workloads.minife.mesh` — the structured brick mesh.
+* :mod:`repro.workloads.minife.assembly` — element stiffness matrices and
+  scatter-add assembly into CSR.
+* :mod:`repro.workloads.minife.cg` — the CG solver with miniFE's flop
+  accounting.
+* :mod:`repro.workloads.minife.workload` — the Workload adapter.
+"""
+
+from repro.workloads.minife.mesh import BrickMesh
+from repro.workloads.minife.assembly import (
+    hex8_stiffness,
+    assemble_stiffness,
+    assemble_system,
+)
+from repro.workloads.minife.cg import CGResult, conjugate_gradient, cg_flops
+from repro.workloads.minife.workload import MiniFE
+
+__all__ = [
+    "BrickMesh",
+    "hex8_stiffness",
+    "assemble_stiffness",
+    "assemble_system",
+    "CGResult",
+    "conjugate_gradient",
+    "cg_flops",
+    "MiniFE",
+]

@@ -1,0 +1,89 @@
+"""Conjugate gradient with miniFE's flop accounting.
+
+miniFE reports "CG Mflops": the flops of the CG iteration loop divided by
+its wall time.  Per iteration the loop does one SpMV (2 flops per nnz),
+two dot products and three axpy-style vector updates (2 flops per element
+each), which is exactly what :func:`cg_flops` counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive
+from repro.workloads.common.sparse import CSRMatrix
+
+
+@dataclass
+class CGResult:
+    """Solution plus convergence metadata."""
+
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+    flops: float
+
+
+def cg_flops(nnz: int, n: int, iterations: int) -> float:
+    """Flops of ``iterations`` CG iterations on an (n, nnz) system.
+
+    Per iteration: SpMV 2*nnz, two dots 2*2*n, three vector updates
+    2*3*n — miniFE's own accounting.
+    """
+    check_positive("iterations", iterations)
+    return float(iterations) * (2.0 * nnz + 10.0 * n)
+
+
+def conjugate_gradient(
+    a: CSRMatrix,
+    b: np.ndarray,
+    *,
+    tol: float = 1e-8,
+    max_iterations: int = 200,
+    x0: np.ndarray | None = None,
+) -> CGResult:
+    """Unpreconditioned CG for SPD ``a`` (miniFE's solver, default 200
+    iterations cap)."""
+    check_positive("max_iterations", max_iterations)
+    check_positive("tol", tol)
+    if a.n_rows != a.n_cols:
+        raise ValueError(f"matrix must be square, got {a.n_rows}x{a.n_cols}")
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (a.n_rows,):
+        raise ValueError(f"b must have shape ({a.n_rows},), got {b.shape}")
+
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+    r = b - a.matvec(x)
+    p = r.copy()
+    rs = float(r @ r)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    iterations = 0
+    converged = np.sqrt(rs) / b_norm <= tol
+    while not converged and iterations < max_iterations:
+        ap = a.matvec(p)
+        pap = float(p @ ap)
+        if pap <= 0.0:
+            # Matrix is not SPD along p; bail out like miniFE's breakdown check.
+            break
+        alpha = rs / pap
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = float(r @ r)
+        iterations += 1
+        if np.sqrt(rs_new) / b_norm <= tol:
+            rs = rs_new
+            converged = True
+            break
+        p *= rs_new / rs
+        p += r
+        rs = rs_new
+    return CGResult(
+        x=x,
+        iterations=iterations,
+        residual_norm=float(np.sqrt(rs)) / b_norm,
+        converged=bool(converged),
+        flops=cg_flops(a.nnz, a.n_rows, max(iterations, 1)),
+    )

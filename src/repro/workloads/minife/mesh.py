@@ -1,0 +1,99 @@
+"""Structured hexahedral brick mesh, miniFE style.
+
+miniFE discretizes a box with ``nx x ny x nz`` hex elements; nodes sit on
+the ``(nx+1)(ny+1)(nz+1)`` lattice.  Node numbering is x-fastest, matching
+miniFE's generation order (which gives the assembled matrix its banded
+27-point structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+# Local corner offsets of a hex element, x-fastest.
+_CORNER_OFFSETS = np.array(
+    [
+        (0, 0, 0),
+        (1, 0, 0),
+        (1, 1, 0),
+        (0, 1, 0),
+        (0, 0, 1),
+        (1, 0, 1),
+        (1, 1, 1),
+        (0, 1, 1),
+    ],
+    dtype=np.int64,
+)
+
+
+@dataclass(frozen=True)
+class BrickMesh:
+    """A box of hex elements."""
+
+    nx: int
+    ny: int
+    nz: int
+
+    def __post_init__(self) -> None:
+        check_positive("nx", self.nx)
+        check_positive("ny", self.ny)
+        check_positive("nz", self.nz)
+
+    @classmethod
+    def cube(cls, n: int) -> "BrickMesh":
+        return cls(n, n, n)
+
+    # -- counts ---------------------------------------------------------------
+    @property
+    def n_elements(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def n_nodes(self) -> int:
+        return (self.nx + 1) * (self.ny + 1) * (self.nz + 1)
+
+    @property
+    def node_shape(self) -> tuple[int, int, int]:
+        return (self.nx + 1, self.ny + 1, self.nz + 1)
+
+    # -- numbering ---------------------------------------------------------------
+    def node_id(self, ix: np.ndarray, iy: np.ndarray, iz: np.ndarray) -> np.ndarray:
+        """Lattice coordinates -> node id (x-fastest)."""
+        sx, sy, _ = self.node_shape
+        return np.asarray(ix) + sx * (np.asarray(iy) + sy * np.asarray(iz))
+
+    def element_connectivity(self) -> np.ndarray:
+        """(n_elements, 8) array of the corner node ids of every element."""
+        ex, ey, ez = np.meshgrid(
+            np.arange(self.nx), np.arange(self.ny), np.arange(self.nz),
+            indexing="ij",
+        )
+        # Element order x-fastest like the nodes.
+        ex = ex.ravel(order="F")
+        ey = ey.ravel(order="F")
+        ez = ez.ravel(order="F")
+        conn = np.empty((self.n_elements, 8), dtype=np.int64)
+        for local, (dx, dy, dz) in enumerate(_CORNER_OFFSETS):
+            conn[:, local] = self.node_id(ex + dx, ey + dy, ez + dz)
+        return conn
+
+    def boundary_nodes(self) -> np.ndarray:
+        """Node ids on the box surface (Dirichlet boundary in miniFE)."""
+        sx, sy, sz = self.node_shape
+        ix, iy, iz = np.meshgrid(
+            np.arange(sx), np.arange(sy), np.arange(sz), indexing="ij"
+        )
+        on_surface = (
+            (ix == 0) | (ix == sx - 1)
+            | (iy == 0) | (iy == sy - 1)
+            | (iz == 0) | (iz == sz - 1)
+        )
+        return self.node_id(ix[on_surface], iy[on_surface], iz[on_surface])
+
+    def interior_node_count(self) -> int:
+        sx, sy, sz = self.node_shape
+        return max(0, (sx - 2) * (sy - 2) * (sz - 2))

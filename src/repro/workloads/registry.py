@@ -1,0 +1,73 @@
+"""Workload registry and the Table I view."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.util.tables import TextTable
+from repro.workloads.base import Workload
+from repro.workloads.dgemm import DGEMM
+from repro.workloads.graph500 import Graph500
+from repro.workloads.gups import GUPS
+from repro.workloads.minife import MiniFE
+from repro.workloads.stream import StreamBenchmark
+from repro.workloads.tinymembench import TinyMemBench
+from repro.workloads.xsbench import XSBench
+
+#: Name -> workload class.  Order matches Table I (applications first),
+#: micro-benchmarks appended.
+WORKLOADS: dict[str, type[Workload]] = {
+    "dgemm": DGEMM,
+    "minife": MiniFE,
+    "gups": GUPS,
+    "graph500": Graph500,
+    "xsbench": XSBench,
+    "stream": StreamBenchmark,
+    "tinymembench": TinyMemBench,
+}
+
+#: Constructors from the paper's size axes (decimal GB), per workload.
+FROM_GB: dict[str, Callable[[float], Workload]] = {
+    "dgemm": DGEMM.from_array_gb,
+    "minife": MiniFE.from_matrix_gb,
+    "gups": GUPS.from_table_gb,
+    "graph500": Graph500.from_graph_gb,
+    "xsbench": XSBench.from_problem_gb,
+}
+
+
+def get_workload(name: str) -> type[Workload]:
+    """Look up a workload class by (case-insensitive) name."""
+    key = name.lower()
+    if key not in WORKLOADS:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        )
+    return WORKLOADS[key]
+
+
+def table1_rows() -> list[tuple[str, str, str, str]]:
+    """The rows of the paper's Table I (applications only)."""
+    rows = []
+    for name in ("dgemm", "minife", "gups", "graph500", "xsbench"):
+        spec = WORKLOADS[name].spec
+        rows.append(
+            (
+                spec.name,
+                spec.app_type,
+                spec.pattern,
+                f"{spec.max_scale_gb:.0f} GB",
+            )
+        )
+    return rows
+
+
+def render_table1() -> str:
+    """Table I as text."""
+    table = TextTable(
+        ["Application", "Type", "Access Pattern", "Max. Scale"],
+        title="Table I: List of Evaluated Applications",
+        align=["l", "l", "l", "r"],
+    )
+    table.add_rows(table1_rows())
+    return table.render()

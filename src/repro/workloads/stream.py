@@ -1,0 +1,155 @@
+"""STREAM memory bandwidth benchmark (McCalpin), OpenMP flavour.
+
+The paper uses STREAM triad with varying array sizes to characterize the
+three memory configurations (Fig. 2) and the hardware-thread scaling
+(Fig. 5).  STREAM's bandwidth accounting is reproduced exactly: triad
+counts 3 arrays x 8 bytes x N elements per iteration, i.e. exactly the
+benchmark footprint, so the paper's "Size (GB)" axis *is* the per-
+iteration traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.engine.profilephase import AccessPattern, MemoryProfile, Phase
+from repro.util.validation import check_positive
+from repro.workloads.base import ExecutionResult, Workload, WorkloadSpec
+
+# STREAM's constants.
+SCALAR = 3.0
+ARRAYS = 3  # a, b, c
+ELEMENT_BYTES = 8
+
+
+class StreamKernel(enum.Enum):
+    """The four STREAM kernels with their counted bytes per element."""
+
+    COPY = ("copy", 2)
+    SCALE = ("scale", 2)
+    ADD = ("add", 3)
+    TRIAD = ("triad", 3)
+
+    def __init__(self, label: str, arrays_counted: int) -> None:
+        self.label = label
+        self.arrays_counted = arrays_counted
+
+    def bytes_per_element(self) -> int:
+        return self.arrays_counted * ELEMENT_BYTES
+
+
+@dataclass
+class StreamBenchmark(Workload):
+    """One STREAM configuration.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total size of the three arrays (the Fig. 2 x-axis).
+    ntimes:
+        Benchmark repetitions (STREAM default 10); the paper reports the
+        best iteration, the model's iterations are identical anyway.
+    kernel:
+        Which kernel's bandwidth to report; the paper reports triad.
+    """
+
+    size_bytes: int
+    ntimes: int = 10
+    kernel: StreamKernel = StreamKernel.TRIAD
+
+    spec: ClassVar[WorkloadSpec] = WorkloadSpec(
+        name="STREAM",
+        app_type="Micro",
+        pattern="Sequential",
+        metric_name="Triad bandwidth",
+        metric_unit="GB/s",
+        max_scale_gb=40.0,
+    )
+
+    def __post_init__(self) -> None:
+        check_positive("size_bytes", self.size_bytes)
+        check_positive("ntimes", self.ntimes)
+        if self.n_elements < 1:
+            raise ValueError(f"size {self.size_bytes} too small for 3 arrays")
+
+    # -- sizing -----------------------------------------------------------------
+    @property
+    def n_elements(self) -> int:
+        """Elements per array."""
+        return self.size_bytes // (ARRAYS * ELEMENT_BYTES)
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.n_elements * ARRAYS * ELEMENT_BYTES
+
+    @property
+    def operations(self) -> float:
+        """Counted bytes over the whole run (metric is bytes/s)."""
+        return float(
+            self.kernel.bytes_per_element() * self.n_elements * self.ntimes
+        )
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "size_bytes": self.size_bytes,
+            "ntimes": self.ntimes,
+            "kernel": self.kernel.label,
+        }
+
+    # -- profiled face ------------------------------------------------------------
+    def profile(self) -> MemoryProfile:
+        phase = Phase(
+            name=self.kernel.label,
+            pattern=AccessPattern.SEQUENTIAL,
+            traffic_bytes=self.operations,
+            flops=(
+                self.n_elements * self.ntimes
+                if self.kernel in (StreamKernel.SCALE, StreamKernel.ADD)
+                else 2.0 * self.n_elements * self.ntimes
+                if self.kernel is StreamKernel.TRIAD
+                else 0.0
+            ),
+            footprint_bytes=self.footprint_bytes,
+            write_fraction=1.0 / self.kernel.arrays_counted,
+        )
+        return MemoryProfile(workload="stream", phases=(phase,))
+
+    # -- functional face ----------------------------------------------------------
+    def execute(self, *, seed: int | None = None) -> ExecutionResult:
+        """Run all four kernels ``ntimes`` times and self-check like STREAM.
+
+        STREAM initializes a=1, b=2, c=0 and checks the arrays against the
+        analytically propagated scalars after the timed loop.
+        """
+        n = self.n_elements
+        a = np.full(n, 1.0)
+        b = np.full(n, 2.0)
+        c = np.zeros(n)
+        scratch = np.empty(n)
+        for _ in range(self.ntimes):
+            np.copyto(c, a)                # copy:  c = a
+            np.multiply(c, SCALAR, out=b)  # scale: b = S*c
+            np.add(a, b, out=c)            # add:   c = a + b
+            np.multiply(c, SCALAR, out=scratch)
+            np.add(b, scratch, out=a)      # triad: a = b + S*c
+        # Propagate expected scalar values the same way STREAM's checker does.
+        ea, eb, ec = 1.0, 2.0, 0.0
+        for _ in range(self.ntimes):
+            ec = ea
+            eb = SCALAR * ec
+            ec = ea + eb
+            ea = eb + SCALAR * ec
+        verified = bool(
+            np.allclose(a, ea) and np.allclose(b, eb) and np.allclose(c, ec)
+        )
+        return ExecutionResult(
+            workload="stream",
+            params=self.params(),
+            operations=self.operations,
+            verified=verified,
+            details={"expected": (ea, eb, ec)},
+        )

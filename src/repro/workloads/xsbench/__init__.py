@@ -1,0 +1,39 @@
+"""XSBench — the Monte Carlo macroscopic cross-section lookup kernel.
+
+Isolates the dominant kernel of OpenMC (Figs. 4e, 6d): random energy /
+material samples drive lookups through a *unionized energy grid* into
+per-nuclide cross-section tables; the accesses are random over a
+footprint the paper scales from 5.6 to 90 GB via the ``-g`` grid-points
+option.
+
+* :mod:`repro.workloads.xsbench.grids` — nuclide grids and the unionized
+  grid construction.
+* :mod:`repro.workloads.xsbench.lookup` — vectorized macroscopic lookups
+  (unionized fast path + direct per-nuclide reference path used for
+  validation).
+* :mod:`repro.workloads.xsbench.workload` — the Workload adapter.
+"""
+
+from repro.workloads.xsbench.grids import (
+    XSBenchParams,
+    NuclideGrids,
+    UnionizedGrid,
+    build_nuclide_grids,
+    build_unionized_grid,
+)
+from repro.workloads.xsbench.lookup import (
+    macro_xs_unionized,
+    macro_xs_direct,
+)
+from repro.workloads.xsbench.workload import XSBench
+
+__all__ = [
+    "XSBenchParams",
+    "NuclideGrids",
+    "UnionizedGrid",
+    "build_nuclide_grids",
+    "build_unionized_grid",
+    "macro_xs_unionized",
+    "macro_xs_direct",
+    "XSBench",
+]

@@ -1,0 +1,143 @@
+"""XSBench data structures: per-nuclide grids and the unionized grid.
+
+Each nuclide has an ascending energy grid with five cross sections per
+point (total, elastic, absorption, fission, nu-fission).  The unionized
+grid merges every nuclide's energies into one sorted array, with an
+index table mapping each union point to the bracketing point of every
+nuclide — XSBench's big memory hog (union_points x n_nuclides ints),
+which is exactly what the ``-g`` option scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.prng import make_rng
+from repro.util.validation import check_positive
+
+N_XS = 5  # cross sections stored per grid point
+
+
+@dataclass(frozen=True)
+class XSBenchParams:
+    """Problem parameters (XSBench 'large' defaults, -g scales gridpoints)."""
+
+    n_nuclides: int = 355
+    n_gridpoints: int = 11_303
+    n_lookups: int = 15_000_000
+
+    def __post_init__(self) -> None:
+        check_positive("n_nuclides", self.n_nuclides)
+        check_positive("n_gridpoints", self.n_gridpoints)
+        check_positive("n_lookups", self.n_lookups)
+
+    @property
+    def union_points(self) -> int:
+        return self.n_nuclides * self.n_gridpoints
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Heap data of the benchmark (the Fig. 4e x-axis).
+
+        Union energies (8 B) + index table (4 B per nuclide per union
+        point) + nuclide grids (energy + five XS values per point).
+        """
+        union = self.union_points * (8 + 4 * self.n_nuclides)
+        nuclides = self.n_nuclides * self.n_gridpoints * 8 * (1 + N_XS)
+        return union + nuclides
+
+    @classmethod
+    def from_problem_gb(cls, problem_gb: float) -> "XSBenchParams":
+        """Choose ``n_gridpoints`` so the footprint is ~``problem_gb`` GB
+        (how the paper scales the test)."""
+        check_positive("problem_gb", problem_gb)
+        base = cls(n_gridpoints=1)
+        per_gridpoint = base.footprint_bytes
+        n = max(1, int(round(problem_gb * 1e9 / per_gridpoint)))
+        return cls(n_gridpoints=n)
+
+
+@dataclass
+class NuclideGrids:
+    """Per-nuclide energy grids and cross sections.
+
+    ``energies``: (n_nuclides, n_gridpoints) ascending per row.
+    ``xs``: (n_nuclides, n_gridpoints, N_XS).
+    """
+
+    energies: np.ndarray
+    xs: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.energies.ndim != 2:
+            raise ValueError("energies must be (nuclides, gridpoints)")
+        if self.xs.shape != (*self.energies.shape, N_XS):
+            raise ValueError(
+                f"xs shape {self.xs.shape} does not match energies "
+                f"{self.energies.shape}"
+            )
+        if not (np.diff(self.energies, axis=1) > 0).all():
+            raise ValueError("per-nuclide energies must be strictly ascending")
+
+    @property
+    def n_nuclides(self) -> int:
+        return self.energies.shape[0]
+
+    @property
+    def n_gridpoints(self) -> int:
+        return self.energies.shape[1]
+
+
+@dataclass
+class UnionizedGrid:
+    """The merged grid: sorted union energies + per-nuclide bracket indices.
+
+    ``index[u, n]`` is the largest grid index ``j`` of nuclide ``n`` with
+    ``energies[n, j] <= union_energies[u]`` (clamped to the interior so
+    ``j+1`` is always valid for interpolation).
+    """
+
+    union_energies: np.ndarray
+    index: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.union_energies.ndim != 1:
+            raise ValueError("union_energies must be 1-D")
+        if self.index.shape[0] != self.union_energies.size:
+            raise ValueError("index rows must match union size")
+        if not (np.diff(self.union_energies) >= 0).all():
+            raise ValueError("union energies must be sorted")
+
+    @property
+    def n_union(self) -> int:
+        return self.union_energies.size
+
+
+def build_nuclide_grids(
+    params: XSBenchParams, *, seed: int | None = None
+) -> NuclideGrids:
+    """Random but reproducible grids in (0, 1), ascending per nuclide."""
+    rng = make_rng(seed, "xsbench-grids", params.n_nuclides, params.n_gridpoints)
+    energies = np.sort(
+        rng.random((params.n_nuclides, params.n_gridpoints)), axis=1
+    )
+    # Guarantee strict ascent (ties are measure-zero but seeds are forever).
+    eps = np.arange(params.n_gridpoints) * 1e-12
+    energies = energies + eps
+    xs = rng.random((params.n_nuclides, params.n_gridpoints, N_XS))
+    return NuclideGrids(energies=energies, xs=xs)
+
+
+def build_unionized_grid(grids: NuclideGrids) -> UnionizedGrid:
+    """Merge all nuclide energies and precompute the bracket index table."""
+    union = np.sort(grids.energies.ravel())
+    n_nuc = grids.n_nuclides
+    n_grid = grids.n_gridpoints
+    index = np.empty((union.size, n_nuc), dtype=np.int32)
+    for nuc in range(n_nuc):
+        j = np.searchsorted(grids.energies[nuc], union, side="right") - 1
+        np.clip(j, 0, n_grid - 2, out=j)
+        index[:, nuc] = j
+    return UnionizedGrid(union_energies=union, index=index)

@@ -1,0 +1,135 @@
+"""XSBench workload adapter.
+
+Functional face: build grids + unionized grid at the instance parameters,
+run a batch of lookups, and verify the unionized fast path against the
+direct per-nuclide reference path.
+
+Profiled face: one random-access phase.  Per lookup the kernel touches
+~log2(union) lines for the binary search plus one scattered gather per
+nuclide (index-table row reads are contiguous and stay cached); the
+accesses are data-dependent (mlp ~2, the out-of-order dual read), which
+makes XSBench latency-bound — DRAM wins at 64 threads, HBM's larger
+random-access capacity wins once hyper-threading raises the demand
+(Fig. 6d's crossover).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.engine.profilephase import AccessPattern, MemoryProfile, Phase
+from repro.util.prng import make_rng
+from repro.workloads.base import ExecutionResult, Workload, WorkloadSpec
+from repro.workloads.xsbench.grids import (
+    XSBenchParams,
+    build_nuclide_grids,
+    build_unionized_grid,
+)
+from repro.workloads.xsbench.lookup import macro_xs_direct, macro_xs_unionized
+
+#: Out-of-order dual read; the nuclide gathers are data-dependent through
+#: the index table.
+XS_MLP = 2.0
+
+
+@dataclass
+class XSBench(Workload):
+    """One XSBench problem."""
+
+    xs_params: XSBenchParams = field(default_factory=XSBenchParams)
+
+    spec: ClassVar[WorkloadSpec] = WorkloadSpec(
+        name="XSBench",
+        app_type="Scientific",
+        pattern="Random",
+        metric_name="Lookups/s",
+        metric_unit="lookups/s",
+        max_scale_gb=90.0,
+    )
+
+    #: The hardware resolves several independent nuclide gathers per
+    #: memory latency (the inner loop has abundant ILP the single-phase
+    #: random model does not credit); single scalar, identical across
+    #: configurations.
+    calibration: ClassVar[float] = 4.0
+
+    @classmethod
+    def from_problem_gb(cls, problem_gb: float) -> "XSBench":
+        return cls(xs_params=XSBenchParams.from_problem_gb(problem_gb))
+
+    @classmethod
+    def small(cls, n_nuclides: int = 12, n_gridpoints: int = 64,
+              n_lookups: int = 2000) -> "XSBench":
+        """A host-runnable instance for tests and examples."""
+        return cls(
+            xs_params=XSBenchParams(
+                n_nuclides=n_nuclides,
+                n_gridpoints=n_gridpoints,
+                n_lookups=n_lookups,
+            )
+        )
+
+    # -- sizing -----------------------------------------------------------------
+    @property
+    def footprint_bytes(self) -> int:
+        return self.xs_params.footprint_bytes
+
+    @property
+    def accesses_per_lookup(self) -> float:
+        """Random lines touched per lookup (binary search + nuclide gathers)."""
+        search = math.log2(max(2, self.xs_params.union_points))
+        return search + self.xs_params.n_nuclides
+
+    @property
+    def operations(self) -> float:
+        return float(self.xs_params.n_lookups)
+
+    def params(self) -> dict[str, Any]:
+        p = self.xs_params
+        return {
+            "n_nuclides": p.n_nuclides,
+            "n_gridpoints": p.n_gridpoints,
+            "n_lookups": p.n_lookups,
+            "problem_gb": p.footprint_bytes / 1e9,
+        }
+
+    # -- profiled face ------------------------------------------------------------
+    def profile(self) -> MemoryProfile:
+        phase = Phase(
+            name="xs-lookups",
+            pattern=AccessPattern.RANDOM,
+            traffic_bytes=self.operations * self.accesses_per_lookup * 8.0,
+            footprint_bytes=self.footprint_bytes,
+            access_bytes=8,
+            mlp_per_thread=XS_MLP,
+        )
+        return MemoryProfile(workload="xsbench", phases=(phase,))
+
+    # -- functional face ----------------------------------------------------------
+    def execute(self, *, seed: int | None = None) -> ExecutionResult:
+        """Run lookups through both paths and cross-validate."""
+        p = self.xs_params
+        grids = build_nuclide_grids(p, seed=seed)
+        union = build_unionized_grid(grids)
+        rng = make_rng(seed, "xsbench-lookups", p.n_lookups)
+        concentrations = rng.random(p.n_nuclides)
+        lo = grids.energies[:, 0].max()
+        hi = grids.energies[:, -1].min()
+        energies = rng.uniform(lo, hi, size=p.n_lookups)
+        fast = macro_xs_unionized(grids, union, energies, concentrations)
+        reference = macro_xs_direct(grids, energies, concentrations)
+        verified = bool(np.allclose(fast, reference, rtol=1e-12, atol=1e-12))
+        return ExecutionResult(
+            workload="xsbench",
+            params=self.params(),
+            operations=float(p.n_lookups),
+            verified=verified,
+            details={
+                "union_points": union.n_union,
+                "max_abs_diff": float(np.max(np.abs(fast - reference))),
+            },
+        )

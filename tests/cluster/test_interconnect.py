@@ -1,0 +1,49 @@
+"""Aries interconnect model tests."""
+
+import pytest
+
+from repro.cluster.interconnect import AriesInterconnect
+
+
+@pytest.fixture()
+def net():
+    return AriesInterconnect()
+
+
+class TestPointToPoint:
+    def test_latency_floor(self, net):
+        assert net.point_to_point_s(0) == pytest.approx(1.3e-6)
+
+    def test_bandwidth_term(self, net):
+        t = net.point_to_point_s(10e9)
+        assert t == pytest.approx(1.0 + 1.3e-6, rel=1e-6)
+
+    def test_negative_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.point_to_point_s(-1)
+
+
+class TestCollectives:
+    def test_allreduce_single_node_free(self, net):
+        assert net.allreduce_s(8.0, 1) == 0.0
+
+    def test_allreduce_log_rounds(self, net):
+        t2 = net.allreduce_s(8.0, 2)
+        t8 = net.allreduce_s(8.0, 8)
+        assert t8 == pytest.approx(3 * t2)
+
+    def test_halo_three_phases(self, net):
+        t = net.halo_exchange_s(1e6, faces=6)
+        assert t == pytest.approx(3 * net.point_to_point_s(1e6))
+
+    def test_alltoall_scales(self, net):
+        t2 = net.alltoall_s(1e6, 2)
+        t4 = net.alltoall_s(1e6, 4)
+        assert t4 > t2
+
+    def test_alltoall_single_node_free(self, net):
+        assert net.alltoall_s(1e6, 1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AriesInterconnect(alpha_s=0.0)

@@ -1,0 +1,84 @@
+"""Multi-node composition tests (Section IV-C made quantitative)."""
+
+import pytest
+
+from repro.cluster.interconnect import AriesInterconnect
+from repro.cluster.multinode import (
+    MultiNodeModel,
+    graph500_communication,
+    minife_communication,
+)
+from repro.core.configs import ConfigName
+from repro.workloads.graph500 import Graph500
+from repro.workloads.minife import MiniFE
+
+
+@pytest.fixture(scope="module")
+def model(runner):
+    return MultiNodeModel(runner)
+
+
+class TestCommunicationProfiles:
+    def test_minife_single_node_silent(self):
+        prof = minife_communication(MiniFE.from_matrix_gb(8.0), 1)
+        assert prof.steps == ()
+
+    def test_minife_steps(self):
+        w = MiniFE.from_matrix_gb(8.0)
+        prof = minife_communication(w, 8)
+        kinds = {s.op.value for s in prof.steps}
+        assert kinds == {"halo", "allreduce"}
+        allreduce = next(s for s in prof.steps if s.op.value == "allreduce")
+        assert allreduce.count == 2 * w.cg_iterations
+
+    def test_graph500_alltoall(self):
+        prof = graph500_communication(Graph500(scale=24), 8)
+        assert len(prof.steps) == 1
+        assert prof.steps[0].op.value == "alltoall"
+
+    def test_time_positive(self):
+        net = AriesInterconnect()
+        prof = minife_communication(MiniFE.from_matrix_gb(8.0), 8)
+        assert prof.time_s(net, 8) > 0
+
+
+class TestMultiNodeModel:
+    def test_hbm_knee_in_aggregate(self, model):
+        """Per the paper: aggregate throughput jumps when sub-problems
+        start fitting HBM."""
+        four = model.run(MiniFE.from_matrix_gb, 96.0, 4)
+        eight = model.run(MiniFE.from_matrix_gb, 96.0, 8)
+        assert four.config is not ConfigName.HBM
+        assert eight.config is ConfigName.HBM
+        assert eight.aggregate_metric / four.aggregate_metric > 3.0
+
+    def test_efficiency_below_one_with_comm(self, model):
+        result = model.run(Graph500.from_graph_gb, 70.0, 8)
+        assert 0.5 < result.parallel_efficiency < 1.0
+        assert result.communication_s > 0
+
+    def test_explicit_config(self, model):
+        result = model.run(MiniFE.from_matrix_gb, 32.0, 4, config=ConfigName.HBM)
+        assert result.config is ConfigName.HBM
+
+    def test_explicit_infeasible_config_raises(self, model):
+        with pytest.raises(RuntimeError, match="infeasible"):
+            model.run(MiniFE.from_matrix_gb, 96.0, 2, config=ConfigName.HBM)
+
+    def test_aggregate_is_nodes_times_per_node(self, model):
+        result = model.run(MiniFE.from_matrix_gb, 64.0, 8)
+        assert result.aggregate_metric == pytest.approx(
+            8 * result.per_node_metric
+        )
+
+    def test_total_time_composition(self, model):
+        result = model.run(Graph500.from_graph_gb, 70.0, 4)
+        assert result.total_s == pytest.approx(
+            result.compute_s + result.communication_s
+        )
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.run(MiniFE.from_matrix_gb, 0.0, 4)
+        with pytest.raises(ValueError):
+            model.run(MiniFE.from_matrix_gb, 32.0, 0)

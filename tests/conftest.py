@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import ExperimentRunner
+from repro.engine.perfmodel import PerformanceModel
+from repro.machine.presets import knl7210
+from repro.memory.modes import MCDRAMConfig, MemorySystem
+from repro.runtime.simos import SimulatedOS
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The paper's testbed machine model (immutable, session-scoped)."""
+    return knl7210()
+
+
+@pytest.fixture()
+def flat_memory():
+    return MemorySystem(MCDRAMConfig.flat())
+
+
+@pytest.fixture()
+def cache_memory():
+    return MemorySystem(MCDRAMConfig.cache())
+
+
+@pytest.fixture()
+def hybrid_memory():
+    return MemorySystem(MCDRAMConfig.hybrid(0.5))
+
+
+@pytest.fixture()
+def flat_model(machine, flat_memory):
+    return PerformanceModel(machine, flat_memory)
+
+
+@pytest.fixture()
+def cache_model_pm(machine, cache_memory):
+    return PerformanceModel(machine, cache_memory)
+
+
+@pytest.fixture()
+def flat_os():
+    return SimulatedOS(MCDRAMConfig.flat())
+
+
+@pytest.fixture()
+def cache_os():
+    return SimulatedOS(MCDRAMConfig.cache())
+
+
+@pytest.fixture(scope="session")
+def runner(machine):
+    return ExperimentRunner(machine)

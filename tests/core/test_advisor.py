@@ -1,0 +1,67 @@
+"""Placement advisor tests — the Section-VI recommendations must come out."""
+
+import pytest
+
+from repro.core.advisor import PlacementAdvisor
+from repro.core.configs import ConfigName
+from repro.workloads.graph500 import Graph500
+from repro.workloads.gups import GUPS
+from repro.workloads.minife import MiniFE
+from repro.workloads.stream import StreamBenchmark
+from repro.workloads.xsbench import XSBench
+
+
+@pytest.fixture(scope="module")
+def advisor(runner):
+    return PlacementAdvisor(runner)
+
+
+class TestRecommendations:
+    def test_sequential_fitting_gets_hbm(self, advisor):
+        rec = advisor.recommend(MiniFE.from_matrix_gb(7.2), 64)
+        assert rec.best is ConfigName.HBM
+        assert rec.expected_improvement_vs_dram > 2.5
+        assert any(g.rule_id == "seq-fits-hbm" for g in rec.guidelines)
+
+    def test_sequential_comparable_gets_cache(self, advisor):
+        rec = advisor.recommend(
+            StreamBenchmark(size_bytes=int(18e9)), 64
+        )
+        assert rec.best is ConfigName.CACHE
+
+    def test_sequential_oversized_gets_dram(self, advisor):
+        rec = advisor.recommend(StreamBenchmark(size_bytes=int(32e9)), 64)
+        assert rec.best is ConfigName.DRAM
+
+    def test_random_single_thread_gets_dram(self, advisor):
+        rec = advisor.recommend(GUPS.from_table_gb(8.0), 64)
+        assert rec.best is ConfigName.DRAM
+        assert any(g.rule_id == "rand-single-thread" for g in rec.guidelines)
+
+    def test_xsbench_flips_to_hbm_with_hyperthreads(self, advisor):
+        """Fig. 6d: at 256 threads HBM becomes the best option."""
+        at64 = advisor.recommend(XSBench.from_problem_gb(11.3), 64)
+        at256 = advisor.recommend(XSBench.from_problem_gb(11.3), 256)
+        assert at64.best is ConfigName.DRAM
+        assert at256.best is ConfigName.HBM
+
+    def test_graph500_stays_dram(self, advisor):
+        """Graph500 'might not be able to completely hide the memory
+        latency, hence DRAM still gives the best performance'."""
+        rec = advisor.recommend(Graph500.from_graph_gb(8.8), 128)
+        assert rec.best is ConfigName.DRAM
+
+    def test_oversized_returns_feasible_best(self, advisor):
+        rec = advisor.recommend(Graph500.from_graph_gb(35.0), 64)
+        hbm_record = next(
+            r for r in rec.records if r.config is ConfigName.HBM
+        )
+        assert not hbm_record.feasible
+        assert rec.best in (ConfigName.DRAM, ConfigName.CACHE)
+
+    def test_describe_lists_everything(self, advisor):
+        rec = advisor.recommend(MiniFE.from_matrix_gb(3.6), 64)
+        text = rec.describe()
+        assert "MiniFE" in text
+        assert "guideline" in text
+        assert "DRAM" in text and "HBM" in text

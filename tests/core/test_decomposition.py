@@ -1,0 +1,78 @@
+"""Decomposition sizing tests (Section IV-C guideline)."""
+
+import pytest
+
+from repro.core.configs import ConfigName
+from repro.core.decomposition import (
+    decompose,
+    hbm_knee,
+    parallel_efficiency,
+    sweep_node_counts,
+)
+from repro.workloads.minife import MiniFE
+
+
+class TestParallelEfficiency:
+    def test_single_node_perfect(self):
+        assert parallel_efficiency(1) == 1.0
+
+    def test_decreasing(self):
+        effs = [parallel_efficiency(n) for n in (1, 2, 4, 8, 16)]
+        assert effs == sorted(effs, reverse=True)
+
+    def test_bounded(self):
+        assert 0.9 < parallel_efficiency(1024) <= 1.0 or parallel_efficiency(
+            1024
+        ) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parallel_efficiency(0)
+        with pytest.raises(ValueError):
+            parallel_efficiency(4, comm_fraction=2.0)
+
+
+class TestDecompose:
+    def test_infeasible_when_too_few_nodes(self, runner):
+        point = decompose(MiniFE.from_matrix_gb, 96.0, 1, runner=runner)
+        assert not point.feasible
+        assert point.aggregate_metric is None
+
+    def test_config_shifts_with_node_count(self, runner):
+        four = decompose(MiniFE.from_matrix_gb, 96.0, 4, runner=runner)
+        eight = decompose(MiniFE.from_matrix_gb, 96.0, 8, runner=runner)
+        assert four.best_config in (ConfigName.DRAM, ConfigName.CACHE)
+        assert eight.best_config is ConfigName.HBM
+
+    def test_aggregate_accounting(self, runner):
+        point = decompose(MiniFE.from_matrix_gb, 64.0, 8, runner=runner)
+        assert point.aggregate_metric == pytest.approx(
+            8 * point.per_node_metric * point.parallel_efficiency
+        )
+
+    def test_validation(self, runner):
+        with pytest.raises(ValueError):
+            decompose(MiniFE.from_matrix_gb, -1.0, 2, runner=runner)
+
+
+class TestSweepAndKnee:
+    def test_knee_is_first_fitting(self, runner):
+        points = sweep_node_counts(
+            MiniFE.from_matrix_gb, 96.0, [2, 4, 6, 8, 12], runner=runner
+        )
+        knee = hbm_knee(points)
+        assert knee is not None
+        assert knee.per_node_gb <= 16.0
+        assert all(
+            p.per_node_gb > 16.0 for p in points if p.nodes < knee.nodes
+        )
+
+    def test_no_knee_when_everything_oversized(self, runner):
+        points = sweep_node_counts(
+            MiniFE.from_matrix_gb, 96.0, [2, 4], runner=runner
+        )
+        assert hbm_knee(points) is None
+
+    def test_empty_counts_rejected(self, runner):
+        with pytest.raises(ValueError):
+            sweep_node_counts(MiniFE.from_matrix_gb, 96.0, [], runner=runner)

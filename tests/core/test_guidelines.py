@@ -1,0 +1,64 @@
+"""Guideline rule tests."""
+
+import pytest
+
+from repro.core.guidelines import GUIDELINES, applicable_guidelines
+from repro.engine.profilephase import AccessPattern
+from repro.util.units import GiB
+
+
+def ids(pattern, footprint, tpc):
+    return {
+        g.rule_id for g in applicable_guidelines(pattern, footprint, tpc)
+    }
+
+
+class TestSelection:
+    def test_sequential_fitting(self):
+        got = ids(AccessPattern.SEQUENTIAL, 8 * GiB, 1)
+        assert "seq-fits-hbm" in got
+        assert "use-hyperthreads-on-hbm" in got
+        assert "seq-oversized" not in got
+
+    def test_sequential_comparable(self):
+        got = ids(AccessPattern.SEQUENTIAL, 20 * GiB, 1)
+        assert "seq-comparable" in got
+        assert "decompose-to-hbm" in got
+
+    def test_sequential_oversized(self):
+        got = ids(AccessPattern.SEQUENTIAL, 40 * GiB, 1)
+        assert "seq-oversized" in got
+        assert "seq-comparable" not in got
+
+    def test_random_single_thread(self):
+        got = ids(AccessPattern.RANDOM, 8 * GiB, 1)
+        assert "rand-single-thread" in got
+        assert "rand-multi-thread-fits" not in got
+
+    def test_random_multi_thread(self):
+        got = ids(AccessPattern.RANDOM, 8 * GiB, 4)
+        assert "rand-multi-thread-fits" in got
+        assert "rand-single-thread" not in got
+
+    def test_random_oversized(self):
+        got = ids(AccessPattern.RANDOM, 35 * GiB, 2)
+        assert "rand-oversized" in got
+
+    def test_every_guideline_reachable(self):
+        reachable = set()
+        for pattern in AccessPattern:
+            for footprint in (GiB, 20 * GiB, 40 * GiB):
+                for tpc in (1, 2, 4):
+                    reachable |= ids(pattern, footprint, tpc)
+        assert reachable == {g.rule_id for g in GUIDELINES}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            applicable_guidelines(AccessPattern.RANDOM, -1, 1)
+        with pytest.raises(ValueError):
+            applicable_guidelines(AccessPattern.RANDOM, GiB, 0)
+
+    def test_all_guidelines_cite_the_paper(self):
+        for g in GUIDELINES:
+            assert g.paper_basis
+            assert g.advice

@@ -1,0 +1,43 @@
+"""Metric helper tests."""
+
+import pytest
+
+from repro.core.metrics import Metric, harmonic_mean, improvement
+
+
+class TestImprovement:
+    def test_basic(self):
+        assert improvement(30.0, 10.0) == 3.0
+
+    def test_none_propagates(self):
+        assert improvement(None, 10.0) is None
+        assert improvement(10.0, None) is None
+        assert improvement(10.0, 0.0) is None
+
+
+class TestHarmonicMean:
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_equal_values(self):
+        assert harmonic_mean([5.0, 5.0, 5.0]) == pytest.approx(5.0)
+
+    def test_dominated_by_small(self):
+        assert harmonic_mean([1.0, 1000.0]) < 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+
+class TestMetric:
+    def test_display_scaled(self):
+        m = Metric("CG MFLOPS", "Mflop/s", scale=1e6)
+        assert m.display(1.5e10) == "1.5e+04"
+
+    def test_display_missing(self):
+        assert Metric("m", "u").display(None) == "-"

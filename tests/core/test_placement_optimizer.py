@@ -1,0 +1,95 @@
+"""Placement optimizer tests."""
+
+import pytest
+
+from repro.core.configs import ConfigName
+from repro.core.placement_optimizer import (
+    PlacementOptimizer,
+    Structure,
+    structures_for,
+)
+from repro.engine.placement import Location
+from repro.workloads.graph500 import Graph500
+from repro.workloads.gups import GUPS
+from repro.workloads.minife import MiniFE
+
+
+@pytest.fixture(scope="module")
+def optimizer():
+    return PlacementOptimizer()
+
+
+class TestStructures:
+    def test_minife_decomposition_covers_profile(self):
+        w = MiniFE.from_matrix_gb(3.6)
+        phases = {s.phase for s in structures_for(w)}
+        assert phases == {p.name for p in w.profile().phases}
+
+    def test_graph500_decomposition(self):
+        w = Graph500(scale=22)
+        names = {s.name for s in structures_for(w)}
+        assert names == {"csr-adjacency", "vertex-arrays"}
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="no built-in"):
+            structures_for(GUPS(log2_entries=20))
+
+    def test_structure_validation(self):
+        with pytest.raises(ValueError):
+            Structure("", 10, "p")
+        with pytest.raises(ValueError):
+            Structure("s", 0, "p")
+
+
+class TestOptimization:
+    def test_minife_keeps_gather_in_dram(self, optimizer):
+        """The optimizer applies the paper's conclusions per structure:
+        the streamed matrix goes to HBM, the latency-bound x-vector
+        gather stays in DRAM — beating even the pure-HBM binding."""
+        w = MiniFE.from_matrix_gb(7.2)
+        best = optimizer.optimize(w)
+        assert best.assignments["stiffness-matrix"] is Location.HBM
+        assert best.assignments["x-vector"] is Location.DRAM
+
+    def test_beats_every_coarse_configuration(self, optimizer, runner):
+        w = MiniFE.from_matrix_gb(7.2)
+        best = optimizer.optimize(w)
+        for config in ConfigName.paper_trio():
+            record = runner.run(w, config, 64)
+            if record.metric is not None:
+                assert best.metric >= record.metric * 0.999
+
+    def test_respects_hbm_capacity(self, optimizer):
+        w = MiniFE.from_matrix_gb(15.5)  # total exceeds 16 GiB
+        best = optimizer.optimize(w)
+        assert best.hbm_bytes <= 16 * 2**30
+        assert best.assignments["stiffness-matrix"] is Location.HBM
+
+    def test_infeasible_assignments_skipped(self, optimizer):
+        w = MiniFE.from_matrix_gb(15.5)
+        best = optimizer.optimize(w)
+        # 3 structures -> 8 assignments; those overflowing HBM are skipped.
+        assert best.evaluated < 8
+
+    def test_graph500_splits_structures(self, optimizer, runner):
+        """CSR streams (HBM), vertex arrays are random (DRAM) — the split
+        beats all three coarse configurations."""
+        w = Graph500.from_graph_gb(8.8)
+        best = optimizer.optimize(w)
+        assert best.assignments["csr-adjacency"] is Location.HBM
+        assert best.assignments["vertex-arrays"] is Location.DRAM
+        dram = runner.run(w, ConfigName.DRAM, 64).metric
+        assert best.metric > dram
+
+    def test_phase_coverage_checked(self, optimizer):
+        w = MiniFE.from_matrix_gb(3.6)
+        with pytest.raises(ValueError, match="cover"):
+            optimizer.optimize(
+                w, [Structure("matrix", w.matrix_bytes, "spmv-stream")]
+            )
+
+    def test_custom_threads(self, optimizer):
+        w = MiniFE.from_matrix_gb(3.6)
+        at64 = optimizer.optimize(w, num_threads=64)
+        at128 = optimizer.optimize(w, num_threads=128)
+        assert at128.metric > at64.metric

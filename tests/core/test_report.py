@@ -1,0 +1,48 @@
+"""Study report and energy comparison tests."""
+
+import pytest
+
+from repro.core.report import (
+    energy_comparison,
+    energy_comparison_by_name,
+    generate_report,
+)
+from repro.workloads.minife import MiniFE
+
+
+class TestEnergyComparison:
+    def test_table_structure(self, runner):
+        table = energy_comparison(MiniFE.from_matrix_gb(3.6), runner=runner)
+        text = table.render()
+        assert "EDP" in text
+        assert "HBM" in text
+
+    def test_infeasible_rows_dashed(self, runner):
+        table = energy_comparison(MiniFE.from_matrix_gb(28.8), runner=runner)
+        hbm_row = next(
+            line for line in table.render().splitlines() if "HBM" in line
+        )
+        assert "-" in hbm_row
+
+    def test_by_name(self, runner):
+        table = energy_comparison_by_name("gups", 4.0, runner=runner)
+        assert "GUPS" in table.render()
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            energy_comparison_by_name("hpl", 4.0)
+
+
+class TestStudyReport:
+    def test_contains_every_exhibit(self, runner):
+        report = generate_report(runner)
+        text = report.render()
+        for exhibit_id in (
+            "table1", "table2", "fig1", "fig2", "fig3", "fig4a", "fig4b",
+            "fig4c", "fig4d", "fig4e", "fig5", "fig6a", "fig6b", "fig6c",
+            "fig6d",
+        ):
+            assert f"{exhibit_id}:" in text
+
+    def test_section_count(self, runner):
+        assert len(generate_report(runner).sections) == 15

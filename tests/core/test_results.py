@@ -1,0 +1,109 @@
+"""ResultSet / Series tests."""
+
+import pytest
+
+from repro.core.configs import ConfigName
+from repro.core.results import ResultSet, Series
+from repro.core.runner import RunRecord
+
+
+def record(config, metric, threads=64):
+    return RunRecord(
+        workload="w",
+        workload_params={},
+        config=config,
+        num_threads=threads,
+        metric=metric,
+        metric_name="m",
+        metric_unit="u",
+        infeasible_reason=None if metric is not None else "too big",
+    )
+
+
+@pytest.fixture()
+def results():
+    recs = []
+    for x, (d, h, c) in [
+        (1.0, (10.0, 30.0, 25.0)),
+        (2.0, (10.0, 30.0, 20.0)),
+        (4.0, (10.0, None, 12.0)),
+    ]:
+        recs.append((x, record(ConfigName.DRAM, d)))
+        recs.append((x, record(ConfigName.HBM, h)))
+        recs.append((x, record(ConfigName.CACHE, c)))
+    return ResultSet(recs, x_label="Size (GB)", title="t")
+
+
+class TestSeries:
+    def test_defined_filters_missing(self):
+        s = Series("s", (1.0, 2.0, 3.0), (1.0, None, 3.0))
+        xs, ys = s.defined()
+        assert xs == (1.0, 3.0)
+        assert ys == (1.0, 3.0)
+
+    def test_max_y(self):
+        assert Series("s", (1.0,), (None,)).max_y is None
+        assert Series("s", (1.0, 2.0), (5.0, 7.0)).max_y == 7.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Series("s", (1.0,), (1.0, 2.0))
+
+
+class TestResultSet:
+    def test_xs_and_configs(self, results):
+        assert results.xs == [1.0, 2.0, 4.0]
+        assert results.configs == [
+            ConfigName.DRAM, ConfigName.HBM, ConfigName.CACHE
+        ]
+
+    def test_value_lookup(self, results):
+        assert results.value(2.0, ConfigName.CACHE) == 20.0
+        assert results.value(4.0, ConfigName.HBM) is None
+        assert results.value(9.0, ConfigName.DRAM) is None
+
+    def test_series(self, results):
+        s = results.series(ConfigName.HBM)
+        assert s.ys == (30.0, 30.0, None)
+
+    def test_improvement_series(self, results):
+        imp = results.improvement_series(ConfigName.HBM, ConfigName.DRAM)
+        assert imp.ys == (3.0, 3.0, None)
+
+    def test_table_renders_missing_as_dash(self, results):
+        text = results.to_table().render()
+        assert "-" in text.splitlines()[-1]
+
+    def test_chart_renders(self, results):
+        assert "DRAM" in results.to_chart().render()
+
+    def test_render_combines(self, results):
+        text = results.render()
+        assert "Size (GB)" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ResultSet([], x_label="x", title="t")
+
+
+class TestExport:
+    def test_csv_round_trip(self, results):
+        import csv
+        import io
+
+        rows = list(csv.reader(io.StringIO(results.to_csv())))
+        assert rows[0] == ["Size (GB)", "DRAM", "HBM", "Cache Mode"]
+        assert len(rows) == 4
+        # Missing HBM value at x=4 is an empty cell.
+        assert rows[3][2] == ""
+        assert float(rows[1][1]) == 10.0
+
+    def test_records_json_ready(self, results):
+        import json
+
+        records = results.to_records()
+        assert len(records) == 9
+        text = json.dumps(records)  # must serialize
+        assert "infeasible_reason" in text
+        missing = [r for r in records if r["metric"] is None]
+        assert all(r["infeasible_reason"] for r in missing)

@@ -1,0 +1,58 @@
+"""Sweep tests."""
+
+import pytest
+
+from repro.core.configs import ConfigName
+from repro.core.sweep import size_sweep, thread_sweep
+from repro.workloads.stream import StreamBenchmark
+
+
+class TestSizeSweep:
+    def test_shape(self, runner):
+        rs = size_sweep(
+            runner,
+            lambda gb: StreamBenchmark(size_bytes=int(gb * 1e9)),
+            [2.0, 20.0],
+        )
+        assert rs.xs == [2.0, 20.0]
+        assert len(rs.records) == 6
+
+    def test_hbm_missing_beyond_capacity(self, runner):
+        rs = size_sweep(
+            runner,
+            lambda gb: StreamBenchmark(size_bytes=int(gb * 1e9)),
+            [2.0, 20.0],
+        )
+        assert rs.value(2.0, ConfigName.HBM) is not None
+        assert rs.value(20.0, ConfigName.HBM) is None
+
+    def test_empty_sizes_rejected(self, runner):
+        with pytest.raises(ValueError):
+            size_sweep(runner, lambda gb: StreamBenchmark(size_bytes=1000), [])
+
+    def test_custom_configs(self, runner):
+        rs = size_sweep(
+            runner,
+            lambda gb: StreamBenchmark(size_bytes=int(gb * 1e9)),
+            [1.0],
+            configs=[ConfigName.DRAM],
+        )
+        assert rs.configs == [ConfigName.DRAM]
+
+
+class TestThreadSweep:
+    def test_shape(self, runner):
+        rs = thread_sweep(
+            runner, StreamBenchmark(size_bytes=int(4e9)), [64, 128]
+        )
+        assert rs.xs == [64.0, 128.0]
+
+    def test_hbm_bandwidth_grows_with_threads(self, runner):
+        rs = thread_sweep(
+            runner, StreamBenchmark(size_bytes=int(4e9)), [64, 128]
+        )
+        assert rs.value(128.0, ConfigName.HBM) > rs.value(64.0, ConfigName.HBM)
+
+    def test_empty_threads_rejected(self, runner):
+        with pytest.raises(ValueError):
+            thread_sweep(runner, StreamBenchmark(size_bytes=1000), [])

@@ -1,0 +1,72 @@
+"""Little's law arithmetic tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.littles_law import (
+    littles_law_bandwidth,
+    required_concurrency,
+    saturating_rate,
+)
+
+
+class TestLittlesLaw:
+    def test_paper_example(self):
+        """330 GB/s at 154 ns needs ~794 outstanding lines (12.4/core)."""
+        needed = required_concurrency(330e9, 154.0)
+        assert needed == pytest.approx(794, rel=0.01)
+        assert needed / 64 == pytest.approx(12.4, rel=0.01)
+
+    def test_dram_needs_less(self):
+        """DRAM's 77 GB/s at 130.4 ns needs far fewer outstanding lines —
+        why one thread per core already saturates DDR (Fig. 5)."""
+        assert required_concurrency(77e9, 130.4) < 200
+
+    def test_inverse_relationship(self):
+        bw = littles_law_bandwidth(100, 154.0)
+        assert required_concurrency(bw, 154.0) == pytest.approx(100)
+
+    @given(
+        st.floats(min_value=1, max_value=1e4),
+        st.floats(min_value=1, max_value=1e4),
+    )
+    def test_round_trip_property(self, outstanding, latency):
+        bw = littles_law_bandwidth(outstanding, latency)
+        assert required_concurrency(bw, latency) == pytest.approx(
+            outstanding, rel=1e-9
+        )
+
+    def test_zero_outstanding(self):
+        assert littles_law_bandwidth(0, 100.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            littles_law_bandwidth(1, 0.0)
+        with pytest.raises(ValueError):
+            required_concurrency(-1, 100.0)
+
+
+class TestSaturatingRate:
+    def test_zero_demand(self):
+        assert saturating_rate(0.0, 100.0) == 0.0
+
+    def test_linear_at_low_demand(self):
+        assert saturating_rate(1.0, 1000.0) == pytest.approx(1.0, rel=1e-3)
+
+    def test_never_exceeds_capacity(self):
+        assert saturating_rate(1e9, 100.0) <= 100.0
+
+    def test_never_exceeds_demand(self):
+        assert saturating_rate(50.0, 100.0) <= 50.0
+
+    @given(
+        st.floats(min_value=0, max_value=1e6),
+        st.floats(min_value=1e-3, max_value=1e6),
+    )
+    def test_bounds_property(self, demand, capacity):
+        rate = saturating_rate(demand, capacity)
+        assert 0.0 <= rate <= min(demand, capacity) + 1e-9
+
+    def test_monotone_in_demand(self):
+        rates = [saturating_rate(d, 100.0) for d in (10, 50, 100, 500)]
+        assert rates == sorted(rates)

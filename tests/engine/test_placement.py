@@ -1,0 +1,64 @@
+"""PlacementMix tests."""
+
+import pytest
+
+from repro.engine.placement import Location, PlacementMix
+
+
+class TestConstruction:
+    def test_pure(self):
+        mix = PlacementMix.pure(Location.HBM)
+        assert mix.fraction(Location.HBM) == 1.0
+        assert mix.fraction(Location.DRAM) == 0.0
+        assert mix.locations == (Location.HBM,)
+
+    def test_of(self):
+        mix = PlacementMix.of(hbm=0.6, dram=0.4)
+        assert mix.fraction(Location.HBM) == pytest.approx(0.6)
+
+    def test_of_drops_zero(self):
+        mix = PlacementMix.of(hbm=1.0, dram=0.0)
+        assert mix.locations == (Location.HBM,)
+
+    def test_of_unknown_key(self):
+        with pytest.raises(ValueError):
+            PlacementMix.of(nvram=1.0)
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PlacementMix.of(hbm=0.5, dram=0.4)
+
+    def test_duplicate_location(self):
+        with pytest.raises(ValueError):
+            PlacementMix(((Location.HBM, 0.5), (Location.HBM, 0.5)))
+
+
+class TestFromAllocationSplit:
+    def test_flat_membind_hbm(self):
+        mix = PlacementMix.from_allocation_split({1: 100})
+        assert mix.fraction(Location.HBM) == 1.0
+
+    def test_flat_membind_dram(self):
+        mix = PlacementMix.from_allocation_split({0: 100})
+        assert mix.fraction(Location.DRAM) == 1.0
+
+    def test_cache_mode(self):
+        mix = PlacementMix.from_allocation_split({0: 100}, dram_cached=True)
+        assert mix.fraction(Location.DRAM_CACHED) == 1.0
+
+    def test_mixed(self):
+        mix = PlacementMix.from_allocation_split({0: 25, 1: 75})
+        assert mix.fraction(Location.HBM) == pytest.approx(0.75)
+        assert mix.fraction(Location.DRAM) == pytest.approx(0.25)
+
+    def test_empty_split(self):
+        with pytest.raises(ValueError):
+            PlacementMix.from_allocation_split({})
+
+    def test_unknown_node(self):
+        with pytest.raises(ValueError):
+            PlacementMix.from_allocation_split({2: 10})
+
+    def test_describe(self):
+        mix = PlacementMix.of(hbm=0.75, dram=0.25)
+        assert "75% hbm" in mix.describe()

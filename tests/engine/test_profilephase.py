@@ -1,0 +1,92 @@
+"""Phase / MemoryProfile tests."""
+
+import pytest
+
+from repro.engine.profilephase import AccessPattern, MemoryProfile, Phase
+
+
+def phase(**kw) -> Phase:
+    base = dict(
+        name="p",
+        pattern=AccessPattern.SEQUENTIAL,
+        traffic_bytes=1e9,
+        footprint_bytes=10**9,
+    )
+    base.update(kw)
+    return Phase(**base)
+
+
+class TestPhase:
+    def test_accesses(self):
+        p = phase(traffic_bytes=640.0, access_bytes=64)
+        assert p.accesses == 10.0
+
+    def test_random_granularity(self):
+        p = phase(pattern=AccessPattern.RANDOM, traffic_bytes=80.0, access_bytes=8)
+        assert p.accesses == 10.0
+
+    def test_arithmetic_intensity(self):
+        p = phase(traffic_bytes=100.0, flops=400.0)
+        assert p.arithmetic_intensity == pytest.approx(4.0)
+
+    def test_intensity_degenerate_cases(self):
+        assert phase(traffic_bytes=0.0, flops=1.0).arithmetic_intensity == float("inf")
+        assert phase(traffic_bytes=0.0, flops=0.0).arithmetic_intensity == 0.0
+
+    def test_scaled(self):
+        p = phase(traffic_bytes=10.0, flops=2.0).scaled(200)
+        assert p.traffic_bytes == 2000.0
+        assert p.flops == 400.0
+        assert p.footprint_bytes == 10**9  # footprint unchanged
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(name=""),
+            dict(traffic_bytes=-1),
+            dict(access_bytes=0),
+            dict(access_bytes=128),  # > line size
+            dict(mlp_per_thread=0.0),
+            dict(compute_efficiency=0.0),
+            dict(compute_efficiency=1.5),
+            dict(sync_fraction=-0.1),
+            dict(sync_quadratic=-0.1),
+            dict(write_fraction=1.5),
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            phase(**kw)
+
+
+class TestMemoryProfile:
+    def test_aggregates(self):
+        prof = MemoryProfile(
+            "w",
+            (
+                phase(traffic_bytes=10.0, flops=1.0, footprint_bytes=100),
+                phase(traffic_bytes=30.0, flops=2.0, footprint_bytes=50,
+                      pattern=AccessPattern.RANDOM),
+            ),
+        )
+        assert prof.total_traffic_bytes == 40.0
+        assert prof.total_flops == 3.0
+        assert prof.footprint_bytes == 100
+
+    def test_dominant_pattern_by_traffic(self):
+        prof = MemoryProfile(
+            "w",
+            (
+                phase(traffic_bytes=10.0),
+                phase(traffic_bytes=30.0, pattern=AccessPattern.RANDOM),
+            ),
+        )
+        assert prof.dominant_pattern is AccessPattern.RANDOM
+
+    def test_needs_phases(self):
+        with pytest.raises(ValueError):
+            MemoryProfile("w", ())
+
+    def test_needs_name(self):
+        with pytest.raises(ValueError):
+            MemoryProfile("", (phase(),))

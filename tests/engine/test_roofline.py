@@ -1,0 +1,67 @@
+"""Roofline model tests."""
+
+import pytest
+
+from repro.engine.profilephase import AccessPattern, MemoryProfile, Phase
+from repro.engine.roofline import RooflineModel
+from repro.memory.dram import ddr4_archer
+from repro.memory.mcdram import mcdram_archer
+
+
+@pytest.fixture()
+def roofline(machine):
+    return RooflineModel(machine, ddr4_archer(), mcdram_archer())
+
+
+class TestRidges:
+    def test_hbm_ridge_left_of_dram_ridge(self, roofline):
+        assert roofline.ridge_intensity_hbm() < roofline.ridge_intensity_dram()
+
+    def test_dram_ridge_value(self, roofline, machine):
+        expected = machine.peak_dp_gflops * 1e9 / 77e9
+        assert roofline.ridge_intensity_dram() == pytest.approx(expected)
+
+
+class TestAttainable:
+    def test_low_intensity_bandwidth_bound(self, roofline):
+        got = roofline.attainable_gflops(0.1, 77e9)
+        assert got == pytest.approx(0.1 * 77, rel=1e-9)
+
+    def test_high_intensity_compute_bound(self, roofline, machine):
+        got = roofline.attainable_gflops(1000.0, 77e9)
+        assert got == machine.peak_dp_gflops
+
+    def test_validation(self, roofline):
+        with pytest.raises(ValueError):
+            roofline.attainable_gflops(0.0, 77e9)
+
+
+class TestLocate:
+    def _profile(self, intensity):
+        return MemoryProfile(
+            "w",
+            (
+                Phase(
+                    "p",
+                    AccessPattern.SEQUENTIAL,
+                    traffic_bytes=1e9,
+                    flops=intensity * 1e9,
+                    footprint_bytes=10**9,
+                ),
+            ),
+        )
+
+    def test_stream_like_kernel_bound_gap_is_4x(self, roofline):
+        point = roofline.locate(self._profile(0.1))
+        assert point.hbm_speedup_bound == pytest.approx(330 / 77, rel=1e-6)
+
+    def test_compute_kernel_no_hbm_benefit(self, roofline):
+        point = roofline.locate(self._profile(1e4))
+        assert point.hbm_speedup_bound == pytest.approx(1.0)
+
+    def test_between_ridges_partial_benefit(self, roofline):
+        intensity = (
+            roofline.ridge_intensity_hbm() + roofline.ridge_intensity_dram()
+        ) / 2
+        point = roofline.locate(self._profile(intensity))
+        assert 1.0 < point.hbm_speedup_bound < 330 / 77

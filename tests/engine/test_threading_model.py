@@ -1,0 +1,91 @@
+"""Threading model tests."""
+
+import pytest
+
+from repro.engine.profilephase import AccessPattern, Phase
+from repro.engine.threading_model import ThreadingModel
+from repro.runtime.process import OpenMPEnvironment
+
+
+@pytest.fixture()
+def tm(machine):
+    return ThreadingModel(machine)
+
+
+def phase(**kw) -> Phase:
+    base = dict(
+        name="p",
+        pattern=AccessPattern.SEQUENTIAL,
+        traffic_bytes=1e9,
+        footprint_bytes=10**9,
+    )
+    base.update(kw)
+    return Phase(**base)
+
+
+class TestOutstanding:
+    def test_sequential_default_mlp(self, tm, machine):
+        env = OpenMPEnvironment(machine, 64)
+        lines = tm.outstanding_requests(phase(), env)
+        assert lines == pytest.approx(64 * 13.4)
+
+    def test_random_default_mlp(self, tm, machine):
+        env = OpenMPEnvironment(machine, 64)
+        lines = tm.outstanding_requests(
+            phase(pattern=AccessPattern.RANDOM), env
+        )
+        assert lines == pytest.approx(64 * 2.0)
+
+    def test_explicit_mlp_overrides(self, tm, machine):
+        env = OpenMPEnvironment(machine, 64)
+        lines = tm.outstanding_requests(phase(mlp_per_thread=1.0), env)
+        assert lines == pytest.approx(64.0)
+
+    def test_smt_scales_until_cap(self, tm, machine):
+        p = phase(pattern=AccessPattern.RANDOM)
+        by_threads = [
+            tm.outstanding_requests(p, OpenMPEnvironment(machine, t))
+            for t in (64, 128, 192, 256)
+        ]
+        assert by_threads == sorted(by_threads)
+        assert by_threads[3] == pytest.approx(64 * 8.0)
+
+    def test_sequential_caps_at_superqueue(self, tm, machine):
+        env = OpenMPEnvironment(machine, 256)
+        lines = tm.outstanding_requests(phase(), env)
+        assert lines == pytest.approx(64 * 17.0)
+
+
+class TestComputeScale:
+    def test_monotone_to_192(self, tm, machine):
+        scales = [
+            tm.compute_scale(OpenMPEnvironment(machine, t))
+            for t in (64, 128, 192)
+        ]
+        assert scales == sorted(scales)
+
+    def test_partial_node(self, tm, machine):
+        half = tm.compute_scale(OpenMPEnvironment(machine, 32))
+        full = tm.compute_scale(OpenMPEnvironment(machine, 64))
+        assert half == pytest.approx(full / 2)
+
+
+class TestSyncOverhead:
+    def test_identity_without_sync(self, tm, machine):
+        env = OpenMPEnvironment(machine, 256)
+        assert tm.sync_overhead_factor(phase(), env) == 1.0
+
+    def test_linear_term(self, tm, machine):
+        p = phase(sync_fraction=0.1)
+        env = OpenMPEnvironment(machine, 192)
+        assert tm.sync_overhead_factor(p, env) == pytest.approx(1.2)
+
+    def test_quadratic_term(self, tm, machine):
+        p = phase(sync_quadratic=0.1)
+        env = OpenMPEnvironment(machine, 256)
+        assert tm.sync_overhead_factor(p, env) == pytest.approx(1.9)
+
+    def test_no_overhead_at_baseline(self, tm, machine):
+        p = phase(sync_fraction=0.5, sync_quadratic=0.5)
+        env = OpenMPEnvironment(machine, 64)
+        assert tm.sync_overhead_factor(p, env) == 1.0

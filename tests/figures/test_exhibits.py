@@ -1,0 +1,297 @@
+"""Figure-generator shape tests: every exhibit must show the paper's
+qualitative result (orderings, crossovers, saturation, missing bars)."""
+
+import pytest
+
+from repro.figures import EXHIBITS
+from repro.figures.fig2 import generate as fig2
+from repro.figures.fig3 import generate as fig3
+from repro.figures.fig4 import (
+    generate_a as fig4a,
+    generate_b as fig4b,
+    generate_c as fig4c,
+    generate_d as fig4d,
+    generate_e as fig4e,
+)
+from repro.figures.fig5 import generate as fig5
+from repro.figures.fig6 import (
+    generate_a as fig6a,
+    generate_b as fig6b,
+    generate_c as fig6c,
+    generate_d as fig6d,
+)
+from repro.figures.table1 import generate as table1
+from repro.figures.table2 import generate as table2
+
+
+class TestTables:
+    def test_table1(self):
+        ex = table1()
+        assert len(ex.data["rows"]) == 5
+        assert "XSBench" in ex.text
+
+    def test_table2(self):
+        ex = table2()
+        assert ex.data["flat_distances"] == [[10, 31], [31, 10]]
+        assert ex.data["flat_capacities_gb"] == [96, 16]
+        assert ex.data["cache_distances"] == [[10]]
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def ex(self, runner):
+        return fig2(runner)
+
+    def test_dram_flat_77(self, ex):
+        dram = [v for v in ex.data["DRAM"] if v is not None]
+        assert all(abs(v - 77.0) < 1.5 for v in dram)
+
+    def test_hbm_330_and_stops_at_capacity(self, ex):
+        sizes = ex.data["sizes_gb"]
+        hbm = ex.data["HBM"]
+        for size, value in zip(sizes, hbm):
+            if size <= 16:
+                assert value == pytest.approx(330.0, rel=0.01)
+            if size > 17.2:  # 16 GiB = 17.18 GB
+                assert value is None
+
+    def test_cache_anchor_points(self, ex):
+        sizes = ex.data["sizes_gb"]
+        cache = dict(zip(sizes, ex.data["Cache Mode"]))
+        assert cache[8] == pytest.approx(260, rel=0.03)
+        assert cache[11.4] == pytest.approx(125, rel=0.03)
+        assert cache[24] < 77.0
+        assert cache[40] < 77.0
+
+    def test_cache_monotone_decreasing(self, ex):
+        cache = ex.data["Cache Mode"]
+        for earlier, later in zip(cache, cache[1:]):
+            assert later <= earlier + 0.5
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def ex(self):
+        return fig3()
+
+    def test_l2_tier(self, ex):
+        for block, lat in zip(ex.data["blocks"], ex.data["dram_ns"]):
+            if block <= 1 << 20:
+                assert lat == pytest.approx(10.0, abs=1.0)
+
+    def test_mid_tier(self, ex):
+        for block, lat in zip(ex.data["blocks"], ex.data["dram_ns"]):
+            if 4 * (1 << 20) <= block <= 64 * (1 << 20):
+                assert 140 <= lat <= 260
+
+    def test_growth_tier(self, ex):
+        by_block = dict(zip(ex.data["blocks"], ex.data["dram_ns"]))
+        assert by_block[1 << 30] > by_block[64 << 20] + 150
+
+    def test_gap_band(self, ex):
+        gaps = [
+            g
+            for b, g in zip(ex.data["blocks"], ex.data["gap_percent"])
+            if b > 1 << 20
+        ]
+        assert all(10.0 <= g <= 23.0 for g in gaps)
+
+    def test_gap_peaks_early(self, ex):
+        gaps = dict(zip(ex.data["blocks"], ex.data["gap_percent"]))
+        assert gaps[2 << 20] == max(
+            g for b, g in gaps.items() if b > 1 << 20
+        )
+
+
+def _series(ex, name):
+    return {
+        s: v for s, v in zip(ex.data["sizes_gb"], ex.data[name])
+    }
+
+
+class TestFig4SequentialPanels:
+    def test_dgemm_hbm_about_2x(self, runner):
+        ex = fig4a(runner)
+        imp = [v for v in ex.data["hbm_improvement"] if v is not None]
+        assert all(1.8 <= v <= 2.3 for v in imp)
+
+    def test_dgemm_hbm_missing_at_24gb(self, runner):
+        ex = fig4a(runner)
+        assert _series(ex, "HBM")[24.0] is None
+
+    def test_minife_hbm_about_3x(self, runner):
+        ex = fig4b(runner)
+        imp = [v for v in ex.data["hbm_improvement"] if v is not None]
+        assert all(2.6 <= v <= 3.5 for v in imp)
+
+    def test_minife_cache_improvement_collapses_at_28_8(self, runner):
+        ex = fig4b(runner)
+        cache_imp = dict(zip(ex.data["sizes_gb"], ex.data["cache_improvement"]))
+        assert cache_imp[3.6] > 2.3
+        assert 0.9 <= cache_imp[28.8] <= 1.25
+
+    def test_hbm_always_best_when_present(self, runner):
+        for gen in (fig4a, fig4b):
+            ex = gen(runner)
+            for size in ex.data["sizes_gb"]:
+                hbm = _series(ex, "HBM")[size]
+                if hbm is None:
+                    continue
+                assert hbm >= _series(ex, "DRAM")[size]
+                assert hbm >= _series(ex, "Cache Mode")[size]
+
+
+class TestFig4RandomPanels:
+    @pytest.mark.parametrize("gen", [fig4c, fig4d, fig4e])
+    def test_dram_best_everywhere(self, runner, gen):
+        ex = gen(runner)
+        for size in ex.data["sizes_gb"]:
+            dram = _series(ex, "DRAM")[size]
+            for other in ("HBM", "Cache Mode"):
+                value = _series(ex, other)[size]
+                if value is not None:
+                    assert dram >= value
+
+    def test_gups_band_is_narrow(self, runner):
+        ex = fig4c(runner)
+        dram = [v for v in ex.data["DRAM"] if v is not None]
+        assert max(dram) / min(dram) < 1.3
+        assert 0.8e-2 <= min(dram) and max(dram) <= 1.3e-2
+
+    def test_graph500_dram_vs_cache_grows_to_1_3(self, runner):
+        ex = fig4d(runner)
+        sizes = ex.data["sizes_gb"]
+        ratio_small = _series(ex, "DRAM")[sizes[0]] / _series(ex, "Cache Mode")[sizes[0]]
+        ratio_large = _series(ex, "DRAM")[35.0] / _series(ex, "Cache Mode")[35.0]
+        assert ratio_large > ratio_small
+        assert ratio_large == pytest.approx(1.3, rel=0.15)
+
+    def test_xsbench_declines_with_size(self, runner):
+        ex = fig4e(runner)
+        dram = [v for v in ex.data["DRAM"] if v is not None]
+        assert dram[0] > dram[-1]
+        assert 2e6 <= dram[0] <= 3.5e6
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def ex(self, runner):
+        return fig5(runner)
+
+    def test_hbm_smt_gain_127(self, ex):
+        one = ex.data["HBM (ht=1)"]
+        two = ex.data["HBM (ht=2)"]
+        for a, b in zip(one, two):
+            assert b / a == pytest.approx(1.27, rel=0.01)
+
+    def test_hbm_ht2_to_4_cluster(self, ex):
+        for i in range(len(ex.data["sizes_gb"])):
+            values = [ex.data[f"HBM (ht={h})"][i] for h in (2, 3, 4)]
+            assert max(values) / min(values) < 1.02
+
+    def test_dram_lines_overlap(self, ex):
+        for i in range(len(ex.data["sizes_gb"])):
+            values = [ex.data[f"DRAM (ht={h})"][i] for h in (1, 2, 3, 4)]
+            assert max(values) / min(values) < 1.05
+            assert values[0] == pytest.approx(77.0, rel=0.01)
+
+
+class TestFig6:
+    def test_dgemm_17x_at_192_and_fails_at_256(self, runner):
+        ex = fig6a(runner)
+        speedup = ex.data["speedup_vs_64"]["HBM"]
+        by_threads = dict(zip(ex.data["threads"], speedup))
+        assert by_threads[192] == pytest.approx(1.7, rel=0.05)
+        assert by_threads[256] is None
+        assert dict(zip(ex.data["threads"], ex.data["DRAM"]))[256] is None
+
+    def test_minife_hbm_vs_dram64_approaches_3_8(self, runner):
+        ex = fig6b(runner)
+        dram64 = dict(zip(ex.data["threads"], ex.data["DRAM"]))[64]
+        hbm = dict(zip(ex.data["threads"], ex.data["HBM"]))
+        best = max(v for v in hbm.values() if v is not None)
+        assert best / dram64 == pytest.approx(3.8, rel=0.15)
+
+    def test_minife_dram_flat(self, runner):
+        ex = fig6b(runner)
+        speedup = [
+            v for v in ex.data["speedup_vs_64"]["DRAM"] if v is not None
+        ]
+        assert all(0.9 <= v <= 1.1 for v in speedup)
+
+    def test_graph500_peaks_at_128_on_dram(self, runner):
+        ex = fig6c(runner)
+        speedup = dict(
+            zip(ex.data["threads"], ex.data["speedup_vs_64"]["DRAM"])
+        )
+        assert speedup[128] == pytest.approx(1.5, rel=0.1)
+        assert speedup[128] > speedup[192] > speedup[256]
+
+    def test_graph500_dram_remains_best(self, runner):
+        """Paper: 'DRAM still remains the best configuration, as it shows
+        the highest performance when using 128 threads' — the global
+        optimum across all (config, threads) points is DRAM at 128."""
+        ex = fig6c(runner)
+        best_value = -1.0
+        best = None
+        for name in ("DRAM", "HBM", "Cache Mode"):
+            for t, v in zip(ex.data["threads"], ex.data[name]):
+                if v is not None and v > best_value:
+                    best_value, best = v, (name, t)
+        assert best == ("DRAM", 128)
+
+    def test_xsbench_gains(self, runner):
+        ex = fig6d(runner)
+        speedup = ex.data["speedup_vs_64"]
+        hbm = dict(zip(ex.data["threads"], speedup["HBM"]))
+        dram = dict(zip(ex.data["threads"], speedup["DRAM"]))
+        assert hbm[256] == pytest.approx(2.5, rel=0.1)
+        assert dram[256] == pytest.approx(1.5, rel=0.1)
+
+    def test_xsbench_crossover(self, runner):
+        """Fig. 6d: DRAM best at 64 threads, HBM best at 256."""
+        ex = fig6d(runner)
+        at = lambda name, t: dict(zip(ex.data["threads"], ex.data[name]))[t]
+        assert at("DRAM", 64) > at("HBM", 64)
+        assert at("HBM", 256) > at("DRAM", 256)
+
+
+class TestExhibitRegistry:
+    def test_all_fifteen_exhibits(self):
+        assert len(EXHIBITS) == 15
+
+    def test_render_includes_expectation(self, runner):
+        ex = fig5(runner)
+        text = ex.render()
+        assert "[paper]" in text
+        assert ex.exhibit_id in text
+
+
+class TestFig1:
+    def test_layout_structure(self):
+        from repro.figures.fig1 import generate as fig1
+
+        ex = fig1()
+        assert ex.data["tiles"] == 32
+        assert ex.data["cores"] == 64
+        assert ex.data["mcdram_gb"] == 16
+        assert ex.data["ddr_gb"] == 96
+        assert ex.data["ddr_channels"] == 6
+        assert ex.text.count("[L2 1MB]") == 32
+        assert "MCDRAM" in ex.text and "DDR4" in ex.text
+
+
+class TestPanelAxes:
+    def test_fig4_panel_sizes_match_paper_axes(self):
+        from repro.figures.fig4 import PANELS
+
+        assert PANELS["fig4a"].sizes_gb == (0.1, 0.4, 1.5, 6.0, 24.0)
+        assert PANELS["fig4b"].sizes_gb == (0.1, 0.9, 1.8, 3.6, 7.2, 14.4, 28.8)
+        assert PANELS["fig4c"].sizes_gb == (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+        assert PANELS["fig4d"].sizes_gb == (1.1, 2.2, 4.4, 8.8, 17.5, 35.0)
+        assert PANELS["fig4e"].sizes_gb == (5.6, 11.3, 22.5, 45.0, 90.0)
+
+    def test_fig6_thread_axis(self):
+        from repro.figures.fig6 import DEFAULT_THREADS
+
+        assert DEFAULT_THREADS == (64, 128, 192, 256)

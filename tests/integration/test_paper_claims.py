@@ -1,0 +1,186 @@
+"""End-to-end checks of the paper's enumerated contributions and headline
+claims (Sections I and VI), exercised through the public API exactly as a
+user would."""
+
+import pytest
+
+from repro import (
+    ConfigName,
+    ExperimentRunner,
+    PlacementAdvisor,
+)
+from repro.engine.calibration import PAPER_CHARACTERIZATION as P
+from repro.workloads import (
+    DGEMM,
+    GUPS,
+    Graph500,
+    MiniFE,
+    StreamBenchmark,
+    XSBench,
+)
+
+
+@pytest.fixture(scope="module")
+def r():
+    return ExperimentRunner()
+
+
+def metric(r, workload, config, threads=64):
+    return r.run(workload, config, threads).metric
+
+
+class TestAbstractClaims:
+    def test_hbm_4x_bandwidth(self, r):
+        """'Theoretically, HBM can provide ~4x higher bandwidth.'"""
+        s = StreamBenchmark(size_bytes=int(8e9))
+        ratio = metric(r, s, ConfigName.HBM) / metric(r, s, ConfigName.DRAM)
+        assert 4.0 <= ratio <= 4.5
+
+    def test_regular_apps_up_to_3x(self, r):
+        """'applications with regular memory access ... achieving up to 3x
+        performance when compared to ... only DRAM.'"""
+        w = MiniFE.from_matrix_gb(7.2)
+        ratio = metric(r, w, ConfigName.HBM) / metric(r, w, ConfigName.DRAM)
+        assert ratio == pytest.approx(3.0, rel=0.1)
+
+    def test_random_apps_degrade_on_hbm(self, r):
+        """'applications with random memory access pattern ... may suffer
+        from performance degradation when using only MCDRAM.'"""
+        for w in (
+            GUPS.from_table_gb(8.0),
+            Graph500.from_graph_gb(8.8),
+            XSBench.from_problem_gb(11.3),
+        ):
+            assert metric(r, w, ConfigName.HBM) < metric(r, w, ConfigName.DRAM)
+
+    def test_minife_3_8x_with_four_hardware_threads(self, r):
+        """'For MiniFE, we observe a 3.8x performance improvement with
+        respect to the performance obtained with only DRAM when we use
+        four hardware threads per core.'"""
+        w = MiniFE.from_matrix_gb(7.2)
+        ratio = metric(r, w, ConfigName.HBM, 256) / metric(
+            r, w, ConfigName.DRAM, 64
+        )
+        assert ratio == pytest.approx(P.minife_ht_speedup, rel=0.15)
+
+
+class TestContribution2_QuantifiedImpacts:
+    def test_dgemm_2x(self, r):
+        w = DGEMM.from_array_gb(6.0)
+        ratio = metric(r, w, ConfigName.HBM) / metric(r, w, ConfigName.DRAM)
+        assert ratio == pytest.approx(P.dgemm_hbm_speedup, rel=0.1)
+
+    def test_cache_mode_between_extremes_for_regular_apps(self, r):
+        """'cache mode ... performance in this mode generally fall in
+        between the highest and the lowest.'"""
+        w = MiniFE.from_matrix_gb(7.2)
+        dram = metric(r, w, ConfigName.DRAM)
+        hbm = metric(r, w, ConfigName.HBM)
+        cache = metric(r, w, ConfigName.CACHE)
+        assert dram < cache < hbm
+
+    def test_cache_benefit_decreases_with_problem_size(self, r):
+        improvements = []
+        for gb in (3.6, 14.4, 28.8):
+            w = MiniFE.from_matrix_gb(gb)
+            improvements.append(
+                metric(r, w, ConfigName.CACHE) / metric(r, w, ConfigName.DRAM)
+            )
+        assert improvements[0] > improvements[1] > improvements[2]
+        assert improvements[2] == pytest.approx(1.05, abs=0.15)
+
+
+class TestContribution4_LatencyObstacle:
+    def test_hbm_latency_18_percent_higher(self):
+        assert P.hbm_latency_ns / P.dram_latency_ns == pytest.approx(
+            1.18, abs=0.01
+        )
+
+    def test_graph500_cache_gap_at_scale(self, r):
+        w = Graph500.from_graph_gb(35.0)
+        ratio = metric(r, w, ConfigName.DRAM) / metric(r, w, ConfigName.CACHE)
+        assert ratio == pytest.approx(P.graph500_dram_vs_cache, rel=0.15)
+
+
+class TestContribution5_HardwareThreads:
+    def test_stream_needs_smt_for_hbm_peak(self, r):
+        s = StreamBenchmark(size_bytes=int(4e9))
+        one = metric(r, s, ConfigName.HBM, 64)
+        two = metric(r, s, ConfigName.HBM, 128)
+        assert two / one == pytest.approx(P.hbm_smt_gain, rel=0.02)
+        assert two == pytest.approx(P.hbm_stream_max_gbs * 1e9, rel=0.01)
+
+    def test_xsbench_best_config_flips(self, r):
+        w = XSBench.from_problem_gb(11.3)
+        assert metric(r, w, ConfigName.DRAM, 64) > metric(r, w, ConfigName.HBM, 64)
+        assert metric(r, w, ConfigName.HBM, 256) > metric(
+            r, w, ConfigName.DRAM, 256
+        )
+
+    def test_xsbench_smt_gains(self, r):
+        w = XSBench.from_problem_gb(11.3)
+        hbm_gain = metric(r, w, ConfigName.HBM, 256) / metric(
+            r, w, ConfigName.HBM, 64
+        )
+        dram_gain = metric(r, w, ConfigName.DRAM, 256) / metric(
+            r, w, ConfigName.DRAM, 64
+        )
+        assert hbm_gain == pytest.approx(P.xsbench_ht_speedup_hbm, rel=0.1)
+        assert dram_gain == pytest.approx(P.xsbench_ht_speedup_dram, rel=0.1)
+
+
+class TestContribution6_Guidelines:
+    def test_advisor_reproduces_section_vi(self, r):
+        advisor = PlacementAdvisor(r)
+        # Sequential, fits -> HBM.
+        assert advisor.recommend(MiniFE.from_matrix_gb(7.2)).best is ConfigName.HBM
+        # Sequential, comparable to capacity -> cache mode.
+        assert (
+            advisor.recommend(StreamBenchmark(size_bytes=int(20e9))).best
+            is ConfigName.CACHE
+        )
+        # Random -> DRAM.
+        assert advisor.recommend(GUPS.from_table_gb(4.0)).best is ConfigName.DRAM
+        # Random + SMT + fits -> HBM becomes optimal.
+        assert (
+            advisor.recommend(XSBench.from_problem_gb(11.3), 256).best
+            is ConfigName.HBM
+        )
+
+
+class TestMissingMeasurements:
+    """The figures' absent bars are modelled failures, not omissions."""
+
+    def test_hbm_bars_absent_beyond_capacity(self, r):
+        for w in (
+            DGEMM.from_array_gb(24.0),
+            MiniFE.from_matrix_gb(28.8),
+            GUPS.from_table_gb(32.0),
+            Graph500.from_graph_gb(35.0),
+            XSBench.from_problem_gb(90.0),
+        ):
+            record = r.run(w, ConfigName.HBM)
+            assert not record.feasible
+
+    def test_dgemm_256_threads_absent(self, r):
+        for config in ConfigName.paper_trio():
+            assert not r.run(DGEMM.from_array_gb(6.0), config, 256).feasible
+
+
+class TestFunctionalFaces:
+    """Every Table I application really runs and self-validates."""
+
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            DGEMM(n=40),
+            MiniFE(nx=5),
+            GUPS(log2_entries=8),
+            Graph500(scale=7, n_roots=4),
+            XSBench.small(),
+            StreamBenchmark(size_bytes=3 * 8 * 512),
+        ],
+        ids=lambda w: w.spec.name,
+    )
+    def test_executes_and_verifies(self, workload):
+        assert workload.execute(seed=123).verified

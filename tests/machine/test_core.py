@@ -1,0 +1,84 @@
+"""Core/hardware-thread model tests."""
+
+import pytest
+
+from repro.machine.core import Core, HardwareThread
+
+
+class TestHardwareThread:
+    def test_valid(self):
+        t = HardwareThread(3, 2)
+        assert (t.core_id, t.slot) == (3, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareThread(-1, 0)
+        with pytest.raises(ValueError):
+            HardwareThread(0, -1)
+
+
+class TestCore:
+    def test_defaults_are_knl(self):
+        c = Core(0)
+        assert c.frequency_ghz == pytest.approx(1.3)
+        assert c.smt_threads == 4
+        assert c.dp_flops_per_cycle == 32.0
+
+    def test_peak_flops(self):
+        # 1.3 GHz x 32 DP flops/cycle = 41.6 GFLOP/s per core.
+        assert Core(0).peak_dp_gflops == pytest.approx(41.6)
+
+    def test_cycle_ns(self):
+        assert Core(0).cycle_ns == pytest.approx(1 / 1.3)
+
+    def test_threads_enumeration(self):
+        threads = Core(5).threads()
+        assert len(threads) == 4
+        assert threads[2] == HardwareThread(5, 2)
+
+    def test_negative_core_id(self):
+        with pytest.raises(ValueError):
+            Core(-1)
+
+
+class TestSmtIssue:
+    def test_one_thread_cannot_saturate(self):
+        c = Core(0)
+        assert c.smt_issue_efficiency(1) < c.smt_issue_efficiency(2)
+
+    def test_three_threads_peak(self):
+        c = Core(0)
+        best = max(c.smt_issue_efficiency(t) for t in (1, 2, 3, 4))
+        assert c.smt_issue_efficiency(3) == best
+
+    def test_paper_dgemm_ht_gain(self):
+        """Fig. 6a: ~1.7x going from one to three threads per core."""
+        c = Core(0)
+        gain = c.smt_issue_efficiency(3) / c.smt_issue_efficiency(1)
+        assert gain == pytest.approx(1.7, rel=0.05)
+
+    @pytest.mark.parametrize("bad", [0, 5, -1])
+    def test_range_checked(self, bad):
+        with pytest.raises(ValueError):
+            Core(0).smt_issue_efficiency(bad)
+
+
+class TestOutstandingLines:
+    def test_scales_with_threads(self):
+        c = Core(0)
+        assert c.outstanding_lines(2.0, 2) == pytest.approx(4.0)
+
+    def test_capped_by_superqueue(self):
+        c = Core(0)
+        assert c.outstanding_lines(13.4, 4) == pytest.approx(17.0)
+
+    def test_sequential_mlp_fills_most_of_queue(self):
+        c = Core(0)
+        one = c.outstanding_lines(c.mlp_sequential, 1)
+        two = c.outstanding_lines(c.mlp_sequential, 2)
+        # Second thread adds the remaining headroom: the 1.27x STREAM gain.
+        assert two / one == pytest.approx(17.0 / 13.4, rel=1e-6)
+
+    def test_thread_range_checked(self):
+        with pytest.raises(ValueError):
+            Core(0).outstanding_lines(2.0, 0)

@@ -1,0 +1,54 @@
+"""Thread placement tests."""
+
+import pytest
+
+from repro.machine.presets import knl7210
+
+
+@pytest.fixture(scope="module")
+def m():
+    return knl7210()
+
+
+class TestPlacement:
+    @pytest.mark.parametrize(
+        "threads,per_core,active",
+        [(64, 1, 64), (128, 2, 64), (192, 3, 64), (256, 4, 64)],
+    )
+    def test_paper_thread_counts(self, m, threads, per_core, active):
+        p = m.place_threads(threads)
+        assert p.threads_per_core == per_core
+        assert p.active_cores == active
+        assert p.extra_cores == 0
+        assert p.max_threads_per_core == per_core
+
+    def test_partial_node(self, m):
+        p = m.place_threads(32)
+        assert p.active_cores == 32
+        assert p.threads_per_core == 1
+
+    def test_uneven_count(self, m):
+        p = m.place_threads(100)
+        assert p.active_cores == 64
+        assert p.threads_per_core == 1
+        assert p.extra_cores == 36
+        assert p.max_threads_per_core == 2
+
+    def test_over_capacity_rejected(self, m):
+        with pytest.raises(ValueError, match="exceed"):
+            m.place_threads(257)
+
+    def test_zero_rejected(self, m):
+        with pytest.raises(ValueError):
+            m.place_threads(0)
+
+    def test_total_thread_conservation(self, m):
+        for n in (1, 63, 64, 65, 100, 129, 255, 256):
+            p = m.place_threads(n)
+            if n <= m.num_cores:
+                total = p.active_cores * p.threads_per_core
+            else:
+                total = (
+                    p.active_cores * p.threads_per_core + p.extra_cores
+                )
+            assert total == n

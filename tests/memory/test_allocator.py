@@ -1,0 +1,145 @@
+"""memkind-style heap allocator tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.allocator import AllocationError, HeapAllocator, Kind
+from repro.memory.dram import ddr4_archer
+from repro.memory.mcdram import mcdram_archer
+from repro.memory.numa import NUMANode, NUMATopology, OutOfNodeMemory
+from repro.memory.policy import Membind
+from repro.util.units import GiB
+
+
+def flat_topo() -> NUMATopology:
+    return NUMATopology(
+        [
+            NUMANode(0, ddr4_archer(), 96 * GiB),
+            NUMANode(1, mcdram_archer(), 16 * GiB),
+        ]
+    )
+
+
+def cache_topo() -> NUMATopology:
+    return NUMATopology([NUMANode(0, ddr4_archer(), 96 * GiB)])
+
+
+class TestKinds:
+    def test_hbw_binds_node1(self):
+        alloc = HeapAllocator(flat_topo()).malloc("x", GiB, kind=Kind.HBW)
+        assert alloc.split == {1: GiB}
+        assert alloc.fraction_on(1) == 1.0
+
+    def test_hbw_fails_without_hbm_node(self):
+        with pytest.raises(AllocationError, match="memkind_hbw"):
+            HeapAllocator(cache_topo()).malloc("x", GiB, kind=Kind.HBW)
+
+    def test_hbw_preferred_degrades_gracefully(self):
+        alloc = HeapAllocator(cache_topo()).malloc(
+            "x", GiB, kind=Kind.HBW_PREFERRED
+        )
+        assert alloc.split == {0: GiB}
+
+    def test_hbw_preferred_overflows(self):
+        alloc = HeapAllocator(flat_topo()).malloc(
+            "x", 20 * GiB, kind=Kind.HBW_PREFERRED
+        )
+        assert alloc.split[1] == 16 * GiB
+        assert alloc.split[0] == 4 * GiB
+
+    def test_interleave_spans_nodes(self):
+        alloc = HeapAllocator(flat_topo()).malloc(
+            "x", 8 * GiB, kind=Kind.INTERLEAVE
+        )
+        assert alloc.nodes == (0, 1)
+
+    def test_default(self):
+        alloc = HeapAllocator(flat_topo()).malloc("x", GiB)
+        assert alloc.split == {0: GiB}
+
+
+class TestAccounting:
+    def test_reserve_and_free(self):
+        h = HeapAllocator(flat_topo())
+        a = h.malloc("a", 4 * GiB, kind=Kind.HBW)
+        assert h.topology.node(1).used_bytes == 4 * GiB
+        h.free(a)
+        assert h.topology.node(1).used_bytes == 0
+        assert h.live_allocations == []
+
+    def test_double_free(self):
+        h = HeapAllocator(flat_topo())
+        a = h.malloc("a", GiB)
+        h.free(a)
+        with pytest.raises(ValueError):
+            h.free(a)
+
+    def test_capacity_enforced_across_allocations(self):
+        h = HeapAllocator(flat_topo())
+        h.malloc("a", 10 * GiB, kind=Kind.HBW)
+        with pytest.raises(OutOfNodeMemory):
+            h.malloc("b", 7 * GiB, kind=Kind.HBW)
+
+    def test_failed_allocation_reserves_nothing(self):
+        h = HeapAllocator(flat_topo())
+        with pytest.raises(OutOfNodeMemory):
+            h.malloc("x", 17 * GiB, kind=Kind.HBW)
+        assert h.topology.node(1).used_bytes == 0
+
+    def test_used_bytes_per_node(self):
+        h = HeapAllocator(flat_topo())
+        h.malloc("a", 2 * GiB, kind=Kind.HBW)
+        h.malloc("b", 3 * GiB, kind=Kind.DEFAULT)
+        assert h.used_bytes(1) == 2 * GiB
+        assert h.used_bytes(0) == 3 * GiB
+        assert h.used_bytes() == 5 * GiB
+
+    def test_hbm_fraction(self):
+        h = HeapAllocator(flat_topo())
+        h.malloc("a", 3 * GiB, kind=Kind.HBW)
+        h.malloc("b", GiB, kind=Kind.DEFAULT)
+        assert h.hbm_fraction() == pytest.approx(0.75)
+
+    def test_free_all(self):
+        h = HeapAllocator(flat_topo())
+        h.malloc("a", GiB)
+        h.malloc("b", GiB, kind=Kind.HBW)
+        h.free_all()
+        assert h.used_bytes() == 0
+
+    def test_kind_and_policy_exclusive(self):
+        h = HeapAllocator(flat_topo())
+        with pytest.raises(ValueError):
+            h.malloc("x", GiB, kind=Kind.HBW, policy=Membind(0))
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            HeapAllocator(flat_topo()).malloc("x", 0)
+
+
+class TestAllocatorInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    [Kind.DEFAULT, Kind.HBW, Kind.HBW_PREFERRED, Kind.INTERLEAVE]
+                ),
+                st.integers(min_value=1, max_value=8 * GiB),
+                st.booleans(),  # free it afterwards?
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_node_usage_equals_live_sum(self, operations):
+        h = HeapAllocator(flat_topo())
+        for kind, size, free_it in operations:
+            try:
+                alloc = h.malloc("x", size, kind=kind)
+            except (AllocationError, OutOfNodeMemory):
+                continue
+            if free_it:
+                h.free(alloc)
+        for node in h.topology.nodes:
+            assert node.used_bytes == h.used_bytes(node.node_id)
+            assert 0 <= node.used_bytes <= node.capacity_bytes

@@ -1,0 +1,129 @@
+"""Memory device tests, pinned to the paper's measured characteristics."""
+
+import pytest
+
+from repro.engine.calibration import PAPER_CHARACTERIZATION as P
+from repro.memory.device import MemoryDevice
+from repro.memory.dram import ddr4_archer
+from repro.memory.mcdram import mcdram_archer
+from repro.util.units import GB, GiB
+
+
+class TestDDR4:
+    def test_capacity(self):
+        assert ddr4_archer().capacity_bytes == 96 * GiB
+
+    def test_channels(self):
+        assert ddr4_archer().channels == 6
+
+    def test_idle_latency_matches_paper(self):
+        assert ddr4_archer().idle_latency_ns == pytest.approx(P.dram_latency_ns)
+
+    def test_stream_1t_matches_paper(self):
+        assert ddr4_archer().stream_bandwidth(1) == pytest.approx(
+            P.dram_stream_gbs * GB
+        )
+
+    def test_smt_gain_marginal(self):
+        """Fig. 5: the four DRAM lines overlap."""
+        d = ddr4_archer()
+        assert d.stream_bandwidth(4) / d.stream_bandwidth(1) < 1.05
+
+    def test_custom_capacity(self):
+        assert ddr4_archer(192).capacity_bytes == 192 * GiB
+
+
+class TestMCDRAM:
+    def test_capacity(self):
+        assert mcdram_archer().capacity_bytes == 16 * GiB
+
+    def test_channels(self):
+        assert mcdram_archer().channels == 8
+
+    def test_idle_latency_higher_than_dram(self):
+        """Section IV-A: HBM latency is ~18% above DRAM."""
+        ratio = mcdram_archer().idle_latency_ns / ddr4_archer().idle_latency_ns
+        assert ratio == pytest.approx(154.0 / 130.4, rel=1e-6)
+        assert 1.15 < ratio < 1.20
+
+    def test_stream_1t_matches_paper(self):
+        assert mcdram_archer().stream_bandwidth(1) == pytest.approx(
+            P.hbm_stream_gbs * GB
+        )
+
+    def test_smt_gain_matches_paper(self):
+        m = mcdram_archer()
+        assert m.stream_bandwidth(2) / m.stream_bandwidth(1) == pytest.approx(
+            P.hbm_smt_gain
+        )
+        assert m.stream_bandwidth(2) == pytest.approx(419.1 * GB, rel=0.01)
+
+    def test_bandwidth_ratio_is_about_4x(self):
+        """The paper's headline '~4x higher bandwidth than DRAM'."""
+        ratio = mcdram_archer().stream_bandwidth(1) / ddr4_archer().stream_bandwidth(1)
+        assert 4.0 <= ratio <= 4.5
+
+    def test_random_cap_exceeds_dram(self):
+        assert (
+            mcdram_archer().random_bandwidth()
+            > ddr4_archer().random_bandwidth()
+        )
+
+    def test_scattered_writes_penalized(self):
+        m = mcdram_archer()
+        assert m.random_bandwidth(write_fraction=0.5) < m.random_bandwidth()
+
+    def test_gups_ordering(self):
+        """With GUPS's 50% write mix, MCDRAM's random capacity falls below
+        DDR's — the device-level reason HBM never wins Fig. 4c."""
+        assert mcdram_archer().random_bandwidth(
+            write_fraction=0.5
+        ) < ddr4_archer().random_bandwidth(write_fraction=0.5)
+
+
+class TestValidation:
+    def _device(self, **kw):
+        base = dict(
+            name="d",
+            capacity_bytes=GiB,
+            channels=1,
+            idle_latency_ns=100.0,
+            peak_bandwidth=GB,
+            stream_efficiency_1t=0.9,
+            smt_bandwidth_gain=1.1,
+            random_bandwidth_cap=GB,
+        )
+        base.update(kw)
+        return MemoryDevice(**base)
+
+    def test_fits(self):
+        d = self._device()
+        assert d.fits(GiB)
+        assert not d.fits(GiB + 1)
+
+    def test_fits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            self._device().fits(-1)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("capacity_bytes", 0),
+            ("channels", 0),
+            ("idle_latency_ns", -1),
+            ("stream_efficiency_1t", 1.5),
+            ("smt_bandwidth_gain", 0.9),
+            ("random_write_penalty", 1.5),
+        ],
+    )
+    def test_field_validation(self, field, value):
+        with pytest.raises(ValueError):
+            self._device(**{field: value})
+
+    def test_stream_bandwidth_capped_at_peak(self):
+        d = self._device(stream_efficiency_1t=0.95, smt_bandwidth_gain=2.0)
+        assert d.stream_bandwidth(2) == d.peak_bandwidth
+
+    def test_write_fraction_range(self):
+        with pytest.raises(ValueError):
+            self._device().random_bandwidth(write_fraction=1.5)

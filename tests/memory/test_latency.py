@@ -1,0 +1,36 @@
+"""Loaded-latency model tests."""
+
+import pytest
+
+from repro.memory.latency import LoadedLatencyModel
+
+
+class TestLoadedLatency:
+    def test_idle_at_zero_demand(self):
+        m = LoadedLatencyModel()
+        assert m.effective_latency_ns(130.4, 0.0, 80e9) == pytest.approx(130.4)
+
+    def test_inflates_with_utilization(self):
+        m = LoadedLatencyModel()
+        low = m.effective_latency_ns(130.4, 10e9, 80e9)
+        high = m.effective_latency_ns(130.4, 70e9, 80e9)
+        assert high > low > 130.4
+
+    def test_clamped_beyond_capacity(self):
+        m = LoadedLatencyModel()
+        at_cap = m.effective_latency_ns(130.4, 80e9, 80e9)
+        over = m.effective_latency_ns(130.4, 800e9, 80e9)
+        assert over == at_cap  # utilization clamp keeps it finite
+
+    def test_disabled_when_factor_zero(self):
+        m = LoadedLatencyModel(queue_factor=0.0)
+        assert m.effective_latency_ns(100.0, 79e9, 80e9) == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadedLatencyModel(max_utilization=1.0)
+        with pytest.raises(ValueError):
+            LoadedLatencyModel(queue_factor=-0.1)
+        m = LoadedLatencyModel()
+        with pytest.raises(ValueError):
+            m.effective_latency_ns(0.0, 1.0, 1.0)

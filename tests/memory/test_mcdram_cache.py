@@ -1,0 +1,177 @@
+"""MCDRAM memory-side cache model tests — the heart of Fig. 2's shape."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.dram import ddr4_archer
+from repro.memory.mcdram import mcdram_archer
+from repro.memory.mcdram_cache import MCDRAMCacheModel
+from repro.util.units import GB, GiB
+
+
+@pytest.fixture()
+def cache():
+    return MCDRAMCacheModel(mcdram_archer(), ddr4_archer())
+
+
+@pytest.fixture()
+def assoc_cache():
+    return MCDRAMCacheModel(mcdram_archer(), ddr4_archer(), associativity=8)
+
+
+class TestConstruction:
+    def test_defaults_to_full_mcdram(self, cache):
+        assert cache.capacity_bytes == 16 * GiB
+
+    def test_partition(self):
+        c = MCDRAMCacheModel(
+            mcdram_archer(), ddr4_archer(), capacity_bytes=8 * GiB
+        )
+        assert c.capacity_bytes == 8 * GiB
+
+    def test_capacity_bounded(self):
+        with pytest.raises(ValueError):
+            MCDRAMCacheModel(
+                mcdram_archer(), ddr4_archer(), capacity_bytes=32 * GiB
+            )
+
+    @pytest.mark.parametrize("bad", [0.0, 1.5])
+    def test_protocol_efficiency_range(self, bad):
+        with pytest.raises(ValueError):
+            MCDRAMCacheModel(
+                mcdram_archer(), ddr4_archer(), protocol_efficiency=bad
+            )
+
+
+class TestStreamingAnchors:
+    """The paper's measured STREAM cache-mode points (Fig. 2)."""
+
+    def test_peak_at_8gb(self, cache):
+        bw = cache.streaming_bandwidth(8 * GB)
+        assert bw == pytest.approx(260e9, rel=0.03)
+
+    def test_drop_at_11_4gb(self, cache):
+        bw = cache.streaming_bandwidth(int(11.4 * GB))
+        assert bw == pytest.approx(125e9, rel=0.03)
+
+    def test_below_dram_beyond_24gb(self, cache):
+        dram_bw = ddr4_archer().stream_bandwidth(1)
+        assert cache.streaming_bandwidth(24 * GB) < dram_bw
+        assert cache.streaming_bandwidth(40 * GB) < dram_bw
+
+    def test_between_drop_and_dram_at_16gb(self, cache):
+        bw = cache.streaming_bandwidth(16 * GB)
+        assert 77e9 < bw < 125e9
+
+    def test_asymptote_above_half_dram(self, cache):
+        """All-miss cache mode serializes a DDR read behind the protocol
+        but never collapses below the additive bound."""
+        bw = cache.streaming_bandwidth(200 * GB)
+        assert 55e9 < bw < 77e9
+
+
+class TestHitRateProperties:
+    @given(st.integers(min_value=0, max_value=100 * GB))
+    @settings(max_examples=60, deadline=None)
+    def test_hit_rates_are_probabilities(self, footprint):
+        c = MCDRAMCacheModel(mcdram_archer(), ddr4_archer())
+        for pattern in ("sequential", "random"):
+            h = c.hit_rate(footprint, pattern)
+            assert 0.0 <= h <= 1.0
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=100 * GB),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_hit_rate_monotone_decreasing(self, footprints):
+        c = MCDRAMCacheModel(mcdram_archer(), ddr4_archer())
+        footprints.sort()
+        rates = [c.streaming_hit_rate(f) for f in footprints]
+        for earlier, later in zip(rates, rates[1:]):
+            assert later <= earlier + 1e-9
+
+    @given(st.integers(min_value=17 * GiB, max_value=200 * GB))
+    @settings(max_examples=40, deadline=None)
+    def test_residency_bound_beyond_capacity(self, footprint):
+        c = MCDRAMCacheModel(mcdram_archer(), ddr4_archer())
+        r = c.footprint_ratio(footprint)
+        assert c.streaming_hit_rate(footprint) <= 1.0 / r + 1e-9
+        assert c.random_hit_rate(footprint) <= 1.0 / r + 1e-9
+
+    def test_random_hit_rate_closed_form(self, cache):
+        # h(r) = (1/r)(1 - e^-r) at r = 1.
+        import math
+
+        h = cache.random_hit_rate(16 * GiB)
+        assert h == pytest.approx(1 - math.exp(-1), rel=1e-6)
+
+    def test_unknown_pattern_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.hit_rate(GB, "strided")
+
+
+class TestAssociativityAblation:
+    """The paper blames direct mapping for premature conflicts; an 8-way
+    organization removes the below-capacity drop."""
+
+    def test_no_premature_drop_when_fitting(self, cache, assoc_cache):
+        footprint = int(11.4 * GB)  # fits in 16 GiB
+        assert assoc_cache.streaming_hit_rate(footprint) == 1.0
+        assert cache.streaming_hit_rate(footprint) < 0.8
+
+    def test_assoc_bandwidth_dominates_direct(self, cache, assoc_cache):
+        for gb in (4, 8, 11.4, 16, 24, 32):
+            f = int(gb * GB)
+            assert (
+                assoc_cache.streaming_bandwidth(f)
+                >= cache.streaming_bandwidth(f) - 1e-6
+            )
+
+    def test_random_hit_rate_improves(self, cache, assoc_cache):
+        f = 8 * GB
+        assert assoc_cache.random_hit_rate(f) > cache.random_hit_rate(f)
+
+
+class TestRandomPath:
+    def test_latency_worse_than_dram_when_thrashing(self, cache):
+        """Big random footprints: tag probe + DDR — the Fig. 4 bottom story."""
+        lat = cache.random_latency_ns(90 * GB)
+        assert lat > ddr4_archer().idle_latency_ns
+
+    def test_latency_close_to_mcdram_when_fitting(self, cache):
+        lat = cache.random_latency_ns(1 * GB)
+        assert lat == pytest.approx(mcdram_archer().idle_latency_ns, rel=0.1)
+
+    def test_random_cap_bounded_by_protocol(self, cache):
+        cap = cache.random_bandwidth_cap(1 * GB)
+        assert cap <= mcdram_archer().random_bandwidth() * 0.8 + 1e-6
+
+    def test_random_cap_degrades_once_ddr_side_binds(self, cache):
+        """The MCDRAM probe path caps moderate footprints; far beyond
+        capacity the DDR side (serving ~all misses) becomes the limiter."""
+        assert cache.random_bandwidth_cap(200 * GB) < cache.random_bandwidth_cap(
+            1 * GB
+        )
+
+    def test_write_penalty_passes_through(self, cache):
+        assert cache.random_bandwidth_cap(8 * GB, 0.5) < cache.random_bandwidth_cap(
+            8 * GB, 0.0
+        )
+
+
+class TestTraffic:
+    def test_streaming_traffic_conservation(self, cache):
+        t = cache.streaming_traffic(8 * GB)
+        assert t.mcdram_bytes == pytest.approx(1.0)
+        assert t.dram_bytes == pytest.approx(1.0 - t.hit_rate)
+
+    def test_footprint_ratio(self, cache):
+        assert cache.footprint_ratio(16 * GiB) == pytest.approx(1.0)
+
+    def test_negative_footprint_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.footprint_ratio(-1)

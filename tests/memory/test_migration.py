@@ -1,0 +1,92 @@
+"""Hot-page migration policy tests."""
+
+import numpy as np
+import pytest
+
+from repro.memory.migration import (
+    MigrationPolicy,
+    simulate_migration,
+    uniform_page_weights,
+    zipfian_page_weights,
+)
+
+
+class TestWeights:
+    def test_zipf_sums_to_one(self):
+        w = zipfian_page_weights(1000)
+        assert w.sum() == pytest.approx(1.0)
+        assert w.max() > 20 * w.mean()
+
+    def test_uniform(self):
+        w = uniform_page_weights(10)
+        assert (w == 0.1).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipfian_page_weights(0)
+        with pytest.raises(ValueError):
+            zipfian_page_weights(10, skew=0.0)
+
+
+class TestSimulation:
+    def test_zipf_converges_to_high_hit_rate(self):
+        weights = zipfian_page_weights(10_000)
+        policy = MigrationPolicy(hbm_pages=1000, budget_pages_per_epoch=500)
+        outcome = simulate_migration(weights, policy, epochs=25, seed=1)
+        # 10% of pages hold the Zipf mass: resident hot set serves most
+        # accesses once migration converges.
+        assert outcome.hbm_hit_fraction > 0.6
+        assert outcome.converged
+
+    def test_uniform_capped_by_capacity_ratio(self):
+        weights = uniform_page_weights(10_000)
+        policy = MigrationPolicy(hbm_pages=1000, budget_pages_per_epoch=500)
+        outcome = simulate_migration(weights, policy, epochs=20, seed=2)
+        # No hot set exists: hit rate ~ capacity ratio (10%).
+        assert outcome.hbm_hit_fraction < 0.2
+
+    def test_zipf_beats_uniform(self):
+        policy = MigrationPolicy(hbm_pages=500, budget_pages_per_epoch=250)
+        zipf = simulate_migration(
+            zipfian_page_weights(5000), policy, epochs=15, seed=3
+        )
+        uniform = simulate_migration(
+            uniform_page_weights(5000), policy, epochs=15, seed=3
+        )
+        assert zipf.hbm_hit_fraction > 2 * uniform.hbm_hit_fraction
+
+    def test_budget_limits_convergence_speed(self):
+        weights = zipfian_page_weights(8000)
+        fast = simulate_migration(
+            weights, MigrationPolicy(hbm_pages=800, budget_pages_per_epoch=800),
+            epochs=20, seed=4,
+        )
+        slow = simulate_migration(
+            weights, MigrationPolicy(hbm_pages=800, budget_pages_per_epoch=50),
+            epochs=20, seed=4,
+        )
+        assert fast.hbm_hit_fraction >= slow.hbm_hit_fraction
+
+    def test_residency_never_exceeds_capacity(self):
+        weights = zipfian_page_weights(2000)
+        policy = MigrationPolicy(hbm_pages=100, budget_pages_per_epoch=1000)
+        outcome = simulate_migration(weights, policy, epochs=10, seed=5)
+        # Indirect: migrations happened yet hit rate is bounded by what
+        # 100 resident pages can serve.
+        top100 = np.sort(weights)[::-1][:100].sum()
+        assert outcome.hbm_hit_fraction <= top100 + 0.02
+
+    def test_migration_traffic_accounted(self):
+        weights = zipfian_page_weights(2000)
+        policy = MigrationPolicy(hbm_pages=200)
+        outcome = simulate_migration(weights, policy, epochs=5, seed=6)
+        assert outcome.migration_traffic_bytes == (
+            outcome.migrated_pages * 2 * 4096
+        )
+
+    def test_weight_validation(self):
+        policy = MigrationPolicy(hbm_pages=10)
+        with pytest.raises(ValueError):
+            simulate_migration(np.array([0.5, 0.4]), policy)
+        with pytest.raises(ValueError):
+            simulate_migration(np.array([]), policy)

@@ -1,0 +1,96 @@
+"""Memory mode / MemorySystem tests."""
+
+import pytest
+
+from repro.memory.modes import (
+    HYBRID_CACHE_FRACTIONS,
+    MCDRAMConfig,
+    MemoryMode,
+    MemorySystem,
+)
+from repro.util.units import GiB
+
+
+class TestMCDRAMConfig:
+    def test_flat(self):
+        c = MCDRAMConfig.flat()
+        assert c.mode is MemoryMode.FLAT
+        assert c.cache_fraction == 0.0
+
+    def test_cache(self):
+        c = MCDRAMConfig.cache()
+        assert c.cache_fraction == 1.0
+
+    def test_hybrid_fractions_restricted(self):
+        for f in HYBRID_CACHE_FRACTIONS:
+            MCDRAMConfig.hybrid(f)
+        with pytest.raises(ValueError):
+            MCDRAMConfig.hybrid(0.3)
+
+    def test_mode_fraction_consistency(self):
+        with pytest.raises(ValueError):
+            MCDRAMConfig(MemoryMode.FLAT, 0.5)
+        with pytest.raises(ValueError):
+            MCDRAMConfig(MemoryMode.CACHE, 0.5)
+
+    def test_associativity_checked(self):
+        with pytest.raises(ValueError):
+            MCDRAMConfig.cache(cache_associativity=0)
+
+
+class TestFlatSystem:
+    def test_two_numa_nodes(self):
+        s = MemorySystem(MCDRAMConfig.flat())
+        assert s.topology.num_nodes == 2
+        assert s.topology.node(1).capacity_bytes == 16 * GiB
+
+    def test_no_cache_model(self):
+        s = MemorySystem(MCDRAMConfig.flat())
+        assert s.cache_model is None
+        assert not s.dram_fronted_by_cache
+        assert s.has_flat_hbm
+
+    def test_device_of_node(self):
+        s = MemorySystem(MCDRAMConfig.flat())
+        assert s.device_of_node(0).name == "DDR4"
+        assert s.device_of_node(1).name == "MCDRAM"
+
+
+class TestCacheSystem:
+    def test_single_numa_node(self):
+        s = MemorySystem(MCDRAMConfig.cache())
+        assert s.topology.num_nodes == 1
+        assert not s.has_flat_hbm
+
+    def test_cache_model_full_capacity(self):
+        s = MemorySystem(MCDRAMConfig.cache())
+        assert s.cache_model is not None
+        assert s.cache_model.capacity_bytes == 16 * GiB
+        assert s.dram_fronted_by_cache
+
+    def test_numactl_hardware_matches_table2_right(self):
+        text = MemorySystem(MCDRAMConfig.cache()).numactl_hardware()
+        assert "0 (96 GB)" in text
+        assert "16 GB" not in text
+
+
+class TestHybridSystem:
+    def test_partition(self):
+        s = MemorySystem(MCDRAMConfig.hybrid(0.5))
+        assert s.cache_bytes == 8 * GiB
+        assert s.flat_hbm_bytes == 8 * GiB
+        assert s.topology.num_nodes == 2
+        assert s.topology.node(1).capacity_bytes == 8 * GiB
+        assert s.cache_model is not None
+        assert s.cache_model.capacity_bytes == 8 * GiB
+
+    @pytest.mark.parametrize("fraction", HYBRID_CACHE_FRACTIONS)
+    def test_partitions_sum(self, fraction):
+        s = MemorySystem(MCDRAMConfig.hybrid(fraction))
+        assert s.cache_bytes + s.flat_hbm_bytes == 16 * GiB
+
+    def test_describe(self):
+        text = MemorySystem(MCDRAMConfig.hybrid(0.25)).describe()
+        assert "hybrid" in text
+        assert "4 GiB" in text
+        assert "12 GiB" in text

@@ -1,0 +1,106 @@
+"""NUMA node/topology tests."""
+
+import pytest
+
+from repro.memory.dram import ddr4_archer
+from repro.memory.mcdram import mcdram_archer
+from repro.memory.numa import (
+    KNL_REMOTE_DISTANCE,
+    LOCAL_DISTANCE,
+    NUMANode,
+    NUMATopology,
+    OutOfNodeMemory,
+)
+from repro.util.units import GiB
+
+
+def two_node_topology() -> NUMATopology:
+    return NUMATopology(
+        [
+            NUMANode(0, ddr4_archer(), 96 * GiB),
+            NUMANode(1, mcdram_archer(), 16 * GiB),
+        ]
+    )
+
+
+class TestNode:
+    def test_reserve_release(self):
+        n = NUMANode(0, ddr4_archer(), 10 * GiB)
+        n.reserve(4 * GiB)
+        assert n.free_bytes == 6 * GiB
+        n.release(4 * GiB)
+        assert n.used_bytes == 0
+
+    def test_overflow_raises(self):
+        n = NUMANode(1, mcdram_archer(), 16 * GiB)
+        with pytest.raises(OutOfNodeMemory) as excinfo:
+            n.reserve(17 * GiB)
+        assert excinfo.value.node_id == 1
+        assert excinfo.value.available == 16 * GiB
+
+    def test_double_free_raises(self):
+        n = NUMANode(0, ddr4_archer(), GiB)
+        n.reserve(GiB)
+        n.release(GiB)
+        with pytest.raises(ValueError):
+            n.release(1)
+
+    def test_capacity_bounded_by_device(self):
+        with pytest.raises(ValueError):
+            NUMANode(0, mcdram_archer(), 32 * GiB)
+
+    def test_exact_fill(self):
+        n = NUMANode(1, mcdram_archer(), 16 * GiB)
+        n.reserve(16 * GiB)
+        assert n.free_bytes == 0
+        with pytest.raises(OutOfNodeMemory):
+            n.reserve(1)
+
+
+class TestTopology:
+    def test_default_distances_are_knl(self):
+        t = two_node_topology()
+        assert t.distance(0, 0) == LOCAL_DISTANCE == 10
+        assert t.distance(0, 1) == KNL_REMOTE_DISTANCE == 31
+        assert t.distance(1, 0) == 31
+
+    def test_node_ids_must_be_dense(self):
+        with pytest.raises(ValueError):
+            NUMATopology([NUMANode(1, ddr4_archer(), GiB)])
+
+    def test_distance_matrix_validation(self):
+        nodes = [
+            NUMANode(0, ddr4_archer(), GiB),
+            NUMANode(1, mcdram_archer(), GiB),
+        ]
+        with pytest.raises(ValueError, match="symmetric"):
+            NUMATopology(nodes, [[10, 31], [21, 10]])
+        with pytest.raises(ValueError, match="self-distance"):
+            NUMATopology(nodes, [[11, 31], [31, 10]])
+
+    def test_unknown_node(self):
+        with pytest.raises(ValueError):
+            two_node_topology().node(2)
+
+    def test_totals(self):
+        t = two_node_topology()
+        assert t.total_capacity_bytes() == 112 * GiB
+        t.node(1).reserve(GiB)
+        assert t.total_free_bytes() == 111 * GiB
+
+
+class TestHardwareTable:
+    def test_flat_mode_table_matches_table2(self):
+        """The left panel of the paper's Table II."""
+        text = two_node_topology().describe_hardware()
+        lines = text.splitlines()
+        assert "0 (96 GB)" in lines[0]
+        assert "1 (16 GB)" in lines[0]
+        assert lines[1].split()[:3] == ["0", "10", "31"]
+        assert lines[2].split()[:3] == ["1", "31", "10"]
+
+    def test_single_node_table(self):
+        t = NUMATopology([NUMANode(0, ddr4_archer(), 96 * GiB)])
+        text = t.describe_hardware()
+        assert "1 (" not in text
+        assert "31" not in text

@@ -1,0 +1,127 @@
+"""Placement policy tests (numactl semantics)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.dram import ddr4_archer
+from repro.memory.mcdram import mcdram_archer
+from repro.memory.numa import NUMANode, NUMATopology, OutOfNodeMemory
+from repro.memory.policy import DefaultLocal, Interleave, Membind, Preferred
+from repro.util.units import GiB
+
+
+@pytest.fixture()
+def topo():
+    return NUMATopology(
+        [
+            NUMANode(0, ddr4_archer(), 96 * GiB),
+            NUMANode(1, mcdram_archer(), 16 * GiB),
+        ]
+    )
+
+
+class TestMembind:
+    def test_binds_all(self, topo):
+        assert Membind(1).split(topo, 4 * GiB) == {1: 4 * GiB}
+
+    def test_strict_failure(self, topo):
+        with pytest.raises(OutOfNodeMemory):
+            Membind(1).split(topo, 17 * GiB)
+
+    def test_no_mutation_on_split(self, topo):
+        Membind(0).split(topo, GiB)
+        assert topo.node(0).used_bytes == 0
+
+    def test_describe(self):
+        assert Membind(1).describe() == "--membind=1"
+
+    def test_unknown_node(self, topo):
+        with pytest.raises(ValueError):
+            Membind(5).split(topo, 1)
+
+
+class TestPreferred:
+    def test_prefers_node(self, topo):
+        assert Preferred(1).split(topo, GiB) == {1: GiB}
+
+    def test_overflow_to_other(self, topo):
+        split = Preferred(1).split(topo, 20 * GiB)
+        assert split[1] == 16 * GiB
+        assert split[0] == 4 * GiB
+
+    def test_total_exhaustion(self, topo):
+        with pytest.raises(OutOfNodeMemory):
+            Preferred(1).split(topo, 113 * GiB)
+
+    def test_describe(self):
+        assert Preferred(0).describe() == "--preferred=0"
+
+
+class TestInterleave:
+    def test_even_split(self, topo):
+        split = Interleave((0, 1)).split(topo, 8 * GiB)
+        assert split == {0: 4 * GiB, 1: 4 * GiB}
+
+    def test_odd_byte(self, topo):
+        split = Interleave((0, 1)).split(topo, 3)
+        assert sum(split.values()) == 3
+
+    def test_redirect_when_node_full(self, topo):
+        # 40 GiB interleaved: node 1 saturates at 16, rest goes to node 0.
+        split = Interleave((0, 1)).split(topo, 40 * GiB)
+        assert split[1] == 16 * GiB
+        assert split[0] == 24 * GiB
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Interleave((0, 0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interleave(())
+
+    def test_describe(self):
+        assert Interleave((0, 1)).describe() == "--interleave=0,1"
+
+    def test_exhaustion(self, topo):
+        with pytest.raises(OutOfNodeMemory):
+            Interleave((0, 1)).split(topo, 113 * GiB)
+
+
+class TestDefaultLocal:
+    def test_local_first(self, topo):
+        assert DefaultLocal().split(topo, GiB) == {0: GiB}
+
+    def test_overflow_to_hbm(self, topo):
+        split = DefaultLocal().split(topo, 100 * GiB)
+        assert split[0] == 96 * GiB
+        assert split[1] == 4 * GiB
+
+
+class TestSplitInvariants:
+    @given(
+        num_bytes=st.integers(min_value=0, max_value=112 * GiB),
+        policy_idx=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_split_sums_to_request(self, num_bytes, policy_idx):
+        topo = NUMATopology(
+            [
+                NUMANode(0, ddr4_archer(), 96 * GiB),
+                NUMANode(1, mcdram_archer(), 16 * GiB),
+            ]
+        )
+        policy = [
+            Membind(0),
+            Preferred(1),
+            Interleave((0, 1)),
+            DefaultLocal(),
+        ][policy_idx]
+        try:
+            split = policy.split(topo, num_bytes)
+        except OutOfNodeMemory:
+            return
+        assert sum(split.values()) == num_bytes
+        assert all(v >= 0 for v in split.values())
+        for node_id, amount in split.items():
+            assert amount <= topo.node(node_id).capacity_bytes

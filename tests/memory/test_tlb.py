@@ -1,0 +1,105 @@
+"""TLB / page-walk model tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.tlb import TLBModel
+from repro.util.units import GiB, KiB, MiB
+
+
+@pytest.fixture()
+def tlb():
+    return TLBModel()
+
+
+class TestCoverage:
+    def test_l1_coverage(self, tlb):
+        assert tlb.l1_coverage_bytes == 256 * KiB
+
+    def test_l2_coverage(self, tlb):
+        assert tlb.l2_coverage_bytes == 1 * MiB
+
+    def test_hugepages_extend_coverage(self):
+        huge = TLBModel(page_bytes=2 * MiB)
+        assert huge.l1_coverage_bytes == 128 * MiB
+
+
+class TestMissRates:
+    def test_zero_below_coverage(self, tlb):
+        assert tlb.l1_miss_rate(128 * KiB) == 0.0
+        assert tlb.l2_miss_rate(1 * MiB) == 0.0
+
+    def test_grows_with_footprint(self, tlb):
+        assert tlb.l1_miss_rate(4 * MiB) == pytest.approx(1 - 1 / 16)
+        assert tlb.l2_miss_rate(4 * MiB) == pytest.approx(0.75)
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    @settings(max_examples=50, deadline=None)
+    def test_rates_are_probabilities_and_ordered(self, footprint):
+        t = TLBModel()
+        l1 = t.l1_miss_rate(footprint)
+        l2 = t.l2_miss_rate(footprint)
+        assert 0.0 <= l2 <= l1 <= 1.0
+
+
+class TestWalkDepth:
+    def test_zero_within_walk_cache(self, tlb):
+        assert tlb.walk_depth(64 * MiB) == 0.0
+
+    def test_half_level_per_doubling(self, tlb):
+        assert tlb.walk_depth(128 * MiB) == pytest.approx(0.5)
+        assert tlb.walk_depth(256 * MiB) == pytest.approx(1.0)
+
+    def test_saturates_at_walk_levels(self, tlb):
+        assert tlb.walk_depth(1 << 45) == pytest.approx(4.0)
+
+    @given(
+        st.tuples(
+            st.integers(min_value=1, max_value=1 << 42),
+            st.integers(min_value=1, max_value=1 << 42),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone(self, pair):
+        t = TLBModel()
+        a, b = sorted(pair)
+        assert t.walk_depth(a) <= t.walk_depth(b) + 1e-12
+
+
+class TestOverhead:
+    def test_zero_for_small_footprints(self, tlb):
+        assert tlb.translation_overhead_ns(128 * KiB, 130.4) == 0.0
+
+    def test_grows_with_memory_latency(self, tlb):
+        """Page walks to slower memory cost more — this keeps the Fig. 3
+        DRAM-vs-HBM gap alive at gigabyte block sizes."""
+        f = 1 * GiB
+        assert tlb.translation_overhead_ns(f, 154.0) > tlb.translation_overhead_ns(
+            f, 130.4
+        )
+
+    def test_monotone_in_footprint(self, tlb):
+        values = [
+            tlb.translation_overhead_ns(f, 130.4)
+            for f in (MiB, 16 * MiB, 256 * MiB, GiB, 16 * GiB)
+        ]
+        assert values == sorted(values)
+
+    def test_magnitude_at_1gb(self, tlb):
+        """Fig. 3 shows ~170-250 ns of growth between 64 MB and 1 GB."""
+        growth = tlb.translation_overhead_ns(GiB, 130.4) - tlb.translation_overhead_ns(
+            64 * MiB, 130.4
+        )
+        assert 100 < growth < 350
+
+    def test_validation(self, tlb):
+        with pytest.raises(ValueError):
+            tlb.translation_overhead_ns(GiB, 0.0)
+        with pytest.raises(ValueError):
+            tlb.translation_overhead_ns(-1, 100.0)
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            TLBModel(l1_entries=0)
+        with pytest.raises(ValueError):
+            TLBModel(walk_overlap=1.5)

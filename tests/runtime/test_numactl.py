@@ -1,0 +1,74 @@
+"""numactl emulation tests."""
+
+import pytest
+
+from repro.memory.modes import MCDRAMConfig, MemorySystem
+from repro.memory.policy import DefaultLocal, Interleave, Membind, Preferred
+from repro.runtime.numactl import Numactl, NumactlError
+
+
+@pytest.fixture()
+def flat_topo():
+    return MemorySystem(MCDRAMConfig.flat()).topology
+
+
+@pytest.fixture()
+def cache_topo():
+    return MemorySystem(MCDRAMConfig.cache()).topology
+
+
+class TestParse:
+    def test_membind(self, flat_topo):
+        n = Numactl.parse(flat_topo, "--membind=1")
+        assert isinstance(n.policy, Membind)
+        assert n.policy.node_id == 1
+
+    def test_preferred(self, flat_topo):
+        n = Numactl.parse(flat_topo, "--preferred=0")
+        assert isinstance(n.policy, Preferred)
+
+    def test_interleave(self, flat_topo):
+        n = Numactl.parse(flat_topo, "--interleave=0,1")
+        assert isinstance(n.policy, Interleave)
+        assert n.policy.node_ids == (0, 1)
+
+    def test_empty_is_default_local(self, flat_topo):
+        assert isinstance(Numactl.parse(flat_topo, "").policy, DefaultLocal)
+
+    def test_whitespace_tolerated(self, flat_topo):
+        assert Numactl.parse(flat_topo, "  --membind=0  ").policy == Membind(0)
+
+    def test_unknown_node_fails_like_hardware(self, cache_topo):
+        """Binding to the HBM node in cache mode fails — there is no node 1."""
+        with pytest.raises(NumactlError, match="node 1 does not exist"):
+            Numactl.parse(cache_topo, "--membind=1")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["--membind", "--membind=a", "--frobnicate=1", "membind=0",
+         "--membind=0,1", "--preferred=0,1"],
+    )
+    def test_malformed_rejected(self, flat_topo, bad):
+        with pytest.raises(NumactlError):
+            Numactl.parse(flat_topo, bad)
+
+
+class TestHardware:
+    def test_table2_flat(self, flat_topo):
+        text = Numactl.parse(flat_topo, "").hardware()
+        assert "0 (96 GB)" in text and "1 (16 GB)" in text
+
+    def test_describe(self, flat_topo):
+        assert Numactl.parse(flat_topo, "--membind=1").describe() == (
+            "numactl --membind=1"
+        )
+
+
+class TestRoundTrip:
+    def test_describe_reparses(self, flat_topo):
+        """numactl policy strings round-trip: parse(describe(p)) == p."""
+        from repro.memory.policy import Interleave, Membind, Preferred
+
+        for policy in (Membind(0), Membind(1), Preferred(1), Interleave((0, 1))):
+            command = policy.describe()
+            assert Numactl.parse(flat_topo, command).policy == policy

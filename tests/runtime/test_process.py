@@ -1,0 +1,32 @@
+"""OpenMP environment tests."""
+
+import pytest
+
+from repro.machine.presets import knl7210
+from repro.runtime.process import OpenMPEnvironment
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return knl7210()
+
+
+class TestOpenMPEnvironment:
+    @pytest.mark.parametrize("threads,tpc", [(64, 1), (128, 2), (192, 3), (256, 4)])
+    def test_threads_per_core(self, machine, threads, tpc):
+        env = OpenMPEnvironment(machine, threads)
+        assert env.threads_per_core == tpc
+        assert env.active_cores == 64
+
+    def test_env_variables(self, machine):
+        env = OpenMPEnvironment(machine, 128)
+        assert env.env()["OMP_NUM_THREADS"] == "128"
+        assert env.env()["OMP_PROC_BIND"] == "close"
+
+    def test_over_capacity(self, machine):
+        with pytest.raises(ValueError):
+            OpenMPEnvironment(machine, 512)
+
+    def test_only_compact(self, machine):
+        with pytest.raises(ValueError):
+            OpenMPEnvironment(machine, 64, affinity="scatter")

@@ -1,0 +1,82 @@
+"""SimulatedOS tests."""
+
+import pytest
+
+from repro.memory.allocator import Kind
+from repro.memory.modes import MCDRAMConfig, MemorySystem
+from repro.memory.numa import OutOfNodeMemory
+from repro.runtime.simos import SimulatedOS
+from repro.util.units import GiB
+
+
+class TestConstruction:
+    def test_default_is_cache_mode(self):
+        assert SimulatedOS().memory.dram_fronted_by_cache
+
+    def test_flat(self, flat_os):
+        assert flat_os.memory.topology.num_nodes == 2
+
+    def test_memory_and_config_exclusive(self):
+        with pytest.raises(ValueError):
+            SimulatedOS(
+                MCDRAMConfig.flat(), memory=MemorySystem(MCDRAMConfig.cache())
+            )
+
+
+class TestAllocation:
+    def test_numactl_string(self, flat_os):
+        alloc = flat_os.malloc("x", GiB, numactl="--membind=1")
+        assert alloc.split == {1: GiB}
+
+    def test_hbm_capacity_failure(self, flat_os):
+        """The missing-bar mechanism: > 16 GiB cannot membind to node 1."""
+        with pytest.raises(OutOfNodeMemory):
+            flat_os.malloc("x", 17 * GiB, numactl="--membind=1")
+
+    def test_kind(self, flat_os):
+        alloc = flat_os.malloc("x", GiB, kind=Kind.HBW)
+        assert alloc.split == {1: GiB}
+
+    def test_numactl_exclusive_with_kind(self, flat_os):
+        with pytest.raises(ValueError):
+            flat_os.malloc("x", GiB, kind=Kind.HBW, numactl="--membind=0")
+
+    def test_free(self, flat_os):
+        alloc = flat_os.malloc("x", GiB)
+        flat_os.free(alloc)
+        assert flat_os.allocator.used_bytes() == 0
+
+
+class TestAllocationScope:
+    def test_scope_releases(self, flat_os):
+        with flat_os.allocation_scope():
+            flat_os.malloc("x", 4 * GiB, numactl="--membind=1")
+            assert flat_os.allocator.used_bytes(1) == 4 * GiB
+        assert flat_os.allocator.used_bytes() == 0
+
+    def test_scope_releases_on_error(self, flat_os):
+        with pytest.raises(RuntimeError):
+            with flat_os.allocation_scope():
+                flat_os.malloc("x", GiB)
+                raise RuntimeError("boom")
+        assert flat_os.allocator.used_bytes() == 0
+
+    def test_scope_preserves_outer_allocations(self, flat_os):
+        outer = flat_os.malloc("outer", GiB)
+        with flat_os.allocation_scope():
+            flat_os.malloc("inner", GiB)
+        assert flat_os.allocator.used_bytes() == GiB
+        flat_os.free(outer)
+
+
+class TestFacades:
+    def test_openmp(self, flat_os):
+        assert flat_os.openmp(128).threads_per_core == 2
+
+    def test_numactl_hardware(self, cache_os):
+        assert "96 GB" in cache_os.numactl_hardware()
+
+    def test_describe(self, flat_os):
+        text = flat_os.describe()
+        assert "Xeon Phi" in text
+        assert "flat" in text

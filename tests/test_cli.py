@@ -1,0 +1,72 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "table1" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe"]) == 0
+        assert "Xeon Phi" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "XSBench" in capsys.readouterr().out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Gap (%)" in out
+
+    def test_advisor(self, capsys):
+        assert main(["advisor", "minife", "--size-gb", "7.2"]) == 0
+        out = capsys.readouterr().out
+        assert "use HBM" in out
+
+    def test_advisor_xsbench_threads(self, capsys):
+        assert main(
+            ["advisor", "xsbench", "--size-gb", "11.3", "--threads", "256"]
+        ) == 0
+        assert "use HBM" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestCLIExtensions:
+    def test_fig1(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["fig1"]) == 0
+        assert "[L2 1MB]" in capsys.readouterr().out
+
+    def test_decompose(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(
+            ["decompose", "minife", "--total-gb", "96", "--nodes", "4", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "8 nodes" in out
+        assert "HBM" in out
+
+    def test_energy(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["energy", "minife", "--size-gb", "7.2"]) == 0
+        assert "EDP" in capsys.readouterr().out
+
+    def test_optimize(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["optimize", "minife", "--size-gb", "7.2"]) == 0
+        out = capsys.readouterr().out
+        assert "x-vector -> dram" in out
+        assert "stiffness-matrix -> hbm" in out

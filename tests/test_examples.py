@@ -1,0 +1,34 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_six_examples_present():
+    assert len(EXAMPLES) == 6
+    assert {p.stem for p in EXAMPLES} >= {
+        "quickstart",
+        "graph_analytics",
+        "capacity_planning",
+        "finegrained_placement",
+        "memory_mode_study",
+        "energy_study",
+    }

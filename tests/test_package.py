@@ -1,0 +1,48 @@
+"""Package-level hygiene tests."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.util",
+            "repro.machine",
+            "repro.memory",
+            "repro.runtime",
+            "repro.engine",
+            "repro.cluster",
+            "repro.workloads",
+            "repro.core",
+            "repro.figures",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert getattr(mod, name, None) is not None, f"{module}.{name}"
+
+    def test_no_wildcard_shadowing(self):
+        """Top-level names must come from where the docs say they do."""
+        from repro.core.runner import ExperimentRunner
+
+        assert repro.ExperimentRunner is ExperimentRunner
+
+    def test_py_typed_marker_ships(self):
+        import pathlib
+
+        marker = pathlib.Path(repro.__file__).parent / "py.typed"
+        assert marker.exists()

@@ -1,0 +1,86 @@
+"""AsciiChart tests."""
+
+import math
+
+import pytest
+
+from repro.util.ascii_plot import AsciiChart
+
+
+class TestValidation:
+    def test_min_dimensions(self):
+        with pytest.raises(ValueError):
+            AsciiChart(width=4, height=2)
+
+    def test_series_length_mismatch(self):
+        chart = AsciiChart()
+        with pytest.raises(ValueError):
+            chart.add_series("s", [1, 2], [1])
+
+    def test_empty_series_rejected(self):
+        chart = AsciiChart()
+        with pytest.raises(ValueError):
+            chart.add_series("s", [], [])
+
+    def test_render_without_series(self):
+        with pytest.raises(ValueError):
+            AsciiChart().render()
+
+    def test_too_many_series(self):
+        chart = AsciiChart()
+        for i in range(len(AsciiChart.GLYPHS)):
+            chart.add_series(f"s{i}", [0, 1], [0, 1])
+        with pytest.raises(ValueError):
+            chart.add_series("extra", [0, 1], [0, 1])
+
+
+class TestRendering:
+    def test_legend_present(self):
+        chart = AsciiChart(title="t")
+        chart.add_series("dram", [1, 2, 3], [1, 2, 3])
+        text = chart.render()
+        assert "*=dram" in text
+        assert text.splitlines()[0] == "t"
+
+    def test_glyphs_plotted(self):
+        chart = AsciiChart()
+        chart.add_series("a", [0, 1], [0.0, 1.0])
+        assert "*" in chart.render()
+
+    def test_nan_points_skipped(self):
+        chart = AsciiChart()
+        chart.add_series("a", [0, 1, 2], [1.0, math.nan, 3.0])
+        grid = "\n".join(
+            line for line in chart.render().splitlines() if "|" in line
+        )
+        assert grid.count("*") == 2
+
+    def test_all_nan_rejected(self):
+        chart = AsciiChart()
+        chart.add_series("a", [0, 1], [math.nan, math.nan])
+        with pytest.raises(ValueError):
+            chart.render()
+
+    def test_flat_series_renders(self):
+        chart = AsciiChart()
+        chart.add_series("flat", [0, 1, 2], [5.0, 5.0, 5.0])
+        assert "*" in chart.render()
+
+    def test_logx(self):
+        chart = AsciiChart(logx=True, width=20, height=5)
+        chart.add_series("a", [1, 10, 100], [1, 2, 3])
+        text = chart.render()
+        # log spacing puts the middle point near the middle column.
+        star_cols = [
+            line.index("*")
+            for line in text.splitlines()
+            if "*" in line and "|" in line
+        ]
+        assert len(star_cols) == 3
+
+    def test_axis_labels(self):
+        chart = AsciiChart(xlabel="size", ylabel="bw")
+        chart.add_series("a", [0, 1], [0, 10])
+        text = chart.render()
+        assert "size" in text
+        assert "bw" in text

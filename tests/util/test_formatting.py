@@ -1,0 +1,75 @@
+"""Formatting helper tests."""
+
+import math
+
+import pytest
+
+from repro.util.formatting import (
+    format_quantity,
+    format_rate,
+    format_ratio,
+    format_time_ns,
+    si_prefix,
+)
+
+
+class TestSiPrefix:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, (0.0, "")),
+            (2.5e9, (2.5, "G")),
+            (1.07e-2, (10.7, "m")),
+            (330e9, (330.0, "G")),
+            (5, (5.0, "")),
+            (1.5e-7, (150.0, "n")),
+        ],
+    )
+    def test_scaling(self, value, expected):
+        scaled, prefix = si_prefix(value)
+        assert scaled == pytest.approx(expected[0])
+        assert prefix == expected[1]
+
+    def test_negative(self):
+        scaled, prefix = si_prefix(-3.3e6)
+        assert scaled == pytest.approx(-3.3)
+        assert prefix == "M"
+
+
+class TestFormatQuantity:
+    def test_teps(self):
+        assert format_quantity(2.5e8, "TEPS") == "250 MTEPS"
+
+    def test_nan(self):
+        assert format_quantity(float("nan")) == "nan"
+
+    def test_plain(self):
+        assert format_quantity(42.0) == "42"
+
+
+class TestFormatRate:
+    def test_stream_number(self):
+        assert format_rate(330e9) == "330.0 GB/s"
+
+
+class TestFormatTime:
+    @pytest.mark.parametrize(
+        "ns,expected",
+        [
+            (130.4, "130.4 ns"),
+            (1.54e3, "1.5 µs"),
+            (2.5e6, "2.5 ms"),
+            (3.1e9, "3.1 s"),
+        ],
+    )
+    def test_scales(self, ns, expected):
+        assert format_time_ns(ns) == expected
+
+    def test_nan(self):
+        assert format_time_ns(math.nan) == "nan"
+
+
+class TestFormatRatio:
+    def test_paper_style(self):
+        assert format_ratio(3.8) == "3.80x"
+        assert format_ratio(1.27) == "1.27x"

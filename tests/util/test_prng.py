@@ -1,0 +1,45 @@
+"""Seeded RNG stream tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.util.prng import DEFAULT_SEED, derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_labels_matter(self):
+        assert derive_seed(1, "gups") != derive_seed(1, "graph500")
+
+    def test_label_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_no_concat_ambiguity(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+    def test_63_bit_range(self):
+        s = derive_seed(123456789, "x")
+        assert 0 <= s < 2**63
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_any_base_seed(self, base):
+        assert 0 <= derive_seed(base, "w") < 2**63
+
+
+class TestMakeRng:
+    def test_default_seed(self):
+        a = make_rng(None, "x").integers(0, 1000, 10)
+        b = make_rng(DEFAULT_SEED, "x").integers(0, 1000, 10)
+        assert (a == b).all()
+
+    def test_independent_streams(self):
+        a = make_rng(7, "stream-a").random(100)
+        b = make_rng(7, "stream-b").random(100)
+        assert not (a == b).any()
+
+    def test_reproducible(self):
+        assert (
+            make_rng(42, "k").random(5) == make_rng(42, "k").random(5)
+        ).all()

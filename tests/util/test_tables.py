@@ -1,0 +1,66 @@
+"""TextTable rendering tests."""
+
+import pytest
+
+from repro.util.tables import TextTable
+
+
+class TestConstruction:
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_align_length_checked(self):
+        with pytest.raises(ValueError):
+            TextTable(["a", "b"], align=["l"])
+
+    def test_align_values_checked(self):
+        with pytest.raises(ValueError):
+            TextTable(["a"], align=["x"])
+
+
+class TestRows:
+    def test_row_width_checked(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_none_renders_dash(self):
+        t = TextTable(["a"])
+        t.add_row([None])
+        assert "-" in t.render().splitlines()[-1]
+
+    def test_nrows(self):
+        t = TextTable(["a"])
+        t.add_rows([[1], [2], [3]])
+        assert t.nrows == 3
+
+
+class TestRendering:
+    def test_header_and_separator(self):
+        t = TextTable(["size", "bw"], title="Fig")
+        t.add_row(["8 GB", "260"])
+        lines = t.render().splitlines()
+        assert lines[0] == "Fig"
+        assert "size" in lines[1] and "bw" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert "8 GB" in lines[3]
+
+    def test_alignment(self):
+        t = TextTable(["x", "y"], align=["l", "r"])
+        t.add_row(["a", "1"])
+        t.add_row(["bb", "22"])
+        body = t.render().splitlines()
+        assert body[-1].startswith("bb")
+        assert body[-1].rstrip().endswith("22")
+
+    def test_str_matches_render(self):
+        t = TextTable(["x"])
+        t.add_row(["v"])
+        assert str(t) == t.render()
+
+    def test_column_width_grows_with_content(self):
+        t = TextTable(["c"])
+        t.add_row(["a-very-long-cell-value"])
+        lines = t.render().splitlines()
+        assert len(lines[1]) >= len("a-very-long-cell-value")

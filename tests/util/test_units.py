@@ -1,0 +1,110 @@
+"""Unit conversion tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    CACHE_LINE,
+    GB,
+    GiB,
+    KiB,
+    MiB,
+    bytes_to_gb,
+    bytes_to_gib,
+    format_size,
+    gb_to_bytes,
+    gib_to_bytes,
+    parse_size,
+)
+
+
+class TestConstants:
+    def test_binary_units(self):
+        assert KiB == 1024
+        assert MiB == 1024**2
+        assert GiB == 1024**3
+
+    def test_decimal_gb(self):
+        assert GB == 10**9
+
+    def test_cache_line_is_knl(self):
+        assert CACHE_LINE == 64
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("64", 64),
+            ("1 KiB", 1024),
+            ("1KB", 1000),
+            ("2 MiB", 2 * MiB),
+            ("1.5 GiB", int(1.5 * GiB)),
+            ("11.4 GB", 11_400_000_000),
+            ("256kb", 256_000),
+            ("1 tib", 1 << 40),
+        ],
+    )
+    def test_parses(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_passthrough_numbers(self):
+        assert parse_size(4096) == 4096
+        assert parse_size(1.5) == 1
+
+    @pytest.mark.parametrize("bad", ["", "GB", "1.2.3 GB", "-5 GB", "five"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+
+class TestFormatSize:
+    def test_bytes(self):
+        assert format_size(123) == "123 B"
+
+    def test_binary(self):
+        assert format_size(1536, precision=1) == "1.5 KiB"
+        assert format_size(16 * GiB) == "16.0 GiB"
+
+    def test_decimal(self):
+        assert format_size(11_400_000_000, binary=False) == "11.4 GB"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+
+class TestConversions:
+    def test_gib_round_trip(self):
+        assert bytes_to_gib(gib_to_bytes(16.0)) == pytest.approx(16.0)
+
+    def test_gb_round_trip(self):
+        assert bytes_to_gb(gb_to_bytes(11.4)) == pytest.approx(11.4)
+
+    def test_gib_vs_gb_differ(self):
+        # The GiB/GB distinction matters: 16 GiB is ~17.18 GB.
+        assert gib_to_bytes(16) / gb_to_bytes(16) == pytest.approx(1.0737, rel=1e-3)
+
+    @given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    def test_gib_round_trip_property(self, gib):
+        assert bytes_to_gib(gib_to_bytes(gib)) == pytest.approx(gib, abs=1e-9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gib_to_bytes(-1)
+        with pytest.raises(ValueError):
+            gb_to_bytes(-0.1)
+
+
+class TestParseFormatRoundTrip:
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_parse_of_format_is_close(self, n):
+        # format truncates precision; round-trip must stay within 5%.
+        text = format_size(n, precision=3)
+        parsed = parse_size(text)
+        assert parsed == pytest.approx(n, rel=0.05, abs=1)

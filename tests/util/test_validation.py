@@ -1,0 +1,59 @@
+"""Validation helper tests."""
+
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_fraction("f", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_fraction("f", bad)
+
+
+class TestCheckIn:
+    def test_accepts(self):
+        assert check_in("mode", "flat", {"flat", "cache"}) == "flat"
+
+    def test_rejects(self):
+        with pytest.raises(ValueError, match="mode"):
+            check_in("mode", "hybrid", {"flat", "cache"})
+
+
+class TestCheckType:
+    def test_accepts(self):
+        assert check_type("n", 5, int) == 5
+
+    def test_rejects(self):
+        with pytest.raises(TypeError, match="n must be"):
+            check_type("n", "5", int)

@@ -1,0 +1,42 @@
+"""Workload base-class behaviour."""
+
+import pytest
+
+from repro.core.configs import ConfigName
+from repro.workloads import GUPS, MiniFE, StreamBenchmark
+
+
+class TestMetric:
+    def test_metric_applies_calibration(self, runner):
+        w = GUPS(log2_entries=20)
+        record = runner.run(w, ConfigName.DRAM, 64)
+        assert record.run_result is not None
+        raw_rate = record.run_result.rate_per_s(w.operations)
+        assert record.metric == pytest.approx(raw_rate * GUPS.calibration)
+
+    def test_calibration_is_configuration_independent(self, runner):
+        """The absolute-scale scalar must cancel in every comparison."""
+        w = MiniFE.from_matrix_gb(3.6)
+        hbm = runner.run(w, ConfigName.HBM, 64)
+        dram = runner.run(w, ConfigName.DRAM, 64)
+        assert hbm.run_result is not None and dram.run_result is not None
+        metric_ratio = hbm.metric / dram.metric
+        time_ratio = dram.run_result.time_ns / hbm.run_result.time_ns
+        assert metric_ratio == pytest.approx(time_ratio)
+
+
+class TestDescribe:
+    def test_describe_mentions_identity(self):
+        text = MiniFE.from_matrix_gb(3.6).describe()
+        assert "MiniFE" in text
+        assert "Sequential" in text
+        assert "GB" in text
+
+    def test_default_params(self):
+        assert "footprint_bytes" in StreamBenchmark(size_bytes=2400).params() or (
+            "size_bytes" in StreamBenchmark(size_bytes=2400).params()
+        )
+
+    def test_default_check_runnable_is_permissive(self):
+        # Base class: everything runs, including 256 threads.
+        GUPS(log2_entries=10).check_runnable(256)

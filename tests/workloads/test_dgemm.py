@@ -1,0 +1,81 @@
+"""DGEMM workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine.profilephase import AccessPattern
+from repro.util.prng import make_rng
+from repro.workloads.dgemm import DGEMM, WorkloadFailure
+
+
+class TestSizing:
+    def test_footprint(self):
+        assert DGEMM(n=100).footprint_bytes == 3 * 100 * 100 * 8
+
+    def test_from_array_gb(self):
+        d = DGEMM.from_array_gb(24.0)
+        assert d.footprint_bytes == pytest.approx(24e9, rel=0.01)
+
+    def test_flops(self):
+        assert DGEMM(n=10).flops == 2000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DGEMM(n=0)
+
+
+class TestProfile:
+    def test_sequential(self):
+        prof = DGEMM(n=100).profile()
+        assert prof.phases[0].pattern is AccessPattern.SEQUENTIAL
+
+    def test_arithmetic_intensity_near_block_over_8(self):
+        prof = DGEMM(n=2000).profile()
+        assert prof.phases[0].arithmetic_intensity == pytest.approx(4.0, rel=0.05)
+
+    def test_footprint_matches(self):
+        d = DGEMM(n=500)
+        assert d.profile().footprint_bytes == d.footprint_bytes
+
+
+class TestFailureMode:
+    def test_256_threads_fails(self):
+        with pytest.raises(WorkloadFailure, match="footnote"):
+            DGEMM(n=100).check_runnable(256)
+
+    @pytest.mark.parametrize("threads", [64, 128, 192])
+    def test_other_counts_fine(self, threads):
+        DGEMM(n=100).check_runnable(threads)
+
+
+class TestBlockedMatmul:
+    def test_matches_numpy(self):
+        rng = make_rng(0, "t")
+        a = rng.standard_normal((70, 50))
+        b = rng.standard_normal((50, 90))
+        c = DGEMM.blocked_matmul(a, b, block=16)
+        assert np.allclose(c, a @ b)
+
+    def test_block_larger_than_matrix(self):
+        rng = make_rng(1, "t")
+        a = rng.standard_normal((5, 5))
+        b = rng.standard_normal((5, 5))
+        assert np.allclose(DGEMM.blocked_matmul(a, b, block=64), a @ b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            DGEMM.blocked_matmul(np.ones((2, 3)), np.ones((2, 3)))
+
+    def test_block_validation(self):
+        with pytest.raises(ValueError):
+            DGEMM.blocked_matmul(np.ones((2, 2)), np.ones((2, 2)), block=0)
+
+
+class TestExecute:
+    def test_verified(self):
+        result = DGEMM(n=48).execute(seed=3)
+        assert result.verified
+        assert result.details["max_abs_err"] < 1e-8
+
+    def test_operations(self):
+        assert DGEMM(n=10).execute().operations == 2000.0

@@ -1,0 +1,221 @@
+"""Graph500 tests: generator, BFS (vs networkx), validation, workload."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.engine.profilephase import AccessPattern
+from repro.workloads.graph500.bfs import BFSResult, bfs_csr, build_adjacency
+from repro.workloads.graph500.kronecker import KroneckerParams, kronecker_edges
+from repro.workloads.graph500.validate import validate_bfs
+from repro.workloads.graph500.workload import Graph500
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    params = KroneckerParams(scale=8, edgefactor=8)
+    edges = kronecker_edges(params, seed=42)
+    return edges, build_adjacency(edges, params.n_vertices)
+
+
+class TestKronecker:
+    def test_shape_and_range(self):
+        params = KroneckerParams(scale=6)
+        edges = kronecker_edges(params, seed=0)
+        assert edges.shape == (2, params.n_edges)
+        assert edges.min() >= 0
+        assert edges.max() < params.n_vertices
+
+    def test_deterministic(self):
+        p = KroneckerParams(scale=6)
+        a = kronecker_edges(p, seed=1)
+        b = kronecker_edges(p, seed=1)
+        assert (a == b).all()
+
+    def test_seed_changes_graph(self):
+        p = KroneckerParams(scale=6)
+        assert not (kronecker_edges(p, seed=1) == kronecker_edges(p, seed=2)).all()
+
+    def test_skewed_degree_distribution(self):
+        """R-MAT graphs are heavy-tailed: the max degree far exceeds the
+        mean (this is what makes Graph500 locality-hostile)."""
+        p = KroneckerParams(scale=10)
+        g = build_adjacency(kronecker_edges(p, seed=3), p.n_vertices)
+        degrees = g.row_degrees()
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            KroneckerParams(scale=4, a=0.6, b=0.3, c=0.2)
+
+
+class TestAdjacency:
+    def test_symmetrized(self, small_graph):
+        _, g = small_graph
+        dense = g.to_dense()
+        assert (dense == dense.T).all()
+
+    def test_no_self_loops(self, small_graph):
+        _, g = small_graph
+        assert np.trace(g.to_dense()) == 0
+
+    def test_deduplicated(self, small_graph):
+        _, g = small_graph
+        assert g.to_dense().max() == 1.0
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            build_adjacency(np.zeros((3, 4), dtype=np.int64), 4)
+
+
+class TestBFS:
+    def test_matches_networkx_levels(self, small_graph):
+        edges, g = small_graph
+        root = int(np.flatnonzero(g.row_degrees() > 0)[0])
+        result = bfs_csr(g, root)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.n_rows))
+        nxg.add_edges_from(edges.T.tolist())
+        nxg.remove_edges_from(nx.selfloop_edges(nxg))
+        expected = nx.single_source_shortest_path_length(nxg, root)
+        for v, lvl in expected.items():
+            assert result.level[v] == lvl
+        assert result.vertices_visited == len(expected)
+
+    def test_root_properties(self, small_graph):
+        _, g = small_graph
+        root = int(np.flatnonzero(g.row_degrees() > 0)[0])
+        r = bfs_csr(g, root)
+        assert r.parent[root] == root
+        assert r.level[root] == 0
+
+    def test_unreached_marked(self):
+        # Two disconnected edges: 0-1, 2-3.
+        g = build_adjacency(np.array([[0, 2], [1, 3]]), 4)
+        r = bfs_csr(g, 0)
+        assert r.parent[2] == -1 and r.parent[3] == -1
+        assert r.vertices_visited == 2
+
+    def test_edges_traversed_counts_scans(self, small_graph):
+        _, g = small_graph
+        root = int(np.flatnonzero(g.row_degrees() > 0)[0])
+        r = bfs_csr(g, root)
+        assert 0 < r.edges_traversed <= g.nnz
+
+    def test_isolated_root(self):
+        g = build_adjacency(np.array([[0], [1]]), 4)
+        r = bfs_csr(g, 3)
+        assert r.vertices_visited == 1
+
+    def test_root_range_checked(self, small_graph):
+        _, g = small_graph
+        with pytest.raises(ValueError):
+            bfs_csr(g, g.n_rows)
+
+
+class TestValidation:
+    def test_valid_result_passes(self, small_graph):
+        _, g = small_graph
+        root = int(np.flatnonzero(g.row_degrees() > 0)[0])
+        ok, errors = validate_bfs(g, bfs_csr(g, root))
+        assert ok, errors
+
+    def test_corrupted_parent_detected(self, small_graph):
+        _, g = small_graph
+        root = int(np.flatnonzero(g.row_degrees() > 0)[0])
+        r = bfs_csr(g, root)
+        reached = np.flatnonzero(r.parent >= 0)
+        victim = int(reached[reached != root][0])
+        bad_parent = r.parent.copy()
+        # Point the victim at a non-adjacent vertex (itself is never
+        # adjacent: no self loops).
+        bad_parent[victim] = victim
+        ok, errors = validate_bfs(
+            g, BFSResult(root, bad_parent, r.level, r.edges_traversed, r.levels)
+        )
+        assert not ok
+
+    def test_corrupted_level_detected(self, small_graph):
+        _, g = small_graph
+        root = int(np.flatnonzero(g.row_degrees() > 0)[0])
+        r = bfs_csr(g, root)
+        bad_level = r.level.copy()
+        reached = np.flatnonzero((r.parent >= 0) & (r.level > 0))
+        bad_level[reached[0]] += 5
+        ok, errors = validate_bfs(
+            g, BFSResult(root, r.parent, bad_level, r.edges_traversed, r.levels)
+        )
+        assert not ok
+
+    def test_truncated_search_detected(self, small_graph):
+        """Un-visiting a vertex whose neighbours were visited must fail
+        the component check."""
+        _, g = small_graph
+        root = int(np.flatnonzero(g.row_degrees() > 0)[0])
+        r = bfs_csr(g, root)
+        deepest = int(np.argmax(r.level))
+        parent = r.parent.copy()
+        level = r.level.copy()
+        parent[deepest] = -1
+        level[deepest] = -1
+        ok, _ = validate_bfs(
+            g, BFSResult(root, parent, level, r.edges_traversed, r.levels)
+        )
+        assert not ok
+
+
+class TestWorkload:
+    def test_from_graph_gb(self):
+        w = Graph500.from_graph_gb(8.8)
+        assert w.footprint_bytes >= 8.8e9
+        assert Graph500(scale=w.scale - 1).footprint_bytes < 8.8e9
+
+    def test_profile_phases(self):
+        prof = Graph500(scale=20).profile()
+        patterns = {p.name: p.pattern for p in prof.phases}
+        assert patterns["adjacency-stream"] is AccessPattern.SEQUENTIAL
+        assert patterns["visit-random"] is AccessPattern.RANDOM
+
+    def test_teps_numerator_is_input_edges(self):
+        w = Graph500(scale=20, edgefactor=16)
+        assert w.operations == 16 * (1 << 20)
+
+    def test_execute_validates_all_roots(self):
+        r = Graph500(scale=7, n_roots=4).execute(seed=9)
+        assert r.verified
+        assert r.details["roots"] == 4
+        assert r.details["errors"] == []
+
+
+class TestHarmonicMeanTeps:
+    def test_equal_rates(self):
+        from repro.workloads.graph500.workload import harmonic_mean_teps
+
+        assert harmonic_mean_teps([100, 100], [1.0, 1.0]) == pytest.approx(100.0)
+
+    def test_dominated_by_slow_searches(self):
+        from repro.workloads.graph500.workload import harmonic_mean_teps
+
+        hm = harmonic_mean_teps([100, 100], [1.0, 100.0])
+        assert hm < 2.1  # the slow root dominates, as the spec intends
+
+    def test_matches_core_harmonic_mean(self):
+        from repro.core.metrics import harmonic_mean
+        from repro.workloads.graph500.workload import harmonic_mean_teps
+
+        edges = [120, 80, 100]
+        times = [1.2, 0.8, 0.9]
+        rates = [e / t for e, t in zip(edges, times)]
+        assert harmonic_mean_teps(edges, times) == pytest.approx(
+            harmonic_mean(rates)
+        )
+
+    def test_validation(self):
+        from repro.workloads.graph500.workload import harmonic_mean_teps
+
+        with pytest.raises(ValueError):
+            harmonic_mean_teps([1], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            harmonic_mean_teps([], [])
+        with pytest.raises(ValueError):
+            harmonic_mean_teps([0], [1.0])

@@ -1,0 +1,60 @@
+"""GUPS workload tests."""
+
+import pytest
+
+from repro.engine.profilephase import AccessPattern
+from repro.workloads.gups import GUPS, UPDATES_PER_ENTRY
+
+
+class TestSizing:
+    def test_power_of_two_table(self):
+        g = GUPS(log2_entries=20)
+        assert g.n_entries == 1 << 20
+        assert g.footprint_bytes == 8 << 20
+
+    def test_default_updates(self):
+        g = GUPS(log2_entries=10)
+        assert g.n_updates == UPDATES_PER_ENTRY * 1024
+
+    def test_explicit_updates(self):
+        assert GUPS(log2_entries=10, updates=100).n_updates == 100
+
+    def test_from_table_gb_uses_gib_powers_of_two(self):
+        g = GUPS.from_table_gb(1.0)
+        assert g.footprint_bytes == 1 << 30
+        assert GUPS.from_table_gb(32.0).footprint_bytes == 32 << 30
+
+    def test_32_gib_table_does_not_fit_hbm(self):
+        assert GUPS.from_table_gb(32.0).footprint_bytes > 16 << 30
+
+    def test_tiny_table_rejected(self):
+        with pytest.raises(ValueError):
+            GUPS.from_table_gb(1e-9)
+
+
+class TestProfile:
+    def test_random_pattern(self):
+        prof = GUPS(log2_entries=10).profile()
+        assert prof.phases[0].pattern is AccessPattern.RANDOM
+
+    def test_two_accesses_per_update(self):
+        g = GUPS(log2_entries=10, updates=100)
+        assert g.profile().phases[0].accesses == 200.0
+
+    def test_write_heavy(self):
+        assert GUPS(log2_entries=10).profile().phases[0].write_fraction == 0.5
+
+
+class TestExecute:
+    def test_xor_involution_verifies(self):
+        assert GUPS(log2_entries=8).execute(seed=0).verified
+
+    def test_larger_batch_path(self):
+        # More updates than one batch (1024), exercising the loop.
+        assert GUPS(log2_entries=9, updates=3000).execute(seed=1).verified
+
+    def test_deterministic(self):
+        a = GUPS(log2_entries=8).execute(seed=7)
+        b = GUPS(log2_entries=8).execute(seed=7)
+        assert a.verified and b.verified
+        assert a.operations == b.operations

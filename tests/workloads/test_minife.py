@@ -1,0 +1,189 @@
+"""MiniFE tests: mesh, assembly, CG and the workload adapter."""
+
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.engine.profilephase import AccessPattern
+from repro.workloads.minife.assembly import (
+    assemble_stiffness,
+    assemble_system,
+    hex8_stiffness,
+)
+from repro.workloads.minife.cg import cg_flops, conjugate_gradient
+from repro.workloads.minife.mesh import BrickMesh
+from repro.workloads.minife.workload import MiniFE
+from repro.workloads.common.sparse import CSRMatrix
+
+
+class TestMesh:
+    def test_counts(self):
+        m = BrickMesh(2, 3, 4)
+        assert m.n_elements == 24
+        assert m.n_nodes == 3 * 4 * 5
+
+    def test_connectivity_shape_and_range(self):
+        m = BrickMesh.cube(3)
+        conn = m.element_connectivity()
+        assert conn.shape == (27, 8)
+        assert conn.min() >= 0
+        assert conn.max() < m.n_nodes
+
+    def test_each_element_has_8_distinct_corners(self):
+        conn = BrickMesh.cube(2).element_connectivity()
+        for row in conn:
+            assert len(set(row.tolist())) == 8
+
+    def test_boundary_nodes(self):
+        m = BrickMesh.cube(2)  # 3^3 nodes, 1 interior
+        assert m.boundary_nodes().size == 26
+        assert m.interior_node_count() == 1
+
+    def test_interior_count_consistent(self):
+        m = BrickMesh.cube(4)
+        assert m.interior_node_count() + m.boundary_nodes().size == m.n_nodes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BrickMesh(0, 1, 1)
+
+
+class TestElementStiffness:
+    def test_symmetric(self):
+        ke = hex8_stiffness()
+        assert np.allclose(ke, ke.T)
+
+    def test_rows_sum_to_zero(self):
+        """Constant fields are in the Laplacian's null space."""
+        ke = hex8_stiffness()
+        assert np.allclose(ke @ np.ones(8), 0.0, atol=1e-12)
+
+    def test_positive_semidefinite(self):
+        eigs = np.linalg.eigvalsh(hex8_stiffness())
+        assert eigs.min() > -1e-12
+
+    def test_scales_linearly_with_h(self):
+        """For the 3-D Laplacian, Ke ~ h * (reference Ke)."""
+        assert np.allclose(hex8_stiffness(2.0), 2.0 * hex8_stiffness(1.0))
+
+    def test_h_validation(self):
+        with pytest.raises(ValueError):
+            hex8_stiffness(0.0)
+
+
+class TestAssembly:
+    def test_global_symmetric(self):
+        k = assemble_stiffness(BrickMesh.cube(3))
+        dense = k.to_dense()
+        assert np.allclose(dense, dense.T)
+
+    def test_27_point_stencil_interior(self):
+        mesh = BrickMesh.cube(4)
+        k = assemble_stiffness(mesh)
+        # Centre node of a 5x5x5 lattice touches 27 neighbours.
+        centre = mesh.node_id(2, 2, 2)
+        cols, _ = k.row(int(centre))
+        assert cols.size == 27
+
+    def test_nnz_formula_matches_workload(self):
+        mesh = BrickMesh.cube(4)
+        k = assemble_stiffness(mesh)
+        assert k.nnz == MiniFE(nx=4).nnz
+
+    def test_system_boundary_rows_identity(self):
+        mesh = BrickMesh.cube(3)
+        k, f = assemble_system(mesh)
+        for b in mesh.boundary_nodes()[:5]:
+            cols, vals = k.row(int(b))
+            assert list(cols) == [int(b)]
+            assert vals[0] == 1.0
+        assert (f[mesh.boundary_nodes()] == 0).all()
+
+    def test_system_spd_on_interior(self):
+        mesh = BrickMesh.cube(3)
+        k, _ = assemble_system(mesh)
+        eigs = np.linalg.eigvalsh(k.to_dense())
+        assert eigs.min() > 0
+
+
+class TestCG:
+    def _system(self, n=4):
+        mesh = BrickMesh.cube(n)
+        return assemble_system(mesh)
+
+    def test_solves_against_scipy(self):
+        k, f = self._system()
+        ours = conjugate_gradient(k, f, tol=1e-12, max_iterations=500)
+        sp = csr_matrix(
+            (k.data, k.indices, k.indptr), shape=(k.n_rows, k.n_cols)
+        )
+        reference = spsolve(sp.tocsc(), f)
+        assert ours.converged
+        assert np.allclose(ours.x, reference, atol=1e-8)
+
+    def test_residual_decreases(self):
+        k, f = self._system()
+        loose = conjugate_gradient(k, f, tol=1e-2, max_iterations=500)
+        tight = conjugate_gradient(k, f, tol=1e-10, max_iterations=500)
+        assert tight.residual_norm < loose.residual_norm
+
+    def test_iteration_cap(self):
+        k, f = self._system(5)
+        r = conjugate_gradient(k, f, tol=1e-30, max_iterations=3)
+        assert r.iterations == 3
+        assert not r.converged
+
+    def test_zero_rhs(self):
+        k, _ = self._system()
+        r = conjugate_gradient(k, np.zeros(k.n_rows))
+        assert r.converged
+        assert np.allclose(r.x, 0.0)
+
+    def test_flop_accounting(self):
+        assert cg_flops(nnz=100, n=10, iterations=5) == 5 * (200 + 100)
+
+    def test_shape_validation(self):
+        k, f = self._system()
+        with pytest.raises(ValueError):
+            conjugate_gradient(k, f[:-1])
+
+    def test_non_square_rejected(self):
+        m = CSRMatrix.from_coo(
+            2, 3, np.array([0]), np.array([0]), np.array([1.0])
+        )
+        with pytest.raises(ValueError):
+            conjugate_gradient(m, np.zeros(2))
+
+
+class TestWorkload:
+    def test_from_matrix_gb(self):
+        w = MiniFE.from_matrix_gb(7.2)
+        assert w.matrix_bytes == pytest.approx(7.2e9, rel=0.1)
+
+    def test_profile_phases(self):
+        prof = MiniFE(nx=8).profile()
+        names = [p.name for p in prof.phases]
+        assert names == ["spmv-stream", "spmv-gather", "vector-ops"]
+        assert prof.phases[0].pattern is AccessPattern.SEQUENTIAL
+        assert prof.phases[1].pattern is AccessPattern.RANDOM
+
+    def test_spmv_dominates_traffic(self):
+        prof = MiniFE(nx=20).profile()
+        assert prof.dominant_pattern is AccessPattern.SEQUENTIAL
+
+    def test_operations_are_cg_flops(self):
+        w = MiniFE(nx=8, cg_iterations=100)
+        assert w.operations == cg_flops(w.nnz, w.n_rows, 100)
+
+    def test_execute_verifies(self):
+        r = MiniFE(nx=5).execute()
+        assert r.verified
+        assert r.details["residual"] < 1e-6
+
+    def test_execute_nnz_bounded_by_formula(self):
+        """The solved system drops boundary couplings, so its nnz is below
+        the full-stiffness formula the profile uses."""
+        w = MiniFE(nx=5)
+        solved_nnz = w.execute().details["nnz"]
+        assert 0 < solved_nnz <= w.nnz

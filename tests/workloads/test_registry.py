@@ -1,0 +1,54 @@
+"""Registry / Table I tests."""
+
+import pytest
+
+from repro.workloads.registry import FROM_GB, WORKLOADS, get_workload, table1_rows
+
+
+class TestRegistry:
+    def test_all_workloads_present(self):
+        assert set(WORKLOADS) == {
+            "dgemm", "minife", "gups", "graph500", "xsbench",
+            "stream", "tinymembench",
+        }
+
+    def test_lookup_case_insensitive(self):
+        assert get_workload("DGEMM") is WORKLOADS["dgemm"]
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            get_workload("hpl")
+
+    def test_from_gb_covers_applications(self):
+        assert set(FROM_GB) == {"dgemm", "minife", "gups", "graph500", "xsbench"}
+
+    def test_from_gb_constructors_work(self):
+        for name, factory in FROM_GB.items():
+            w = factory(2.0)
+            assert w.footprint_bytes > 0
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        rows = table1_rows()
+        assert rows == [
+            ("DGEMM", "Scientific", "Sequential", "24 GB"),
+            ("MiniFE", "Scientific", "Sequential", "30 GB"),
+            ("GUPS", "Data analytics", "Random", "32 GB"),
+            ("Graph500", "Data analytics", "Random", "35 GB"),
+            ("XSBench", "Scientific", "Random", "90 GB"),
+        ]
+
+
+class TestTable1Scales:
+    def test_max_scale_constructible(self):
+        """Table I's 'Max. Scale' column: the from-GB constructors reach
+        each application's stated maximum within ~25%."""
+        from repro.workloads.registry import FROM_GB, WORKLOADS
+
+        for name, factory in FROM_GB.items():
+            scale = WORKLOADS[name].spec.max_scale_gb
+            workload = factory(scale)
+            assert workload.footprint_bytes == pytest.approx(
+                scale * 1e9, rel=0.25
+            )

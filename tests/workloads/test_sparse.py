@@ -1,0 +1,159 @@
+"""CSR substrate tests (including hypothesis invariants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.common.sparse import CSRMatrix
+
+
+def coo_strategy(max_dim=12, max_nnz=60):
+    return st.integers(min_value=1, max_value=max_dim).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.floats(min_value=-10, max_value=10, allow_nan=False),
+                ),
+                max_size=max_nnz,
+            ),
+        )
+    )
+
+
+class TestConstruction:
+    def test_from_coo_basic(self):
+        m = CSRMatrix.from_coo(
+            2, 3, np.array([0, 1, 1]), np.array([2, 0, 1]), np.array([1.0, 2.0, 3.0])
+        )
+        assert m.nnz == 3
+        dense = m.to_dense()
+        assert dense[0, 2] == 1.0
+        assert dense[1, 0] == 2.0
+
+    def test_duplicates_summed(self):
+        m = CSRMatrix.from_coo(
+            1, 1, np.array([0, 0]), np.array([0, 0]), np.array([1.0, 2.0])
+        )
+        assert m.nnz == 1
+        assert m.to_dense()[0, 0] == 3.0
+
+    def test_pattern_duplicates_collapsed(self):
+        m = CSRMatrix.from_coo(2, 2, np.array([0, 0, 1]), np.array([1, 1, 0]))
+        assert m.nnz == 2
+        assert m.data is None
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo(2, 2, np.array([2]), np.array([0]))
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo(2, 2, np.array([0]), np.array([-1]))
+
+    def test_indptr_validation(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(2, 2, np.array([0, 1]), np.array([0]))  # short indptr
+        with pytest.raises(ValueError):
+            CSRMatrix(2, 2, np.array([0, 2, 1]), np.array([0, 1]))  # decreasing
+
+    def test_empty_matrix(self):
+        m = CSRMatrix.from_coo(3, 3, np.array([], dtype=int), np.array([], dtype=int))
+        assert m.nnz == 0
+        assert (m.to_dense() == 0).all()
+
+
+class TestMatvec:
+    def test_matches_dense(self):
+        rng = np.random.default_rng(1)
+        rows = rng.integers(0, 6, 30)
+        cols = rng.integers(0, 6, 30)
+        vals = rng.standard_normal(30)
+        m = CSRMatrix.from_coo(6, 6, rows, cols, vals)
+        x = rng.standard_normal(6)
+        assert np.allclose(m.matvec(x), m.to_dense() @ x)
+
+    def test_empty_rows_zero(self):
+        m = CSRMatrix.from_coo(4, 4, np.array([1]), np.array([1]), np.array([5.0]))
+        y = m.matvec(np.ones(4))
+        assert y[0] == 0.0 and y[2] == 0.0 and y[3] == 0.0
+        assert y[1] == 5.0
+
+    def test_pattern_spmv(self):
+        m = CSRMatrix.from_coo(2, 3, np.array([0, 0, 1]), np.array([0, 2, 1]))
+        y = m.spmv_pattern(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(y, [4.0, 2.0])
+
+    def test_pattern_matvec_rejected(self):
+        m = CSRMatrix.from_coo(1, 1, np.array([0]), np.array([0]))
+        with pytest.raises(ValueError):
+            m.matvec(np.ones(1))
+
+    def test_shape_checked(self):
+        m = CSRMatrix.from_coo(2, 3, np.array([0]), np.array([0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            m.matvec(np.ones(2))
+
+    @given(coo_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_matvec_matches_dense_property(self, data):
+        n, triples = data
+        if triples:
+            rows, cols, vals = map(np.array, zip(*triples))
+        else:
+            rows = cols = np.array([], dtype=int)
+            vals = np.array([])
+        m = CSRMatrix.from_coo(n, n, rows, cols, vals)
+        x = np.linspace(-1, 1, n)
+        assert np.allclose(m.matvec(x), m.to_dense() @ x)
+
+
+class TestStructure:
+    def test_row_access(self):
+        m = CSRMatrix.from_coo(
+            2, 4, np.array([0, 0]), np.array([1, 3]), np.array([1.0, 2.0])
+        )
+        cols, vals = m.row(0)
+        assert list(cols) == [1, 3]
+        assert list(vals) == [1.0, 2.0]
+        with pytest.raises(IndexError):
+            m.row(2)
+
+    def test_row_degrees(self):
+        m = CSRMatrix.from_coo(3, 3, np.array([0, 0, 2]), np.array([0, 1, 2]))
+        assert list(m.row_degrees()) == [2, 0, 1]
+
+    def test_memory_bytes(self):
+        m = CSRMatrix.from_coo(
+            2, 2, np.array([0]), np.array([1]), np.array([1.0])
+        )
+        assert m.memory_bytes() == m.indptr.nbytes + m.indices.nbytes + 8
+
+    def test_transpose(self):
+        rng = np.random.default_rng(2)
+        m = CSRMatrix.from_coo(
+            4, 5, rng.integers(0, 4, 10), rng.integers(0, 5, 10),
+            rng.standard_normal(10),
+        )
+        assert np.allclose(m.transpose().to_dense(), m.to_dense().T)
+
+    @given(coo_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_involution(self, data):
+        n, triples = data
+        if triples:
+            rows, cols, vals = map(np.array, zip(*triples))
+        else:
+            rows = cols = np.array([], dtype=int)
+            vals = np.array([])
+        m = CSRMatrix.from_coo(n, n, rows, cols, vals)
+        assert np.allclose(m.transpose().transpose().to_dense(), m.to_dense())
+
+    def test_rows_sorted_within_row(self):
+        rng = np.random.default_rng(3)
+        m = CSRMatrix.from_coo(
+            5, 5, rng.integers(0, 5, 40), rng.integers(0, 5, 40)
+        )
+        for i in range(5):
+            cols, _ = m.row(i)
+            assert (np.diff(cols) > 0).all()

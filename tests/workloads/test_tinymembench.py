@@ -1,0 +1,114 @@
+"""TinyMemBench workload tests (Fig. 3's model)."""
+
+import pytest
+
+from repro.engine.perfmodel import PerformanceModel
+from repro.engine.placement import Location
+from repro.memory.modes import MCDRAMConfig, MemorySystem
+from repro.util.units import GiB, KiB, MiB
+from repro.workloads.tinymembench import TinyMemBench, dual_contention_ns
+
+
+@pytest.fixture()
+def model(machine):
+    return PerformanceModel(machine, MemorySystem(MCDRAMConfig.flat()))
+
+
+class TestConstruction:
+    def test_lines(self):
+        t = TinyMemBench(block_bytes=128 * KiB)
+        assert t.n_lines == 2048
+
+    def test_chain_count_checked(self):
+        with pytest.raises(ValueError):
+            TinyMemBench(block_bytes=KiB, chains=3)
+
+    def test_minimum_block(self):
+        with pytest.raises(ValueError):
+            TinyMemBench(block_bytes=64)
+
+
+class TestLatencyTiers:
+    """The paper's three Fig. 3 tiers."""
+
+    def test_l2_tier_below_1mb(self, model):
+        for block in (128 * KiB, 512 * KiB, 1 * MiB):
+            lat = TinyMemBench(block_bytes=block).model_latency_ns(
+                model, Location.DRAM
+            )
+            assert lat == pytest.approx(10.0, abs=1.0)
+
+    def test_mid_tier_about_200ns(self, model):
+        for block in (8 * MiB, 32 * MiB, 64 * MiB):
+            lat = TinyMemBench(block_bytes=block).model_latency_ns(
+                model, Location.DRAM
+            )
+            assert 150 <= lat <= 260
+
+    def test_growth_beyond_128mb(self, model):
+        lat_64m = TinyMemBench(block_bytes=64 * MiB).model_latency_ns(
+            model, Location.DRAM
+        )
+        lat_1g = TinyMemBench(block_bytes=1 * GiB).model_latency_ns(
+            model, Location.DRAM
+        )
+        assert lat_1g > lat_64m + 150
+
+    def test_dram_faster_than_hbm_everywhere_above_l2(self, model):
+        for block in (2 * MiB, 16 * MiB, 256 * MiB, 1 * GiB):
+            t = TinyMemBench(block_bytes=block)
+            d = t.model_latency_ns(model, Location.DRAM)
+            h = t.model_latency_ns(model, Location.HBM)
+            assert 0.10 <= h / d - 1 <= 0.25
+
+    def test_gap_peaks_just_above_l2(self, model):
+        def gap(block):
+            t = TinyMemBench(block_bytes=block)
+            return t.model_latency_ns(model, Location.HBM) / t.model_latency_ns(
+                model, Location.DRAM
+            )
+
+        assert gap(2 * MiB) > gap(64 * MiB) > gap(512 * MiB)
+
+    def test_single_chain_cheaper(self, model):
+        dual = TinyMemBench(block_bytes=16 * MiB, chains=2)
+        single = TinyMemBench(block_bytes=16 * MiB, chains=1)
+        assert single.model_latency_ns(model, Location.DRAM) < (
+            dual.model_latency_ns(model, Location.DRAM)
+        )
+
+
+class TestContention:
+    def test_ddr_flat(self):
+        assert dual_contention_ns("DDR4", MiB) == dual_contention_ns("DDR4", GiB)
+
+    def test_mcdram_decays(self):
+        assert dual_contention_ns("MCDRAM", MiB) > dual_contention_ns(
+            "MCDRAM", GiB
+        )
+
+    def test_unknown_device(self):
+        with pytest.raises(ValueError):
+            dual_contention_ns("HBM3", MiB)
+
+
+class TestExecute:
+    def test_full_walk_visits_every_line(self):
+        t = TinyMemBench(block_bytes=64 * 256, steps=256)
+        result = t.execute(seed=0)
+        assert result.verified
+        assert result.details["lines_visited"] == 256
+
+    def test_dual_chains_count_double(self):
+        t = TinyMemBench(block_bytes=64 * 128, steps=64, chains=2)
+        assert t.execute(seed=1).operations == 128
+
+    def test_partial_walk_verified_loosely(self):
+        t = TinyMemBench(block_bytes=64 * 1024, steps=10, chains=1)
+        assert t.execute(seed=2).verified
+
+    def test_deterministic(self):
+        t = TinyMemBench(block_bytes=64 * 128, steps=128)
+        a = t.execute(seed=5)
+        b = t.execute(seed=5)
+        assert a.details == b.details

@@ -1,0 +1,131 @@
+"""XSBench tests: grids, lookups, workload."""
+
+import numpy as np
+import pytest
+
+from repro.engine.profilephase import AccessPattern
+from repro.util.prng import make_rng
+from repro.workloads.xsbench.grids import (
+    N_XS,
+    XSBenchParams,
+    build_nuclide_grids,
+    build_unionized_grid,
+)
+from repro.workloads.xsbench.lookup import macro_xs_direct, macro_xs_unionized
+from repro.workloads.xsbench.workload import XSBench
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    params = XSBenchParams(n_nuclides=7, n_gridpoints=40, n_lookups=500)
+    grids = build_nuclide_grids(params, seed=11)
+    union = build_unionized_grid(grids)
+    return params, grids, union
+
+
+class TestParams:
+    def test_union_points(self):
+        p = XSBenchParams(n_nuclides=10, n_gridpoints=100, n_lookups=1)
+        assert p.union_points == 1000
+
+    def test_footprint_scales_with_gridpoints(self):
+        small = XSBenchParams(n_gridpoints=100)
+        large = XSBenchParams(n_gridpoints=200)
+        assert large.footprint_bytes == pytest.approx(
+            2 * small.footprint_bytes, rel=1e-6
+        )
+
+    def test_from_problem_gb(self):
+        p = XSBenchParams.from_problem_gb(5.6)
+        assert p.footprint_bytes == pytest.approx(5.6e9, rel=0.01)
+
+    def test_index_table_dominates(self):
+        """The union index table (4 B x nuclides per union point) is the
+        memory hog, as in the real benchmark."""
+        p = XSBenchParams()
+        index_bytes = p.union_points * 4 * p.n_nuclides
+        assert index_bytes / p.footprint_bytes > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            XSBenchParams(n_nuclides=0)
+
+
+class TestGrids:
+    def test_energies_ascending(self, small_setup):
+        _, grids, _ = small_setup
+        assert (np.diff(grids.energies, axis=1) > 0).all()
+
+    def test_union_sorted_and_complete(self, small_setup):
+        params, grids, union = small_setup
+        assert union.n_union == params.union_points
+        assert (np.diff(union.union_energies) >= 0).all()
+
+    def test_index_brackets_are_valid(self, small_setup):
+        params, grids, union = small_setup
+        assert union.index.min() >= 0
+        assert union.index.max() <= params.n_gridpoints - 2
+
+    def test_index_bracket_property(self, small_setup):
+        """energies[n, index[u, n]] <= union[u] (or clamped at 0)."""
+        _, grids, union = small_setup
+        for nuc in range(grids.n_nuclides):
+            j = union.index[:, nuc].astype(int)
+            e = grids.energies[nuc]
+            ok = (e[j] <= union.union_energies + 1e-15) | (j == 0)
+            assert ok.all()
+
+
+class TestLookups:
+    def test_unionized_matches_direct(self, small_setup):
+        params, grids, union = small_setup
+        rng = make_rng(3, "test-lookups")
+        lo = grids.energies[:, 0].max()
+        hi = grids.energies[:, -1].min()
+        energy = rng.uniform(lo, hi, 200)
+        conc = rng.random(params.n_nuclides)
+        fast = macro_xs_unionized(grids, union, energy, conc)
+        ref = macro_xs_direct(grids, energy, conc)
+        assert fast.shape == (200, N_XS)
+        assert np.allclose(fast, ref, rtol=1e-12, atol=1e-12)
+
+    def test_interpolation_exact_at_gridpoints(self, small_setup):
+        params, grids, union = small_setup
+        conc = np.zeros(params.n_nuclides)
+        conc[0] = 1.0
+        # Energies exactly on nuclide 0's interior grid points.
+        energy = grids.energies[0, 1:-1].copy()
+        got = macro_xs_direct(grids, energy, conc)
+        assert np.allclose(got, grids.xs[0, 1:-1], rtol=1e-10)
+
+    def test_concentration_linearity(self, small_setup):
+        params, grids, union = small_setup
+        rng = make_rng(5, "lin")
+        energy = rng.uniform(0.3, 0.6, 50)
+        c1 = rng.random(params.n_nuclides)
+        c2 = rng.random(params.n_nuclides)
+        sum_of = macro_xs_direct(grids, energy, c1) + macro_xs_direct(
+            grids, energy, c2
+        )
+        of_sum = macro_xs_direct(grids, energy, c1 + c2)
+        assert np.allclose(sum_of, of_sum, rtol=1e-12)
+
+
+class TestWorkload:
+    def test_random_pattern(self):
+        assert (
+            XSBench.small().profile().phases[0].pattern is AccessPattern.RANDOM
+        )
+
+    def test_accesses_per_lookup(self):
+        w = XSBench.small(n_nuclides=100)
+        assert w.accesses_per_lookup > 100
+
+    def test_from_problem_gb(self):
+        w = XSBench.from_problem_gb(90.0)
+        assert w.footprint_bytes == pytest.approx(90e9, rel=0.01)
+
+    def test_execute_cross_validates(self):
+        r = XSBench.small().execute(seed=4)
+        assert r.verified
+        assert r.details["max_abs_diff"] == 0.0
