@@ -1,12 +1,18 @@
 # Developer entry points (documentation; everything is plain pytest/python).
 
-.PHONY: install test bench report examples clean
+.PHONY: install test test-fast bench report examples clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Tier-1 suite through the process-pool executor, plus a no-cacheprovider
+# smoke job (catches accidental reliance on pytest's cache plugin).
+test-fast:
+	REPRO_JOBS=4 REPRO_EXECUTOR=processes pytest tests/ -x -q
+	pytest tests/test_package.py tests/core/test_executor.py -q -p no:cacheprovider
 
 bench:
 	pytest benchmarks/ --benchmark-only

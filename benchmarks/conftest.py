@@ -11,6 +11,7 @@ import pathlib
 
 import pytest
 
+from repro.core.executor import executor_from_env
 from repro.core.runner import ExperimentRunner
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
@@ -18,7 +19,10 @@ OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 @pytest.fixture(scope="session")
 def runner():
-    return ExperimentRunner()
+    """Serial runner by default; set REPRO_JOBS / REPRO_EXECUTOR /
+    REPRO_CACHE_DIR to regenerate exhibits through the parallel,
+    memoizing executor (outputs are byte-identical either way)."""
+    return executor_from_env(ExperimentRunner())
 
 
 @pytest.fixture(scope="session")

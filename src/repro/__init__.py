@@ -27,10 +27,12 @@ Quickstart::
 
 from repro.core import (
     ConfigName,
+    ExecutionStrategy,
     ExperimentRunner,
     PlacementAdvisor,
     ResultSet,
     RunRecord,
+    SweepExecutor,
     SystemConfig,
     make_config,
     size_sweep,
@@ -53,7 +55,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ConfigName",
+    "ExecutionStrategy",
     "ExperimentRunner",
+    "SweepExecutor",
     "PlacementAdvisor",
     "ResultSet",
     "RunRecord",

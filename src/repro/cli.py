@@ -4,7 +4,7 @@ Usage::
 
     knl-hybridmem list
     knl-hybridmem fig2
-    knl-hybridmem all
+    knl-hybridmem --jobs 4 --cache-dir ~/.cache/knl-hybridmem all
     knl-hybridmem advisor minife --size-gb 7.2 --threads 128
     knl-hybridmem describe
 """
@@ -16,6 +16,7 @@ import sys
 from collections.abc import Sequence
 
 from repro.core.advisor import PlacementAdvisor
+from repro.core.executor import ExecutionStrategy, SweepExecutor
 from repro.core.runner import ExperimentRunner
 from repro.figures import EXHIBITS
 from repro.memory.modes import MCDRAMConfig
@@ -30,6 +31,25 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduce the tables and figures of 'Exploring the Performance "
             "Benefit of Hybrid Memory System on HPC Environments'"
         ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker count for sweep execution (default 1: serial)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=[s.value for s in ExecutionStrategy],
+        default=None,
+        help="sweep strategy (default: serial, or threads when --jobs > 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist run records as JSON under DIR and reuse them",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available exhibits")
@@ -66,6 +86,21 @@ def _build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--threads", type=int, default=64)
     sub.add_parser("report", help="full study report (all exhibits)")
     return parser
+
+
+def _build_executor(args: argparse.Namespace) -> SweepExecutor:
+    return SweepExecutor(
+        ExperimentRunner(),
+        jobs=args.jobs,
+        strategy=args.executor,
+        cache_dir=args.cache_dir,
+    )
+
+
+def _report_stats(executor: SweepExecutor) -> None:
+    """Cache/parallelism accounting on stderr (stdout carries exhibits)."""
+    if executor.jobs > 1 or executor.cache.cache_dir is not None:
+        print(f"[executor] {executor.stats().describe()}", file=sys.stderr)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -120,12 +155,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.core.placement_optimizer import PlacementOptimizer
 
         workload = FROM_GB[args.workload](args.size_gb)
-        runner = ExperimentRunner()
-        print("coarse configurations:")
-        for config in ConfigName.paper_trio():
-            record = runner.run(workload, config, args.threads)
-            value = "-" if record.metric is None else f"{record.metric:.4g}"
-            print(f"  {config.value:<12} {value}")
+        with _build_executor(args) as executor:
+            print("coarse configurations:")
+            for config in ConfigName.paper_trio():
+                record = executor.run(workload, config, args.threads)
+                value = "-" if record.metric is None else f"{record.metric:.4g}"
+                print(f"  {config.value:<12} {value}")
+            _report_stats(executor)
         best = PlacementOptimizer().optimize(workload, num_threads=args.threads)
         print(f"optimized per-structure placement: {best.metric:.4g}")
         print(f"  {best.describe()}")
@@ -133,24 +169,29 @@ def main(argv: Sequence[str] | None = None) -> int:
     if command == "report":
         from repro.core.report import generate_report
 
-        print(generate_report(ExperimentRunner()).render())
+        with _build_executor(args) as executor:
+            print(generate_report(executor).render())
+            _report_stats(executor)
         return 0
     if command == "all":
-        runner = ExperimentRunner()
-        for exhibit_id, generate in EXHIBITS.items():
-            try:
-                exhibit = generate(runner)  # type: ignore[call-arg]
-            except TypeError:
-                exhibit = generate()  # table generators take no runner
-            print(exhibit.render())
-            print()
+        with _build_executor(args) as executor:
+            for exhibit_id, generate in EXHIBITS.items():
+                try:
+                    exhibit = generate(executor)  # type: ignore[call-arg]
+                except TypeError:
+                    exhibit = generate()  # table generators take no runner
+                print(exhibit.render())
+                print()
+            _report_stats(executor)
         return 0
     generate = EXHIBITS[command]
-    try:
-        exhibit = generate(ExperimentRunner())  # type: ignore[call-arg]
-    except TypeError:
-        exhibit = generate()
-    print(exhibit.render())
+    with _build_executor(args) as executor:
+        try:
+            exhibit = generate(executor)  # type: ignore[call-arg]
+        except TypeError:
+            exhibit = generate()
+        print(exhibit.render())
+        _report_stats(executor)
     return 0
 
 

@@ -25,8 +25,19 @@ from repro.core.configs import (
     make_config,
 )
 from repro.core.runner import ExperimentRunner, RunRecord
+from repro.core.executor import (
+    ExecutionStrategy,
+    ExecutorStats,
+    RunCache,
+    SweepCell,
+    SweepExecutor,
+    as_executor,
+    cache_key,
+    executor_from_env,
+    ordered_map,
+)
 from repro.core.results import ResultSet, Series
-from repro.core.sweep import size_sweep, thread_sweep
+from repro.core.sweep import resolve_configs, size_sweep, thread_sweep
 from repro.core.metrics import Metric, improvement, harmonic_mean
 from repro.core.advisor import PlacementAdvisor, Recommendation
 from repro.core.decomposition import (
@@ -57,8 +68,18 @@ __all__ = [
     "make_config",
     "ExperimentRunner",
     "RunRecord",
+    "ExecutionStrategy",
+    "ExecutorStats",
+    "RunCache",
+    "SweepCell",
+    "SweepExecutor",
+    "as_executor",
+    "cache_key",
+    "executor_from_env",
+    "ordered_map",
     "ResultSet",
     "Series",
+    "resolve_configs",
     "size_sweep",
     "thread_sweep",
     "Metric",

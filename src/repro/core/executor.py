@@ -1,0 +1,499 @@
+"""Parallel sweep execution with a content-addressed run cache.
+
+Every figure in the paper is a sweep — problem size x threads x the three
+memory configurations — and every sweep cell is a pure function of
+(machine preset, workload parameters, configuration, thread count).  This
+module exploits both facts:
+
+* :class:`SweepExecutor` runs batches of cells through one of three
+  strategies — ``serial`` (the historical in-order loop), ``threads``
+  (a shared :class:`~concurrent.futures.ThreadPoolExecutor`) or
+  ``processes`` (a :class:`~concurrent.futures.ProcessPoolExecutor`;
+  cells are pickled to workers) — while always returning records in
+  submission order, so results are byte-identical to the serial path;
+* every cell is keyed by :func:`cache_key`, a SHA-256 over a canonical
+  JSON encoding of the machine fingerprint, the workload identity and
+  parameters, the resolved configuration and the thread count.  Records
+  are memoized in an in-process LRU and, optionally, an on-disk JSON
+  cache (one ``<key>.json`` file per record), so repeated sweeps — the
+  common case across benchmarks, figures and examples — cost one model
+  evaluation each.
+
+The machine fingerprint is part of the key, so switching presets
+(e.g. :func:`~repro.machine.presets.knl7210` to ``knl7250``) invalidates
+the cache naturally: the old entries simply stop being addressed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, TypeVar
+
+from repro.core.configs import ConfigName, SystemConfig, make_config
+from repro.core.runner import ExperimentRunner, RunRecord
+from repro.engine.perfmodel import PhaseResult, RunResult
+from repro.engine.placement import Location, PlacementMix
+from repro.machine.topology import KNLMachine
+from repro.workloads.base import Workload
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ExecutionStrategy(Enum):
+    """How a batch of sweep cells is dispatched."""
+
+    SERIAL = "serial"
+    THREADS = "threads"
+    PROCESSES = "processes"
+
+    @classmethod
+    def parse(cls, value: "ExecutionStrategy | str") -> "ExecutionStrategy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            options = ", ".join(s.value for s in cls)
+            raise ValueError(
+                f"unknown execution strategy {value!r}; expected one of {options}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (workload, configuration, threads) point of a sweep."""
+
+    workload: Workload
+    config: SystemConfig
+    num_threads: int
+
+
+@dataclass(frozen=True)
+class ExecutorStats:
+    """Cumulative cache counters for one :class:`SweepExecutor`."""
+
+    hits: int
+    misses: int
+    disk_hits: int
+    executed: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without a model evaluation."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.lookups} lookups: {self.hits} hits "
+            f"({self.hit_rate:.1%}, {self.disk_hits} from disk), "
+            f"{self.executed} model runs"
+        )
+
+
+# -- cache keys ---------------------------------------------------------------
+
+def machine_fingerprint(machine: KNLMachine) -> dict[str, Any]:
+    """The preset-identifying facts that influence a simulated run."""
+    return {
+        "name": machine.name,
+        "num_cores": machine.num_cores,
+        "smt_per_core": machine.smt_per_core,
+        "frequency_ghz": machine.frequency_ghz,
+        "tile_l2_bytes": machine.tile_l2_bytes,
+        "cluster_mode": machine.mesh.cluster_mode.value,
+        "peak_dp_gflops": machine.peak_dp_gflops,
+    }
+
+
+def config_fingerprint(config: SystemConfig) -> dict[str, Any]:
+    """The configuration facts that influence a simulated run."""
+    return {
+        "name": config.name.value,
+        "mode": config.mcdram.mode.value,
+        "cache_fraction": config.mcdram.cache_fraction,
+        "cache_associativity": config.mcdram.cache_associativity,
+        "numactl": config.numactl,
+    }
+
+
+def cache_key(
+    machine: KNLMachine,
+    workload: Workload,
+    config: SystemConfig,
+    num_threads: int,
+) -> str:
+    """Deterministic content hash of one sweep cell.
+
+    Two cells share a key exactly when the machine preset, the workload
+    identity and parameters, the resolved configuration and the thread
+    count all agree.
+    """
+    payload = {
+        "machine": machine_fingerprint(machine),
+        "workload": {"name": workload.spec.name, "params": workload.params()},
+        "config": config_fingerprint(config),
+        "num_threads": int(num_threads),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# -- record (de)serialization -------------------------------------------------
+
+def record_to_json(record: RunRecord) -> dict[str, Any]:
+    """A JSON-ready encoding of a :class:`RunRecord` (full fidelity)."""
+    run = record.run_result
+    run_json = None
+    if run is not None:
+        run_json = {
+            "workload": run.workload,
+            "placement": [
+                [loc.value, frac] for loc, frac in run.placement.fractions
+            ],
+            "num_threads": run.num_threads,
+            "phase_results": [
+                {
+                    "name": p.name,
+                    "time_ns": p.time_ns,
+                    "memory_time_ns": p.memory_time_ns,
+                    "compute_time_ns": p.compute_time_ns,
+                    "sync_factor": p.sync_factor,
+                    "achieved_bandwidth": p.achieved_bandwidth,
+                    "effective_latency_ns": p.effective_latency_ns,
+                }
+                for p in run.phase_results
+            ],
+        }
+    return {
+        "workload": record.workload,
+        "workload_params": record.workload_params,
+        "config": record.config.value,
+        "num_threads": record.num_threads,
+        "metric": record.metric,
+        "metric_name": record.metric_name,
+        "metric_unit": record.metric_unit,
+        "infeasible_reason": record.infeasible_reason,
+        "run_result": run_json,
+    }
+
+
+def record_from_json(data: Mapping[str, Any]) -> RunRecord:
+    """Rebuild a :class:`RunRecord` from :func:`record_to_json` output."""
+    run_json = data.get("run_result")
+    run = None
+    if run_json is not None:
+        run = RunResult(
+            workload=run_json["workload"],
+            placement=PlacementMix(
+                tuple(
+                    (Location(loc), float(frac))
+                    for loc, frac in run_json["placement"]
+                )
+            ),
+            num_threads=int(run_json["num_threads"]),
+            phase_results=tuple(
+                PhaseResult(**phase) for phase in run_json["phase_results"]
+            ),
+        )
+    return RunRecord(
+        workload=data["workload"],
+        workload_params=dict(data["workload_params"]),
+        config=ConfigName(data["config"]),
+        num_threads=int(data["num_threads"]),
+        metric=data["metric"],
+        metric_name=data["metric_name"],
+        metric_unit=data["metric_unit"],
+        infeasible_reason=data.get("infeasible_reason"),
+        run_result=run,
+    )
+
+
+# -- the cache ----------------------------------------------------------------
+
+class RunCache:
+    """In-process LRU over run records, optionally backed by a JSON
+    directory (one ``<key>.json`` file per record)."""
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        cache_dir: str | os.PathLike[str] | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.cache_dir = (
+            pathlib.Path(cache_dir) if cache_dir is not None else None
+        )
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._lru: OrderedDict[str, RunRecord] = OrderedDict()
+        self._lock = threading.Lock()
+        self.disk_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def _disk_path(self, key: str) -> pathlib.Path | None:
+        return None if self.cache_dir is None else self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> RunRecord | None:
+        with self._lock:
+            record = self._lru.get(key)
+            if record is not None:
+                self._lru.move_to_end(key)
+                return record
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            record = record_from_json(json.loads(path.read_text()))
+        except (ValueError, KeyError, TypeError):
+            return None  # corrupt entry: treat as a miss, it will be rewritten
+        with self._lock:
+            self.disk_hits += 1
+            self._store(key, record)
+        return record
+
+    def put(self, key: str, record: RunRecord) -> None:
+        with self._lock:
+            self._store(key, record)
+        path = self._disk_path(key)
+        if path is not None:
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(record_to_json(record), sort_keys=True))
+            tmp.replace(path)
+
+    def _store(self, key: str, record: RunRecord) -> None:
+        self._lru[key] = record
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.max_entries:
+            self._lru.popitem(last=False)
+
+
+# -- worker entry point (must be module-level for process pickling) -----------
+
+def _run_cell(runner: ExperimentRunner, cell: SweepCell) -> RunRecord:
+    return runner.run(cell.workload, cell.config, cell.num_threads)
+
+
+# -- the executor -------------------------------------------------------------
+
+class SweepExecutor:
+    """Runs sweep cells through a strategy, memoizing by content hash.
+
+    Duck-compatible with :class:`ExperimentRunner` for the read paths the
+    figures use (``run`` and ``machine``), so any generator that accepts a
+    runner accepts an executor.
+
+    ``strategy`` defaults to ``serial`` when ``jobs == 1`` and
+    ``threads`` otherwise.  Record order out of :meth:`run_cells` always
+    equals submission order, whatever the strategy.
+    """
+
+    def __init__(
+        self,
+        runner: ExperimentRunner | None = None,
+        *,
+        jobs: int = 1,
+        strategy: ExecutionStrategy | str | None = None,
+        cache_size: int = 4096,
+        cache_dir: str | os.PathLike[str] | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.runner = runner if runner is not None else ExperimentRunner()
+        self.jobs = jobs
+        if strategy is None:
+            strategy = (
+                ExecutionStrategy.SERIAL if jobs == 1 else ExecutionStrategy.THREADS
+            )
+        self.strategy = ExecutionStrategy.parse(strategy)
+        self.cache = RunCache(cache_size, cache_dir)
+        self._pool: Executor | None = None
+        self._hits = 0
+        self._misses = 0
+        self._executed = 0
+
+    # -- runner compatibility -------------------------------------------------
+    @property
+    def machine(self) -> KNLMachine:
+        return self.runner.machine
+
+    def run(
+        self,
+        workload: Workload,
+        config: SystemConfig | ConfigName,
+        num_threads: int = 64,
+    ) -> RunRecord:
+        """One cached cell (drop-in for :meth:`ExperimentRunner.run`)."""
+        resolved = make_config(config) if isinstance(config, ConfigName) else config
+        return self.run_cells([SweepCell(workload, resolved, num_threads)])[0]
+
+    def run_configs(
+        self,
+        workload: Workload,
+        configs: tuple[SystemConfig | ConfigName, ...] | None = None,
+        num_threads: int = 64,
+    ) -> list[RunRecord]:
+        """Cached batch counterpart of :meth:`ExperimentRunner.run_configs`."""
+        if configs is None:
+            configs = ConfigName.paper_trio()
+        cells = [
+            SweepCell(
+                workload,
+                make_config(c) if isinstance(c, ConfigName) else c,
+                num_threads,
+            )
+            for c in configs
+        ]
+        return self.run_cells(cells)
+
+    # -- batch execution ------------------------------------------------------
+    def run_cells(self, cells: Sequence[SweepCell]) -> list[RunRecord]:
+        """Run a batch, returning records in submission order.
+
+        Cells are first deduplicated by cache key (a duplicate inside the
+        batch counts as a hit and is evaluated once), then the remaining
+        misses are dispatched through the configured strategy.
+        """
+        results: list[RunRecord | None] = [None] * len(cells)
+        indices_for: dict[str, list[int]] = {}
+        missing: list[tuple[str, SweepCell]] = []
+        for i, cell in enumerate(cells):
+            key = self.cache_key(cell)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._hits += 1
+                results[i] = cached
+                continue
+            if key in indices_for:
+                self._hits += 1
+            else:
+                self._misses += 1
+                indices_for[key] = []
+                missing.append((key, cell))
+            indices_for[key].append(i)
+        computed = self._execute([cell for _, cell in missing])
+        self._executed += len(computed)
+        for (key, _), record in zip(missing, computed):
+            self.cache.put(key, record)
+            for i in indices_for[key]:
+                results[i] = record
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def cache_key(self, cell: SweepCell) -> str:
+        return cache_key(
+            self.runner.machine, cell.workload, cell.config, cell.num_threads
+        )
+
+    def _execute(self, cells: Sequence[SweepCell]) -> list[RunRecord]:
+        if not cells:
+            return []
+        if (
+            self.strategy is ExecutionStrategy.SERIAL
+            or self.jobs == 1
+            or len(cells) == 1
+        ):
+            return [_run_cell(self.runner, cell) for cell in cells]
+        pool = self._ensure_pool()
+        futures = [pool.submit(_run_cell, self.runner, cell) for cell in cells]
+        return [f.result() for f in futures]
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            if self.strategy is ExecutionStrategy.PROCESSES:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            else:
+                self._pool = ThreadPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    # -- bookkeeping ----------------------------------------------------------
+    def stats(self) -> ExecutorStats:
+        return ExecutorStats(
+            hits=self._hits,
+            misses=self._misses,
+            disk_hits=self.cache.disk_hits,
+            executed=self._executed,
+        )
+
+    def reset_stats(self) -> None:
+        self._hits = self._misses = self._executed = 0
+        self.cache.disk_hits = 0
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def as_executor(runner: "ExperimentRunner | SweepExecutor") -> SweepExecutor:
+    """Wrap a plain runner in a serial executor; pass executors through."""
+    if isinstance(runner, SweepExecutor):
+        return runner
+    return SweepExecutor(runner)
+
+
+def executor_from_env(
+    runner: ExperimentRunner | None = None,
+    env: Mapping[str, str] | None = None,
+) -> "ExperimentRunner | SweepExecutor":
+    """Wrap ``runner`` per the ``REPRO_JOBS`` / ``REPRO_EXECUTOR`` /
+    ``REPRO_CACHE_DIR`` environment variables; unchanged when none are set.
+
+    This is how the test and benchmark harnesses opt whole suites into
+    parallel execution (e.g. ``make test-fast``) without touching call
+    sites.
+    """
+    env = env if env is not None else os.environ
+    jobs = env.get("REPRO_JOBS", "").strip()
+    strategy = env.get("REPRO_EXECUTOR", "").strip()
+    cache_dir = env.get("REPRO_CACHE_DIR", "").strip()
+    base = runner if runner is not None else ExperimentRunner()
+    if not (jobs or strategy or cache_dir):
+        return base
+    return SweepExecutor(
+        base,
+        jobs=int(jobs) if jobs else 1,
+        strategy=strategy or None,
+        cache_dir=cache_dir or None,
+    )
+
+
+def ordered_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    jobs: int = 1,
+) -> list[R]:
+    """Apply ``fn`` over ``items`` preserving order, optionally in a
+    thread pool (used by flows whose work units are closures and so
+    cannot cross a process boundary, e.g. the sensitivity analysis)."""
+    items = list(items)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, items))

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.configs import ConfigName
+from repro.core.executor import SweepExecutor
 from repro.core.runner import ExperimentRunner
 from repro.engine.energy import EnergyModel
 from repro.util.tables import TextTable
@@ -31,7 +32,7 @@ class StudyReport:
         return "\n\n".join(parts)
 
 
-def generate_report(runner: ExperimentRunner | None = None) -> StudyReport:
+def generate_report(runner: ExperimentRunner | SweepExecutor | None = None) -> StudyReport:
     """Regenerate every exhibit into one report."""
     # Imported here: repro.figures imports repro.core, so a module-level
     # import would be circular.
@@ -51,7 +52,7 @@ def generate_report(runner: ExperimentRunner | None = None) -> StudyReport:
 def energy_comparison(
     workload: Workload,
     *,
-    runner: ExperimentRunner | None = None,
+    runner: ExperimentRunner | SweepExecutor | None = None,
     num_threads: int = 64,
 ) -> TextTable:
     """Time/energy/EDP of a workload under the three configurations.
@@ -95,7 +96,7 @@ def energy_comparison_by_name(
     workload_name: str,
     size_gb: float,
     *,
-    runner: ExperimentRunner | None = None,
+    runner: ExperimentRunner | SweepExecutor | None = None,
     num_threads: int = 64,
 ) -> TextTable:
     """CLI-facing wrapper resolving a workload by name and size."""

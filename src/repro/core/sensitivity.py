@@ -209,27 +209,39 @@ class SensitivityAnalysis:
         self,
         perturbations: Sequence[PerturbedDevices] | None = None,
         conclusions: Sequence[ConclusionCheck] | None = None,
+        *,
+        jobs: int = 1,
     ) -> list[SensitivityResult]:
+        """Evaluate every (perturbation, conclusion) cell.
+
+        ``jobs > 1`` spreads perturbations over a thread pool (the
+        predicates are closures, so a process pool cannot be used);
+        result order is perturbation-major regardless of ``jobs``.
+        """
         perturbations = (
             list(perturbations)
             if perturbations is not None
             else default_perturbations()
         )
-        conclusions = (
+        conclusion_list = (
             list(conclusions) if conclusions is not None else paper_conclusions()
         )
-        results = []
-        for devices in perturbations:
+
+        def evaluate(devices: PerturbedDevices) -> list[SensitivityResult]:
             metric = self._metric_function(devices)
-            for check in conclusions:
-                results.append(
-                    SensitivityResult(
-                        perturbation=devices.label,
-                        conclusion=check.name,
-                        holds=bool(check.predicate(metric)),
-                    )
+            return [
+                SensitivityResult(
+                    perturbation=devices.label,
+                    conclusion=check.name,
+                    holds=bool(check.predicate(metric)),
                 )
-        return results
+                for check in conclusion_list
+            ]
+
+        from repro.core.executor import ordered_map
+
+        chunks = ordered_map(evaluate, perturbations, jobs=jobs)
+        return [result for chunk in chunks for result in chunk]
 
     @staticmethod
     def flipped(results: list[SensitivityResult]) -> list[SensitivityResult]:

@@ -2,20 +2,62 @@
 
 * :func:`size_sweep` — problem size at fixed threads (Fig. 2, Fig. 4),
 * :func:`thread_sweep` — OpenMP threads at fixed size (Fig. 5, Fig. 6).
+
+Both accept either a plain :class:`ExperimentRunner` (executed serially,
+the historical behaviour) or a :class:`~repro.core.executor.SweepExecutor`
+(parallel strategies + the content-addressed run cache).  Record order is
+identical either way: x-major, configuration-minor.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
-from repro.core.configs import ConfigName, SystemConfig
+from repro.core.configs import ConfigName, SystemConfig, make_config
+from repro.core.executor import SweepCell, SweepExecutor, as_executor
 from repro.core.results import ResultSet
 from repro.core.runner import ExperimentRunner
 from repro.workloads.base import Workload
 
 
+def resolve_configs(
+    configs: Sequence[SystemConfig | ConfigName] | None,
+) -> list[SystemConfig]:
+    """Validate and resolve the sweep's configuration axis once.
+
+    Names become full :class:`SystemConfig` objects up front (instead of
+    per cell inside the runner), and duplicates — which would silently
+    shadow each other inside a :class:`~repro.core.results.ResultSet` —
+    are rejected.
+    """
+    entries = list(configs) if configs is not None else list(ConfigName.paper_trio())
+    if not entries:
+        raise ValueError("configs must be non-empty")
+    resolved = [
+        make_config(entry) if isinstance(entry, ConfigName) else entry
+        for entry in entries
+    ]
+    seen: set[ConfigName] = set()
+    for config in resolved:
+        if config.name in seen:
+            raise ValueError(
+                f"duplicate configuration {config.name.value!r} in sweep"
+            )
+        seen.add(config.name)
+    return resolved
+
+
+def _check_axis(label: str, values: Sequence[float | int]) -> None:
+    seen: set[float] = set()
+    for value in values:
+        point = float(value)
+        if point in seen:
+            raise ValueError(f"duplicate sweep point {label}={value!r}")
+        seen.add(point)
+
+
 def size_sweep(
-    runner: ExperimentRunner,
+    runner: ExperimentRunner | SweepExecutor,
     factory: Callable[[float], Workload],
     sizes_gb: Sequence[float],
     *,
@@ -27,17 +69,22 @@ def size_sweep(
     """Run ``factory(size)`` for every size under every configuration."""
     if not sizes_gb:
         raise ValueError("sizes_gb must be non-empty")
-    config_list = list(configs) if configs is not None else list(ConfigName.paper_trio())
-    records = []
+    _check_axis("size_gb", sizes_gb)
+    config_list = resolve_configs(configs)
+    executor = as_executor(runner)
+    xs: list[float] = []
+    cells: list[SweepCell] = []
     for size in sizes_gb:
         workload = factory(size)
         for config in config_list:
-            records.append((float(size), runner.run(workload, config, num_threads)))
-    return ResultSet(records, x_label=x_label, title=title)
+            xs.append(float(size))
+            cells.append(SweepCell(workload, config, num_threads))
+    records = executor.run_cells(cells)
+    return ResultSet(list(zip(xs, records)), x_label=x_label, title=title)
 
 
 def thread_sweep(
-    runner: ExperimentRunner,
+    runner: ExperimentRunner | SweepExecutor,
     workload: Workload,
     thread_counts: Sequence[int],
     *,
@@ -48,11 +95,14 @@ def thread_sweep(
     """Run the workload at each thread count under every configuration."""
     if not thread_counts:
         raise ValueError("thread_counts must be non-empty")
-    config_list = list(configs) if configs is not None else list(ConfigName.paper_trio())
-    records = []
+    _check_axis("threads", thread_counts)
+    config_list = resolve_configs(configs)
+    executor = as_executor(runner)
+    xs: list[float] = []
+    cells: list[SweepCell] = []
     for threads in thread_counts:
         for config in config_list:
-            records.append(
-                (float(threads), runner.run(workload, config, int(threads)))
-            )
-    return ResultSet(records, x_label=x_label, title=title)
+            xs.append(float(threads))
+            cells.append(SweepCell(workload, config, int(threads)))
+    records = executor.run_cells(cells)
+    return ResultSet(list(zip(xs, records)), x_label=x_label, title=title)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.core.executor import SweepExecutor
 from repro.core.runner import ExperimentRunner
 from repro.core.sweep import size_sweep
 from repro.figures.common import Exhibit
@@ -20,7 +21,7 @@ DEFAULT_SIZES_GB: tuple[float, ...] = (
 
 
 def generate(
-    runner: ExperimentRunner | None = None,
+    runner: ExperimentRunner | SweepExecutor | None = None,
     sizes_gb: Sequence[float] | None = None,
     num_threads: int = 64,
 ) -> Exhibit:

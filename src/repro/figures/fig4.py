@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.core.executor import SweepExecutor
 from repro.core.runner import ExperimentRunner
 from repro.core.sweep import size_sweep
 from repro.figures.common import Exhibit
@@ -75,7 +76,11 @@ PANELS: dict[str, Panel] = {
 }
 
 
-def _generate(panel: Panel, runner: ExperimentRunner | None, num_threads: int) -> Exhibit:
+def _generate(
+    panel: Panel,
+    runner: ExperimentRunner | SweepExecutor | None,
+    num_threads: int,
+) -> Exhibit:
     runner = runner if runner is not None else ExperimentRunner()
     sample = panel.factory(panel.sizes_gb[0])
     results = size_sweep(
@@ -115,21 +120,21 @@ def _generate(panel: Panel, runner: ExperimentRunner | None, num_threads: int) -
     )
 
 
-def generate_a(runner: ExperimentRunner | None = None, num_threads: int = 64) -> Exhibit:
+def generate_a(runner: ExperimentRunner | SweepExecutor | None = None, num_threads: int = 64) -> Exhibit:
     return _generate(PANELS["fig4a"], runner, num_threads)
 
 
-def generate_b(runner: ExperimentRunner | None = None, num_threads: int = 64) -> Exhibit:
+def generate_b(runner: ExperimentRunner | SweepExecutor | None = None, num_threads: int = 64) -> Exhibit:
     return _generate(PANELS["fig4b"], runner, num_threads)
 
 
-def generate_c(runner: ExperimentRunner | None = None, num_threads: int = 64) -> Exhibit:
+def generate_c(runner: ExperimentRunner | SweepExecutor | None = None, num_threads: int = 64) -> Exhibit:
     return _generate(PANELS["fig4c"], runner, num_threads)
 
 
-def generate_d(runner: ExperimentRunner | None = None, num_threads: int = 64) -> Exhibit:
+def generate_d(runner: ExperimentRunner | SweepExecutor | None = None, num_threads: int = 64) -> Exhibit:
     return _generate(PANELS["fig4d"], runner, num_threads)
 
 
-def generate_e(runner: ExperimentRunner | None = None, num_threads: int = 64) -> Exhibit:
+def generate_e(runner: ExperimentRunner | SweepExecutor | None = None, num_threads: int = 64) -> Exhibit:
     return _generate(PANELS["fig4e"], runner, num_threads)

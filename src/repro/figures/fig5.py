@@ -10,6 +10,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.core.configs import ConfigName, make_config
+from repro.core.executor import SweepCell, SweepExecutor, as_executor
 from repro.core.runner import ExperimentRunner
 from repro.figures.common import Exhibit
 from repro.util.ascii_plot import AsciiChart
@@ -21,27 +22,34 @@ HT_LEVELS: tuple[int, ...] = (1, 2, 3, 4)
 
 
 def generate(
-    runner: ExperimentRunner | None = None,
+    runner: ExperimentRunner | SweepExecutor | None = None,
     sizes_gb: Sequence[float] | None = None,
 ) -> Exhibit:
-    runner = runner if runner is not None else ExperimentRunner()
+    executor = as_executor(runner if runner is not None else ExperimentRunner())
     sizes = tuple(sizes_gb) if sizes_gb is not None else DEFAULT_SIZES_GB
-    cores = runner.machine.num_cores
-    series: dict[str, list[float]] = {}
+    cores = executor.machine.num_cores
+    keys: list[str] = []
+    cells: list[SweepCell] = []
     for config_name in (ConfigName.DRAM, ConfigName.HBM):
         config = make_config(config_name)
         for ht in HT_LEVELS:
-            key = f"{config_name.value} (ht={ht})"
-            values = []
+            keys.append(f"{config_name.value} (ht={ht})")
             for gb in sizes:
-                record = runner.run(
-                    StreamBenchmark(size_bytes=int(gb * 1e9)),
-                    config,
-                    num_threads=cores * ht,
+                cells.append(
+                    SweepCell(
+                        StreamBenchmark(size_bytes=int(gb * 1e9)),
+                        config,
+                        cores * ht,
+                    )
                 )
-                assert record.metric is not None
-                values.append(record.metric / 1e9)
-            series[key] = values
+    records = executor.run_cells(cells)
+    series: dict[str, list[float]] = {}
+    for i, key in enumerate(keys):
+        values = []
+        for record in records[i * len(sizes):(i + 1) * len(sizes)]:
+            assert record.metric is not None
+            values.append(record.metric / 1e9)
+        series[key] = values
     table = TextTable(
         ["Size (GB)"] + list(series),
         title="Fig. 5: STREAM triad bandwidth (GB/s) by hardware threads/core",

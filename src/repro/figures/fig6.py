@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.core.executor import SweepExecutor
 from repro.core.runner import ExperimentRunner
 from repro.core.sweep import thread_sweep
 from repro.figures.common import Exhibit
@@ -67,7 +68,9 @@ PANELS: dict[str, Panel] = {
 }
 
 
-def _generate(panel: Panel, runner: ExperimentRunner | None) -> Exhibit:
+def _generate(
+    panel: Panel, runner: ExperimentRunner | SweepExecutor | None
+) -> Exhibit:
     runner = runner if runner is not None else ExperimentRunner()
     workload = panel.workload()
     results = thread_sweep(
@@ -105,17 +108,17 @@ def _generate(panel: Panel, runner: ExperimentRunner | None) -> Exhibit:
     )
 
 
-def generate_a(runner: ExperimentRunner | None = None) -> Exhibit:
+def generate_a(runner: ExperimentRunner | SweepExecutor | None = None) -> Exhibit:
     return _generate(PANELS["fig6a"], runner)
 
 
-def generate_b(runner: ExperimentRunner | None = None) -> Exhibit:
+def generate_b(runner: ExperimentRunner | SweepExecutor | None = None) -> Exhibit:
     return _generate(PANELS["fig6b"], runner)
 
 
-def generate_c(runner: ExperimentRunner | None = None) -> Exhibit:
+def generate_c(runner: ExperimentRunner | SweepExecutor | None = None) -> Exhibit:
     return _generate(PANELS["fig6c"], runner)
 
 
-def generate_d(runner: ExperimentRunner | None = None) -> Exhibit:
+def generate_d(runner: ExperimentRunner | SweepExecutor | None = None) -> Exhibit:
     return _generate(PANELS["fig6d"], runner)

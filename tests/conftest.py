@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.executor import executor_from_env
 from repro.core.runner import ExperimentRunner
 from repro.engine.perfmodel import PerformanceModel
 from repro.machine.presets import knl7210
@@ -54,4 +55,8 @@ def cache_os():
 
 @pytest.fixture(scope="session")
 def runner(machine):
-    return ExperimentRunner(machine)
+    """The experiment runner — wrapped in a SweepExecutor when the
+    REPRO_JOBS / REPRO_EXECUTOR / REPRO_CACHE_DIR environment variables
+    are set (``make test-fast`` runs the suite through the process
+    pool this way)."""
+    return executor_from_env(ExperimentRunner(machine))

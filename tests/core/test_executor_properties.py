@@ -1,0 +1,89 @@
+"""Property-based invariants for the cache key and the engine.
+
+* equal workload parameters => equal cache key,
+* any single-parameter perturbation => a different key,
+* HBM-flat ``--membind=1`` allocations over the 16 GiB MCDRAM node always
+  come back infeasible (the Fig. 4 missing-bar behaviour), whatever the
+  size or thread count.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.configs import ConfigName, make_config
+from repro.core.executor import SweepExecutor, cache_key
+from repro.core.runner import ExperimentRunner
+from repro.machine.presets import knl7210
+from repro.util.units import GiB
+from repro.workloads.gups import GUPS
+from repro.workloads.stream import StreamBenchmark
+
+MACHINE = knl7210()
+DRAM = make_config(ConfigName.DRAM)
+HBM = make_config(ConfigName.HBM)
+HBM_CAPACITY = 16 * GiB
+
+sizes = st.integers(min_value=10**6, max_value=10**11)
+threads = st.sampled_from([1, 64, 128, 192, 256])
+
+
+class TestKeyInvariants:
+    @given(size=sizes, n=threads)
+    @settings(max_examples=50, deadline=None)
+    def test_equal_params_equal_key(self, size, n):
+        a = StreamBenchmark(size_bytes=size)
+        b = StreamBenchmark(size_bytes=size)
+        assert cache_key(MACHINE, a, DRAM, n) == cache_key(MACHINE, b, DRAM, n)
+
+    @given(size=sizes, delta=st.integers(min_value=1, max_value=10**9), n=threads)
+    @settings(max_examples=50, deadline=None)
+    def test_size_perturbation_changes_key(self, size, delta, n):
+        a = StreamBenchmark(size_bytes=size)
+        b = StreamBenchmark(size_bytes=size + delta)
+        assert cache_key(MACHINE, a, DRAM, n) != cache_key(MACHINE, b, DRAM, n)
+
+    @given(size=sizes, ntimes=st.integers(min_value=1, max_value=9))
+    @settings(max_examples=25, deadline=None)
+    def test_secondary_param_perturbation_changes_key(self, size, ntimes):
+        a = StreamBenchmark(size_bytes=size, ntimes=10)
+        b = StreamBenchmark(size_bytes=size, ntimes=ntimes)
+        assert cache_key(MACHINE, a, DRAM, 64) != cache_key(MACHINE, b, DRAM, 64)
+
+    @given(log2=st.integers(min_value=20, max_value=34), n=threads)
+    @settings(max_examples=25, deadline=None)
+    def test_workload_identity_in_key(self, log2, n):
+        gups = GUPS(log2_entries=log2)
+        stream = StreamBenchmark(size_bytes=gups.footprint_bytes)
+        assert cache_key(MACHINE, gups, DRAM, n) != cache_key(
+            MACHINE, stream, DRAM, n
+        )
+
+
+class TestHBMCapacityInvariant:
+    @pytest.fixture(scope="class")
+    def executor(self):
+        return SweepExecutor(ExperimentRunner(MACHINE))
+
+    # STREAM's three arrays quantize the footprint to 24-byte multiples,
+    # so the first size guaranteed to overflow the node is capacity + 24.
+    @given(
+        size=st.integers(min_value=HBM_CAPACITY + 24, max_value=10**11),
+        n=threads,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_membind_over_capacity_always_infeasible(self, executor, size, n):
+        workload = StreamBenchmark(size_bytes=size)
+        assert workload.footprint_bytes > HBM_CAPACITY
+        record = executor.run(workload, HBM, n)
+        assert record.metric is None
+        assert record.infeasible_reason is not None
+        assert "does not fit" in record.infeasible_reason
+
+    @given(size=st.integers(min_value=24, max_value=HBM_CAPACITY))
+    @settings(max_examples=25, deadline=None)
+    def test_membind_within_capacity_feasible(self, executor, size):
+        workload = StreamBenchmark(size_bytes=size)
+        assert workload.footprint_bytes <= HBM_CAPACITY
+        record = executor.run(workload, HBM, 64)
+        assert record.metric is not None
+        assert record.infeasible_reason is None

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core.configs import ConfigName
-from repro.core.sweep import size_sweep, thread_sweep
+from repro.core.configs import ConfigName, make_config
+from repro.core.sweep import resolve_configs, size_sweep, thread_sweep
 from repro.workloads.stream import StreamBenchmark
 
 
@@ -38,6 +38,70 @@ class TestSizeSweep:
             configs=[ConfigName.DRAM],
         )
         assert rs.configs == [ConfigName.DRAM]
+
+
+class TestSweepValidation:
+    def test_duplicate_configs_rejected(self, runner):
+        with pytest.raises(ValueError, match="duplicate configuration"):
+            size_sweep(
+                runner,
+                lambda gb: StreamBenchmark(size_bytes=int(gb * 1e9)),
+                [1.0],
+                configs=[ConfigName.DRAM, ConfigName.DRAM],
+            )
+
+    def test_duplicate_mixed_form_configs_rejected(self, runner):
+        """A name and its resolved config are the same sweep column."""
+        with pytest.raises(ValueError, match="duplicate configuration"):
+            thread_sweep(
+                runner,
+                StreamBenchmark(size_bytes=1000),
+                [64],
+                configs=[make_config(ConfigName.HBM), ConfigName.HBM],
+            )
+
+    def test_duplicate_sizes_rejected(self, runner):
+        with pytest.raises(ValueError, match="duplicate sweep point"):
+            size_sweep(
+                runner,
+                lambda gb: StreamBenchmark(size_bytes=int(gb * 1e9)),
+                [2.0, 4.0, 2.0],
+            )
+
+    def test_duplicate_threads_rejected(self, runner):
+        with pytest.raises(ValueError, match="duplicate sweep point"):
+            thread_sweep(runner, StreamBenchmark(size_bytes=1000), [64, 64])
+
+    def test_empty_configs_rejected(self, runner):
+        with pytest.raises(ValueError, match="non-empty"):
+            size_sweep(
+                runner,
+                lambda gb: StreamBenchmark(size_bytes=int(gb * 1e9)),
+                [1.0],
+                configs=[],
+            )
+
+    def test_resolve_configs_resolves_names_once(self):
+        resolved = resolve_configs([ConfigName.DRAM, ConfigName.HBM])
+        assert [c.name for c in resolved] == [ConfigName.DRAM, ConfigName.HBM]
+        assert all(hasattr(c, "numactl") for c in resolved)
+
+    def test_resolve_configs_default_is_paper_trio(self):
+        assert [c.name for c in resolve_configs(None)] == list(
+            ConfigName.paper_trio()
+        )
+
+
+class TestSweepThroughExecutor:
+    def test_size_sweep_identical_via_executor(self, machine):
+        from repro.core.executor import SweepExecutor
+        from repro.core.runner import ExperimentRunner
+
+        factory = lambda gb: StreamBenchmark(size_bytes=int(gb * 1e9))
+        serial = size_sweep(ExperimentRunner(machine), factory, [2.0, 20.0])
+        with SweepExecutor(ExperimentRunner(machine), jobs=2) as executor:
+            parallel = size_sweep(executor, factory, [2.0, 20.0])
+        assert [r for _, r in serial.records] == [r for _, r in parallel.records]
 
 
 class TestThreadSweep:

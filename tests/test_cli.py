@@ -70,3 +70,22 @@ class TestCLIExtensions:
         out = capsys.readouterr().out
         assert "x-vector -> dram" in out
         assert "stiffness-matrix -> hbm" in out
+
+
+class TestCLIExecutor:
+    def test_jobs_output_identical_to_serial(self, capsys):
+        assert main(["fig5"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["--jobs", "4", "fig5"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial
+        assert "[executor]" in captured.err
+
+    def test_cache_dir_populated(self, capsys, tmp_path):
+        assert main(["--cache-dir", str(tmp_path), "fig5"]) == 0
+        capsys.readouterr()
+        assert list(tmp_path.glob("*.json"))
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--executor", "gpu", "fig5"])
