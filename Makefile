@@ -1,12 +1,17 @@
 # Developer entry points (documentation; everything is plain pytest/python).
 
-.PHONY: install test test-fast bench report examples clean
+.PHONY: install test test-fast bench report examples docs-check clean
 
 install:
 	pip install -e .
 
-test:
+test: docs-check
 	pytest tests/
+
+# Lint the documentation: relative Markdown links must resolve and every
+# CLI flag must be mentioned in README.md or docs/.
+docs-check:
+	python tools/check_docs.py
 
 # Tier-1 suite through the process-pool executor, plus a no-cacheprovider
 # smoke job (catches accidental reliance on pytest's cache plugin).

@@ -12,7 +12,10 @@ Hybrid Memory System on HPC Environments" (2017), built as a library:
   Graph500 and XSBench, each functional *and* profiled,
 * :mod:`repro.core` — configurations, the experiment runner, sweeps,
   results and the Section-VI placement advisor,
-* :mod:`repro.figures` — generators for every table/figure in the paper.
+* :mod:`repro.figures` — generators for every table/figure in the paper,
+* :mod:`repro.obs` — structured observability: span tracing, a metrics
+  registry surfacing the model internals (bytes moved, cache hit/conflict
+  counts, TLB walks, concurrency), and per-cell sweep profiling hooks.
 
 Quickstart::
 
@@ -47,11 +50,13 @@ from repro.engine import (
     Phase,
     PlacementMix,
 )
+from repro import obs
 from repro.machine import KNLMachine, knl7210, knl7250
 from repro.memory import MCDRAMConfig, MemoryMode, MemorySystem
+from repro.obs import Observation, observe
 from repro.runtime import SimulatedOS
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConfigName",
@@ -79,5 +84,8 @@ __all__ = [
     "MemoryMode",
     "MemorySystem",
     "SimulatedOS",
+    "obs",
+    "Observation",
+    "observe",
     "__version__",
 ]

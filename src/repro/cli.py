@@ -5,16 +5,27 @@ Usage::
     knl-hybridmem list
     knl-hybridmem fig2
     knl-hybridmem --jobs 4 --cache-dir ~/.cache/knl-hybridmem all
+    knl-hybridmem --trace-out fig4c.trace.json --metrics-out fig4c.json fig4c
     knl-hybridmem advisor minife --size-gb 7.2 --threads 128
     knl-hybridmem describe
+
+Observability: ``--trace-out`` / ``--metrics-out`` (or ``REPRO_TRACE=1``,
+with optional ``REPRO_TRACE_OUT`` / ``REPRO_METRICS_OUT`` paths) wrap the
+command in an observation session (:mod:`repro.obs`).  Exhibits on stdout
+are byte-identical with or without it; the trace (Chrome ``trace_event``
+JSON for ``chrome://tracing``), the metrics JSON (including a per-cell
+sweep breakdown) and a one-line summary go to the given files / stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from collections.abc import Sequence
 
+from repro import obs
 from repro.core.advisor import PlacementAdvisor
 from repro.core.executor import ExecutionStrategy, SweepExecutor
 from repro.core.runner import ExperimentRunner
@@ -50,6 +61,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="persist run records as JSON under DIR and reuse them",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "enable observability and write a Chrome trace_event JSON "
+            "(open in chrome://tracing or ui.perfetto.dev)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "enable observability and write the metrics registry "
+            "(counters/gauges/histograms + per-cell sweep breakdown) as JSON"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available exhibits")
@@ -94,6 +123,7 @@ def _build_executor(args: argparse.Namespace) -> SweepExecutor:
         jobs=args.jobs,
         strategy=args.executor,
         cache_dir=args.cache_dir,
+        profile_hooks=getattr(args, "profile_hooks", ()),
     )
 
 
@@ -103,8 +133,62 @@ def _report_stats(executor: SweepExecutor) -> None:
         print(f"[executor] {executor.stats().describe()}", file=sys.stderr)
 
 
+def _observation_for(
+    args: argparse.Namespace, env: "dict[str, str] | None" = None
+) -> "obs.Observation | None":
+    """Start an observation session when the flags or REPRO_TRACE ask.
+
+    ``--trace-out`` / ``--metrics-out`` imply enabling; so does a truthy
+    ``REPRO_TRACE``, whose output paths come from ``REPRO_TRACE_OUT`` /
+    ``REPRO_METRICS_OUT`` (either may be unset: the summary still goes to
+    stderr).  Returns ``None`` — the zero-overhead path — otherwise.
+    """
+    environ = env if env is not None else os.environ
+    if args.trace_out is None:
+        args.trace_out = environ.get("REPRO_TRACE_OUT") or None
+    if args.metrics_out is None:
+        args.metrics_out = environ.get("REPRO_METRICS_OUT") or None
+    wanted = (
+        args.trace_out is not None
+        or args.metrics_out is not None
+        or obs.env_truthy(environ.get("REPRO_TRACE"))
+    )
+    if not wanted:
+        return None
+    args.profile_hooks = [obs.CellProfileCollector()]
+    return obs.Observation().start()
+
+
+def _write_observability(
+    session: "obs.Observation", args: argparse.Namespace
+) -> None:
+    """Export the session (after stop()); summary to stderr."""
+    collector = args.profile_hooks[0]
+    if args.trace_out is not None:
+        session.write(trace_out=args.trace_out)
+    if args.metrics_out is not None:
+        exported = session.metrics_dict()
+        exported["cells"] = collector.as_list()
+        with open(args.metrics_out, "w") as handle:
+            json.dump(exported, handle, indent=1, sort_keys=True)
+    written = [p for p in (args.trace_out, args.metrics_out) if p is not None]
+    destination = f" -> {', '.join(written)}" if written else ""
+    print(f"[obs] {session.summary()}{destination}", file=sys.stderr)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    session = _observation_for(args)
+    if session is None:
+        return _dispatch(args)
+    try:
+        return _dispatch(args)
+    finally:
+        session.stop()
+        _write_observability(session, args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     command = args.command
     if command == "list":
         for exhibit_id in EXHIBITS:

@@ -31,6 +31,7 @@ import json
 import os
 import pathlib
 import threading
+import time
 from collections import OrderedDict
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -43,6 +44,9 @@ from repro.core.runner import ExperimentRunner, RunRecord
 from repro.engine.perfmodel import PhaseResult, RunResult
 from repro.engine.placement import Location, PlacementMix
 from repro.machine.topology import KNLMachine
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.profiling import CellProfile, ProfileHook
 from repro.workloads.base import Workload
 
 T = TypeVar("T")
@@ -80,7 +84,19 @@ class SweepCell:
 
 @dataclass(frozen=True)
 class ExecutorStats:
-    """Cumulative cache counters for one :class:`SweepExecutor`."""
+    """Cumulative cache counters for one :class:`SweepExecutor`.
+
+    Counters accumulate in the **submitting process** under every
+    strategy: cache lookups happen before dispatch and results are
+    memoized on return, so worker threads and worker processes never
+    carry executor state.  ``--jobs N`` therefore reports one aggregate
+    — identical for ``serial``, ``threads`` and ``processes`` on the
+    same batch sequence (``tests/core/test_executor.py::
+    TestStatsConsistencyAcrossStrategies``).  Counter updates are
+    lock-protected, so concurrent ``run_cells`` calls through the
+    ``threads`` strategy (e.g. the sensitivity analysis fanning out over
+    one shared executor) never lose increments.
+    """
 
     hits: int
     misses: int
@@ -287,8 +303,30 @@ class RunCache:
 
 # -- worker entry point (must be module-level for process pickling) -----------
 
-def _run_cell(runner: ExperimentRunner, cell: SweepCell) -> RunRecord:
-    return runner.run(cell.workload, cell.config, cell.num_threads)
+def _run_cell(runner: ExperimentRunner, cell: SweepCell) -> tuple[RunRecord, int]:
+    """Evaluate one cell, returning the record and its wall time (ns).
+
+    Under the ``threads`` strategy the ``executor.cell`` span runs on the
+    worker thread, so traces show cells stacked per pool lane; under
+    ``processes`` the worker has its own (normally disabled) observability
+    state and only the submitting process's executor-level activity is
+    traced.
+    """
+    start = time.perf_counter_ns()
+    with obs_trace.span(
+        "executor.cell",
+        tags=(
+            dict(
+                cell.workload.obs_tags(),
+                config=cell.config.name.value,
+                threads=cell.num_threads,
+            )
+            if obs_trace.enabled()
+            else None
+        ),
+    ):
+        record = runner.run(cell.workload, cell.config, cell.num_threads)
+    return record, time.perf_counter_ns() - start
 
 
 # -- the executor -------------------------------------------------------------
@@ -313,6 +351,7 @@ class SweepExecutor:
         strategy: ExecutionStrategy | str | None = None,
         cache_size: int = 4096,
         cache_dir: str | os.PathLike[str] | None = None,
+        profile_hooks: Sequence[ProfileHook] = (),
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -324,10 +363,21 @@ class SweepExecutor:
             )
         self.strategy = ExecutionStrategy.parse(strategy)
         self.cache = RunCache(cache_size, cache_dir)
+        self.profile_hooks: list[ProfileHook] = list(profile_hooks)
         self._pool: Executor | None = None
+        self._stats_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._executed = 0
+
+    def add_profile_hook(self, hook: ProfileHook) -> None:
+        """Register a per-cell profiling callback (:mod:`repro.obs.profiling`).
+
+        After every batch the hook receives one
+        :class:`~repro.obs.profiling.CellProfile` per submitted cell —
+        cache-served and model-evaluated alike — in submission order.
+        """
+        self.profile_hooks.append(hook)
 
     # -- runner compatibility -------------------------------------------------
     @property
@@ -372,37 +422,96 @@ class SweepExecutor:
         misses are dispatched through the configured strategy.
         """
         results: list[RunRecord | None] = [None] * len(cells)
+        cached_flags = [True] * len(cells)
+        wall_ns = [0] * len(cells)
         indices_for: dict[str, list[int]] = {}
         missing: list[tuple[str, SweepCell]] = []
-        for i, cell in enumerate(cells):
-            key = self.cache_key(cell)
-            cached = self.cache.get(key)
-            if cached is not None:
-                self._hits += 1
-                results[i] = cached
-                continue
-            if key in indices_for:
-                self._hits += 1
-            else:
-                self._misses += 1
-                indices_for[key] = []
-                missing.append((key, cell))
-            indices_for[key].append(i)
-        computed = self._execute([cell for _, cell in missing])
-        self._executed += len(computed)
-        for (key, _), record in zip(missing, computed):
-            self.cache.put(key, record)
-            for i in indices_for[key]:
-                results[i] = record
+        batch_hits = batch_misses = 0
+        with obs_trace.span(
+            "executor.run_cells",
+            tags=(
+                {"cells": len(cells), "strategy": self.strategy.value}
+                if obs_trace.enabled()
+                else None
+            ),
+        ):
+            for i, cell in enumerate(cells):
+                key = self.cache_key(cell)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    batch_hits += 1
+                    results[i] = cached
+                    continue
+                if key in indices_for:
+                    batch_hits += 1
+                else:
+                    batch_misses += 1
+                    indices_for[key] = []
+                    missing.append((key, cell))
+                indices_for[key].append(i)
+            computed = self._execute([cell for _, cell in missing])
+            for (key, _), (record, elapsed_ns) in zip(missing, computed):
+                self.cache.put(key, record)
+                first, *duplicates = indices_for[key]
+                results[first] = record
+                cached_flags[first] = False
+                wall_ns[first] = elapsed_ns
+                for i in duplicates:
+                    results[i] = record
+        with self._stats_lock:
+            self._hits += batch_hits
+            self._misses += batch_misses
+            self._executed += len(computed)
         assert all(r is not None for r in results)
+        if obs_metrics.enabled():
+            obs_metrics.add("executor.cache_hits", batch_hits)
+            obs_metrics.add("executor.cache_misses", batch_misses)
+            obs_metrics.add("executor.cells_executed", len(computed))
+            stats = self.stats()
+            obs_metrics.set_gauge("executor.disk_hits", stats.disk_hits)
+            obs_metrics.set_gauge("executor.hit_rate", stats.hit_rate)
+        if self.profile_hooks or obs_metrics.enabled():
+            self._emit_profiles(cells, results, cached_flags, wall_ns)
         return results  # type: ignore[return-value]
+
+    def _emit_profiles(
+        self,
+        cells: Sequence[SweepCell],
+        results: Sequence[RunRecord | None],
+        cached_flags: Sequence[bool],
+        wall_ns: Sequence[int],
+    ) -> None:
+        """Deliver one :class:`CellProfile` per cell, in submission order."""
+        for cell, record, was_cached, elapsed_ns in zip(
+            cells, results, cached_flags, wall_ns
+        ):
+            assert record is not None
+            profile = CellProfile(
+                workload=record.workload,
+                tags=cell.workload.obs_tags(),
+                config=record.config.value,
+                num_threads=record.num_threads,
+                cached=was_cached,
+                wall_ns=elapsed_ns,
+                metric=record.metric,
+                infeasible_reason=record.infeasible_reason,
+            )
+            for hook in self.profile_hooks:
+                hook(profile)
+            obs_metrics.add(
+                "executor.cells",
+                1.0,
+                {"source": "cache" if was_cached else "model"},
+            )
 
     def cache_key(self, cell: SweepCell) -> str:
         return cache_key(
             self.runner.machine, cell.workload, cell.config, cell.num_threads
         )
 
-    def _execute(self, cells: Sequence[SweepCell]) -> list[RunRecord]:
+    def _execute(
+        self, cells: Sequence[SweepCell]
+    ) -> list[tuple[RunRecord, int]]:
         if not cells:
             return []
         if (
@@ -425,16 +534,20 @@ class SweepExecutor:
 
     # -- bookkeeping ----------------------------------------------------------
     def stats(self) -> ExecutorStats:
-        return ExecutorStats(
-            hits=self._hits,
-            misses=self._misses,
-            disk_hits=self.cache.disk_hits,
-            executed=self._executed,
-        )
+        """One aggregate over everything this executor ran, whatever the
+        strategy (see :class:`ExecutorStats` for the exact semantics)."""
+        with self._stats_lock:
+            return ExecutorStats(
+                hits=self._hits,
+                misses=self._misses,
+                disk_hits=self.cache.disk_hits,
+                executed=self._executed,
+            )
 
     def reset_stats(self) -> None:
-        self._hits = self._misses = self._executed = 0
-        self.cache.disk_hits = 0
+        with self._stats_lock:
+            self._hits = self._misses = self._executed = 0
+            self.cache.disk_hits = 0
 
     def close(self) -> None:
         if self._pool is not None:

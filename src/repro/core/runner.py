@@ -23,6 +23,8 @@ from repro.engine.placement import PlacementMix
 from repro.machine.presets import knl7210
 from repro.machine.topology import KNLMachine
 from repro.memory.numa import OutOfNodeMemory
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.simos import SimulatedOS
 from repro.workloads.base import Workload
 
@@ -77,7 +79,35 @@ class ExperimentRunner:
         config: SystemConfig | ConfigName,
         num_threads: int = 64,
     ) -> RunRecord:
-        """Simulate one run; never raises for modelled failure modes."""
+        """Simulate one run; never raises for modelled failure modes.
+
+        With an observation session active (:mod:`repro.obs`) the run is
+        wrapped in a ``runner.run`` span tagged with the workload's
+        identity (:meth:`~repro.workloads.base.Workload.obs_tags`) and
+        counted in ``runner.runs`` / ``runner.infeasible``; the returned
+        record is identical either way.
+        """
+        if not (obs_trace.enabled() or obs_metrics.enabled()):
+            return self._run(workload, config, num_threads)
+        if isinstance(config, ConfigName):
+            config = make_config(config)
+        tags = workload.obs_tags()
+        tags["config"] = config.name.value
+        tags["threads"] = num_threads
+        with obs_trace.span("runner.run", tags):
+            record = self._run(workload, config, num_threads)
+        labels = {"config": record.config.value}
+        obs_metrics.add("runner.runs", 1.0, labels)
+        if record.infeasible_reason is not None:
+            obs_metrics.add("runner.infeasible", 1.0, labels)
+        return record
+
+    def _run(
+        self,
+        workload: Workload,
+        config: SystemConfig | ConfigName,
+        num_threads: int,
+    ) -> RunRecord:
         if isinstance(config, ConfigName):
             config = make_config(config)
         sim_os = self._boot(config)

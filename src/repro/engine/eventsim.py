@@ -23,6 +23,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.memory.device import MemoryDevice
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.util.prng import make_rng
 from repro.util.units import CACHE_LINE, NS_PER_S
 from repro.util.validation import check_positive
@@ -82,7 +84,49 @@ class MemoryEventSimulator:
         Each thread keeps ``mlp`` requests outstanding; completions
         immediately release the next request (closed loop).  Requests are
         spread over channels uniformly at random (address hashing).
+
+        With an observation session active (:mod:`repro.obs`) the run is
+        wrapped in an ``eventsim.run`` span and its request count and
+        emergent latency/bandwidth are recorded (``eventsim.requests``,
+        ``eventsim.mean_latency_ns``, ``eventsim.bandwidth_bytes_per_s``).
         """
+        if not (obs_trace.enabled() or obs_metrics.enabled()):
+            return self._simulate(
+                threads=threads,
+                mlp=mlp,
+                requests_per_thread=requests_per_thread,
+                seed=seed,
+            )
+        with obs_trace.span(
+            "eventsim.run",
+            tags={
+                "device": type(self.device).__name__,
+                "threads": threads,
+                "mlp": mlp,
+                "sequential": self.sequential,
+            },
+        ):
+            result = self._simulate(
+                threads=threads,
+                mlp=mlp,
+                requests_per_thread=requests_per_thread,
+                seed=seed,
+            )
+        obs_metrics.add("eventsim.requests", result.requests)
+        obs_metrics.observe("eventsim.mean_latency_ns", result.mean_latency_ns)
+        obs_metrics.observe(
+            "eventsim.bandwidth_bytes_per_s", result.bandwidth_bytes_per_s
+        )
+        return result
+
+    def _simulate(
+        self,
+        *,
+        threads: int,
+        mlp: float,
+        requests_per_thread: int,
+        seed: int | None = None,
+    ) -> EventSimResult:
         check_positive("threads", threads)
         check_positive("mlp", mlp)
         check_positive("requests_per_thread", requests_per_thread)

@@ -33,6 +33,8 @@ from repro.engine.threading_model import ThreadingModel
 from repro.machine.topology import KNLMachine
 from repro.memory.modes import MemorySystem
 from repro.memory.tlb import TLBModel
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.process import OpenMPEnvironment
 from repro.util.units import CACHE_LINE, NS_PER_S
 
@@ -275,7 +277,26 @@ class PerformanceModel:
     def phase_result(
         self, phase: Phase, mix: PlacementMix, env: OpenMPEnvironment
     ) -> PhaseResult:
-        """Simulate one phase."""
+        """Simulate one phase.
+
+        With an observation session active (:mod:`repro.obs`) the phase is
+        additionally wrapped in a ``perfmodel.phase`` span and its traffic
+        decomposition is recorded in the metrics registry; the returned
+        numbers are identical either way (golden-identity tested).
+        """
+        if not (obs_trace.enabled() or obs_metrics.enabled()):
+            return self._phase_result(phase, mix, env)
+        with obs_trace.span(
+            "perfmodel.phase",
+            tags={"phase": phase.name, "pattern": phase.pattern.value},
+        ):
+            result = self._phase_result(phase, mix, env)
+        self._observe_phase(phase, mix, env)
+        return result
+
+    def _phase_result(
+        self, phase: Phase, mix: PlacementMix, env: OpenMPEnvironment
+    ) -> PhaseResult:
         if phase.traffic_bytes > 0:
             if phase.pattern is AccessPattern.SEQUENTIAL:
                 mem_time, bandwidth, latency = self._sequential_memory_time_ns(
@@ -299,6 +320,53 @@ class PerformanceModel:
             achieved_bandwidth=bandwidth,
             effective_latency_ns=latency,
         )
+
+    def _observe_phase(
+        self, phase: Phase, mix: PlacementMix, env: OpenMPEnvironment
+    ) -> None:
+        """Record the phase's model internals in the metrics registry.
+
+        Emits the quantities the paper reports and the figures are built
+        from: Little's-law concurrency (``model.concurrency``), per-device
+        bytes moved (``model.bytes_moved{device=...}``) — with cache-mode
+        traffic split between the MCDRAM side (every access probes the
+        cache) and the DDR side (the miss fraction) — plus the MCDRAM
+        cache and TLB accounting delegated to the respective models.
+        """
+        if not obs_metrics.enabled():
+            return
+        sequential = phase.pattern is AccessPattern.SEQUENTIAL
+        pattern = phase.pattern.value
+        obs_metrics.observe(
+            "model.concurrency",
+            self.threading.outstanding_requests(phase, env),
+            {"pattern": pattern},
+        )
+        lines = phase.accesses
+        for location, fraction in mix.fractions:
+            if fraction == 0.0:
+                continue
+            traffic = (
+                phase.traffic_bytes if sequential else lines * CACHE_LINE
+            ) * fraction
+            if location is Location.DRAM:
+                obs_metrics.add("model.bytes_moved", traffic, {"device": "dram"})
+            elif location is Location.HBM:
+                obs_metrics.add("model.bytes_moved", traffic, {"device": "mcdram"})
+            else:
+                assert self.memory.cache_model is not None
+                hit_rate = self.memory.cache_model.record_accesses(
+                    phase.footprint_bytes, pattern, traffic / CACHE_LINE
+                )
+                # Every access probes MCDRAM; the miss fraction also
+                # transfers from DDR (the composition of section 2.1 of
+                # docs/MODEL.md).
+                obs_metrics.add("model.bytes_moved", traffic, {"device": "mcdram"})
+                obs_metrics.add(
+                    "model.bytes_moved", traffic * (1.0 - hit_rate), {"device": "dram"}
+                )
+        if not sequential:
+            self.tlb.record_walks(phase.footprint_bytes, lines)
 
     def run(
         self,
@@ -326,10 +394,19 @@ class PerformanceModel:
         else:
             mix_for = lambda phase: mix
             reported = mix
-        results = tuple(
-            self.phase_result(phase, mix_for(phase), env)
-            for phase in profile.phases
-        )
+        with obs_trace.span(
+            "perfmodel.run",
+            tags=(
+                {"workload": profile.workload, "threads": num_threads}
+                if obs_trace.enabled()
+                else None
+            ),
+        ):
+            results = tuple(
+                self.phase_result(phase, mix_for(phase), env)
+                for phase in profile.phases
+            )
+        obs_metrics.add("model.runs")
         return RunResult(
             workload=profile.workload,
             placement=reported,

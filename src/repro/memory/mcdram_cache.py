@@ -38,6 +38,7 @@ import numpy as np
 from scipy.interpolate import PchipInterpolator
 
 from repro.memory.device import MemoryDevice
+from repro.obs import metrics as obs_metrics
 from repro.util.validation import check_non_negative, check_positive
 
 # Survival anchors (footprint ratio -> resident fraction) for streaming
@@ -178,6 +179,41 @@ class MCDRAMCacheModel:
         if pattern == "random":
             return self.random_hit_rate(footprint_bytes)
         raise ValueError(f"pattern must be 'sequential' or 'random', got {pattern!r}")
+
+    # -- observability -----------------------------------------------------------
+    def record_accesses(
+        self, footprint_bytes: int, pattern: str, lines: float
+    ) -> float:
+        """Account ``lines`` cache-line accesses in the metrics registry.
+
+        Called by the performance engine per phase-placement when an
+        observation session is active (:mod:`repro.obs`).  Emits
+        ``mcdram_cache.hits`` / ``misses`` / ``conflict_misses`` counters
+        labelled by pattern.  Conflict misses are the misses a
+        fully-associative cache of the same capacity would not have taken
+        — the share the paper attributes to direct-mapped page scatter
+        (its premature pre-16 GB bandwidth drop) — i.e.
+        ``(h_capacity - h) x lines`` with ``h_capacity = min(1, C/F)``.
+
+        Returns the hit rate used, so callers can split device traffic
+        without recomputing it.
+        """
+        h = self.hit_rate(footprint_bytes, pattern)
+        if lines <= 0.0 or not obs_metrics.enabled():
+            return h
+        r = self.footprint_ratio(footprint_bytes)
+        capacity_hit_rate = 1.0 if r <= 1.0 else 1.0 / r
+        labels = {"pattern": pattern}
+        obs_metrics.add("mcdram_cache.accesses", lines, labels)
+        obs_metrics.add("mcdram_cache.hits", h * lines, labels)
+        obs_metrics.add("mcdram_cache.misses", (1.0 - h) * lines, labels)
+        obs_metrics.add(
+            "mcdram_cache.conflict_misses",
+            max(0.0, capacity_hit_rate - h) * lines,
+            labels,
+        )
+        obs_metrics.set_gauge("mcdram_cache.hit_rate", h, labels)
+        return h
 
     # -- bandwidth --------------------------------------------------------------
     def streaming_traffic(self, footprint_bytes: int) -> CacheModeTraffic:

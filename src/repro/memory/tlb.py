@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.obs import metrics as obs_metrics
 from repro.util.units import KiB, MiB
 from repro.util.validation import check_non_negative, check_positive
 
@@ -126,3 +127,22 @@ class TLBModel:
         cached_walk_term = l2_miss * cached_walk_ns
         memory_walk_term = l2_miss * depth * memory_latency_ns * self.walk_overlap
         return stlb_term + cached_walk_term + memory_walk_term
+
+    # -- observability -----------------------------------------------------------
+    def record_walks(self, footprint_bytes: int, accesses: float) -> None:
+        """Account the translation behaviour of ``accesses`` random accesses.
+
+        Called by the performance engine per random phase when an
+        observation session is active (:mod:`repro.obs`).  Emits
+        ``tlb.l1_misses`` (accesses missing the first-level DTLB),
+        ``tlb.walks`` (accesses missing both levels and walking the page
+        tables) and the ``tlb.walk_depth`` gauge (average page-table
+        levels falling out of the walker caches at this footprint).
+        """
+        if accesses <= 0.0 or not obs_metrics.enabled():
+            return
+        obs_metrics.add(
+            "tlb.l1_misses", self.l1_miss_rate(footprint_bytes) * accesses
+        )
+        obs_metrics.add("tlb.walks", self.l2_miss_rate(footprint_bytes) * accesses)
+        obs_metrics.set_gauge("tlb.walk_depth", self.walk_depth(footprint_bytes))

@@ -1,0 +1,277 @@
+"""Counter / gauge / histogram metrics registry.
+
+The registry surfaces the model internals the paper itself reports —
+per-device bytes moved, MCDRAM-cache hit/miss/conflict counts, TLB
+walks, Little's-law concurrency, executor cache hit rates — as named,
+optionally labelled instruments:
+
+* **counter** — monotonically accumulating total (``add``),
+* **gauge** — last-written value (``set``),
+* **histogram** — streaming summary (count / sum / min / max / mean) of
+  observed values (``observe``).
+
+Like the tracer, the module-level helpers (:func:`add`, :func:`set_gauge`,
+:func:`observe`) are no-ops returning immediately while no registry is
+installed, so instrumentation sites never need their own guards for
+correctness — only for skipping expensive *derivations* of the values.
+
+Label conventions follow Prometheus: a metric name plus a small,
+low-cardinality label mapping (``("model.bytes_moved", device="dram")``).
+Export is plain JSON via :meth:`MetricsRegistry.as_dict`, with flattened
+``name{k=v,...}`` keys — see ``docs/OBSERVABILITY.md`` for the name
+catalogue.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "add",
+    "set_gauge",
+    "observe",
+    "enabled",
+    "install",
+    "uninstall",
+    "active_registry",
+]
+
+LabelValue = "str | int | float | bool"
+
+
+def _label_key(labels: Mapping[str, Any] | None) -> tuple[tuple[str, Any], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+def flat_name(name: str, labels: Mapping[str, Any] | None) -> str:
+    """``name{k=v,...}`` rendering used by the JSON export."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """Accumulating total."""
+
+    value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed values (no buckets kept)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe home for named instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, tuple], Counter] = {}
+        self._gauges: dict[tuple[str, tuple], Gauge] = {}
+        self._histograms: dict[tuple[str, tuple], Histogram] = {}
+
+    # -- writes ---------------------------------------------------------------
+    def add(
+        self,
+        name: str,
+        amount: float = 1.0,
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = Counter()
+            counter.add(amount)
+
+    def set_gauge(
+        self, name: str, value: float, labels: Mapping[str, Any] | None = None
+    ) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            gauge = self._gauges.get(key)
+            if gauge is None:
+                gauge = self._gauges[key] = Gauge()
+            gauge.set(value)
+
+    def observe(
+        self, name: str, value: float, labels: Mapping[str, Any] | None = None
+    ) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = Histogram()
+            histogram.observe(value)
+
+    # -- reads ----------------------------------------------------------------
+    def counter_value(
+        self, name: str, labels: Mapping[str, Any] | None = None
+    ) -> float:
+        """Current value of a counter (0.0 when never written)."""
+        with self._lock:
+            counter = self._counters.get((name, _label_key(labels)))
+            return counter.value if counter is not None else 0.0
+
+    def gauge_value(
+        self, name: str, labels: Mapping[str, Any] | None = None
+    ) -> float | None:
+        with self._lock:
+            gauge = self._gauges.get((name, _label_key(labels)))
+            return gauge.value if gauge is not None else None
+
+    def histogram_summary(
+        self, name: str, labels: Mapping[str, Any] | None = None
+    ) -> Histogram | None:
+        with self._lock:
+            return self._histograms.get((name, _label_key(labels)))
+
+    def names(self) -> set[str]:
+        """All metric names written so far (label-free)."""
+        with self._lock:
+            keys = (
+                list(self._counters) + list(self._gauges) + list(self._histograms)
+            )
+        return {name for name, _ in keys}
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready export with ``name{label=value}`` flattened keys."""
+        with self._lock:
+            return {
+                "counters": {
+                    flat_name(name, dict(labels)): counter.value
+                    for (name, labels), counter in sorted(self._counters.items())
+                },
+                "gauges": {
+                    flat_name(name, dict(labels)): gauge.value
+                    for (name, labels), gauge in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    flat_name(name, dict(labels)): histogram.as_dict()
+                    for (name, labels), histogram in sorted(
+                        self._histograms.items()
+                    )
+                },
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+# -- global switch (mirrors repro.obs.trace) -----------------------------------
+
+_enabled: bool = False
+_registry: MetricsRegistry | None = None
+_switch_lock = threading.Lock()
+
+
+def enabled() -> bool:
+    """Whether a metrics registry is currently collecting."""
+    return _enabled
+
+
+def active_registry() -> MetricsRegistry | None:
+    return _registry
+
+
+def install(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    global _enabled, _registry
+    with _switch_lock:
+        _registry = registry if registry is not None else MetricsRegistry()
+        _enabled = True
+        return _registry
+
+
+def uninstall() -> None:
+    global _enabled, _registry
+    with _switch_lock:
+        _enabled = False
+        _registry = None
+
+
+def add(
+    name: str, amount: float = 1.0, labels: Mapping[str, Any] | None = None
+) -> None:
+    """Increment a counter on the active registry (no-op when disabled)."""
+    if not _enabled:
+        return
+    registry = _registry
+    if registry is not None:
+        registry.add(name, amount, labels)
+
+
+def set_gauge(
+    name: str, value: float, labels: Mapping[str, Any] | None = None
+) -> None:
+    """Write a gauge on the active registry (no-op when disabled)."""
+    if not _enabled:
+        return
+    registry = _registry
+    if registry is not None:
+        registry.set_gauge(name, value, labels)
+
+
+def observe(
+    name: str, value: float, labels: Mapping[str, Any] | None = None
+) -> None:
+    """Record a histogram observation (no-op when disabled)."""
+    if not _enabled:
+        return
+    registry = _registry
+    if registry is not None:
+        registry.observe(name, value, labels)

@@ -1,0 +1,92 @@
+"""Per-cell profiling hooks for sweeps.
+
+The tracer answers "where did wall time go" and the metrics registry
+answers "what did the model do in aggregate"; this module answers the
+question in between: **what did each sweep cell cost and produce?**
+
+:class:`~repro.core.executor.SweepExecutor` accepts any number of
+:data:`ProfileHook` callables (``profile_hooks=`` at construction or
+:meth:`~repro.core.executor.SweepExecutor.add_profile_hook`).  After each
+batch it calls every hook once per cell with a :class:`CellProfile`:
+workload identity tags (via :meth:`Workload.obs_tags`), the
+configuration, the thread count, whether the record came from cache, the
+measured wall time of the cell's model evaluation, and the resulting
+metric.  When an observation session is active the executor additionally
+emits the same breakdown as ``executor.cell`` spans, so hooks and traces
+always agree.
+
+:class:`CellProfileCollector` is the batteries-included hook: it
+accumulates profiles and renders a per-cell table — the ``--trace-out``
+CLI path uses it to append a cell breakdown to the metrics export.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["CellProfile", "ProfileHook", "CellProfileCollector"]
+
+
+@dataclass(frozen=True)
+class CellProfile:
+    """Cost and outcome of one executed (or cache-served) sweep cell."""
+
+    workload: str
+    tags: dict[str, Any]
+    config: str
+    num_threads: int
+    cached: bool
+    wall_ns: int
+    metric: float | None
+    infeasible_reason: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "tags": self.tags,
+            "config": self.config,
+            "num_threads": self.num_threads,
+            "cached": self.cached,
+            "wall_ns": self.wall_ns,
+            "metric": self.metric,
+            "infeasible_reason": self.infeasible_reason,
+        }
+
+
+ProfileHook = Callable[[CellProfile], None]
+
+
+class CellProfileCollector:
+    """A :data:`ProfileHook` that accumulates and summarizes profiles."""
+
+    def __init__(self) -> None:
+        self.profiles: list[CellProfile] = []
+
+    def __call__(self, profile: CellProfile) -> None:
+        self.profiles.append(profile)
+
+    def as_list(self) -> list[dict[str, Any]]:
+        return [p.as_dict() for p in self.profiles]
+
+    def describe(self) -> str:
+        """Per-cell breakdown table (wall time, cache status, metric)."""
+        lines = ["cell breakdown (workload/config/threads  wall  source  metric):"]
+        for p in self.profiles:
+            source = "cache" if p.cached else "model"
+            metric = (
+                f"{p.metric:.4g}"
+                if p.metric is not None
+                else f"- ({p.infeasible_reason})"
+            )
+            cell = f"{p.workload}/{p.config}/{p.num_threads}"
+            lines.append(
+                f"  {cell:<32} {p.wall_ns / 1e6:8.2f} ms  {source:<5}  {metric}"
+            )
+        total_ms = sum(p.wall_ns for p in self.profiles) / 1e6
+        cached = sum(1 for p in self.profiles if p.cached)
+        lines.append(
+            f"  {len(self.profiles)} cells ({cached} cached), {total_ms:.2f} ms total"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,263 @@
+"""Zero-dependency span tracer with a no-op fast path.
+
+A *span* is one timed, named, optionally tagged stretch of execution.
+Spans nest: the tracer keeps a per-thread stack, so a span opened while
+another is active records its parent and depth, and the collected records
+reconstruct the call tree (``runner.run`` > ``perfmodel.run`` >
+``perfmodel.phase`` ...).
+
+Tracing is **off by default** and free when off: :func:`span` checks one
+module-level boolean and returns a shared singleton no-op context manager
+— no object construction, no clock read, no lock.  The test suite pins
+this with an allocation-counting test
+(``tests/obs/test_trace.py::TestDisabledFastPath``).
+
+Enabled tracing is driven through :mod:`repro.obs` (an
+:class:`~repro.obs.session.Observation` session installs a
+:class:`Tracer` here); this module only owns the mechanics: clocking
+(``time.perf_counter_ns``), nesting, thread-safe record collection and
+the Chrome ``trace_event`` export consumed by ``chrome://tracing`` /
+Perfetto.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "span",
+    "enabled",
+    "install",
+    "uninstall",
+    "active_tracer",
+    "to_chrome_trace",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    start_ns: int
+    duration_ns: int
+    depth: int
+    thread_id: int
+    parent: str | None = None
+    tags: Mapping[str, Any] | None = None
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.duration_ns
+
+
+class _NullSpan:
+    """The shared disabled-path span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def tag(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """A span being timed; created only while tracing is enabled."""
+
+    __slots__ = ("_tracer", "name", "tags", "_start_ns", "_depth", "_parent")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, tags: Mapping[str, Any] | None
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.tags = dict(tags) if tags else None
+
+    def tag(self, key: str, value: Any) -> "_LiveSpan":
+        """Attach one tag to an open span (e.g. an outcome)."""
+        if self.tags is None:
+            self.tags = {}
+        self.tags[key] = value
+        return self
+
+    def __enter__(self) -> "_LiveSpan":
+        stack = self._tracer._stack()
+        self._depth = len(stack)
+        self._parent = stack[-1] if stack else None
+        stack.append(self.name)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        duration = time.perf_counter_ns() - self._start_ns
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        self._tracer._record(
+            SpanRecord(
+                name=self.name,
+                start_ns=self._start_ns,
+                duration_ns=duration,
+                depth=self._depth,
+                thread_id=threading.get_ident(),
+                parent=self._parent,
+                tags=self.tags,
+            )
+        )
+        return False
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`SpanRecord` objects from any number of threads."""
+
+    max_spans: int = 1_000_000
+    _records: list[SpanRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _local: threading.local = field(default_factory=threading.local)
+    dropped: int = 0
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._records) >= self.max_spans:
+                self.dropped += 1
+                return
+            self._records.append(record)
+
+    def span(self, name: str, tags: Mapping[str, Any] | None = None) -> _LiveSpan:
+        return _LiveSpan(self, name, tags)
+
+    def records(self) -> list[SpanRecord]:
+        """Snapshot of completed spans, in completion order."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+# -- global switch -------------------------------------------------------------
+#
+# One boolean + one tracer reference.  `span()` reads only the boolean on
+# the disabled path; `install()`/`uninstall()` flip both under a lock so
+# enabling is atomic with respect to concurrent spans.
+
+_enabled: bool = False
+_tracer: Tracer | None = None
+_switch_lock = threading.Lock()
+
+
+def enabled() -> bool:
+    """Whether tracing is currently collecting spans."""
+    return _enabled
+
+
+def active_tracer() -> Tracer | None:
+    """The installed tracer, or ``None`` when tracing is disabled."""
+    return _tracer
+
+
+def install(tracer: Tracer | None = None) -> Tracer:
+    """Install (and return) a tracer, enabling span collection."""
+    global _enabled, _tracer
+    with _switch_lock:
+        _tracer = tracer if tracer is not None else Tracer()
+        _enabled = True
+        return _tracer
+
+
+def uninstall() -> None:
+    """Disable tracing; spans return to the no-op fast path."""
+    global _enabled, _tracer
+    with _switch_lock:
+        _enabled = False
+        _tracer = None
+
+
+def span(name: str, tags: Mapping[str, Any] | None = None):
+    """Open a span context manager.
+
+    When tracing is disabled this returns a process-wide singleton no-op
+    object without allocating anything — instrument hot paths freely.
+    ``tags`` is an optional mapping recorded on the span; build it only
+    when :func:`enabled` is true if constructing it is itself costly.
+    """
+    if not _enabled:
+        return _NULL_SPAN
+    tracer = _tracer
+    if tracer is None:  # racing an uninstall(): behave as disabled
+        return _NULL_SPAN
+    return tracer.span(name, tags)
+
+
+# -- Chrome trace_event export -------------------------------------------------
+
+def to_chrome_trace(
+    records: list[SpanRecord], *, process_name: str = "repro"
+) -> dict[str, Any]:
+    """Encode spans in the Chrome ``trace_event`` JSON format.
+
+    The output loads directly in ``chrome://tracing`` or
+    https://ui.perfetto.dev.  Each span becomes a complete ("X") event;
+    timestamps are microseconds relative to the earliest span, and
+    threads map to Chrome ``tid`` lanes so nesting renders as stacked
+    bars.
+    """
+    if not records:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    t0 = min(r.start_ns for r in records)
+    tids = {tid: i for i, tid in enumerate(sorted({r.thread_id for r in records}))}
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for record in records:
+        event: dict[str, Any] = {
+            "name": record.name,
+            "cat": record.name.split(".", 1)[0],
+            "ph": "X",
+            "pid": 0,
+            "tid": tids[record.thread_id],
+            "ts": (record.start_ns - t0) / 1000.0,
+            "dur": record.duration_ns / 1000.0,
+        }
+        args: dict[str, Any] = {"depth": record.depth}
+        if record.parent is not None:
+            args["parent"] = record.parent
+        if record.tags:
+            args.update(record.tags)
+        event["args"] = args
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

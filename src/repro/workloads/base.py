@@ -91,6 +91,18 @@ class Workload(abc.ABC):
         """Instance parameters for reporting (overridden as useful)."""
         return {"footprint_bytes": self.footprint_bytes}
 
+    # -- observability -----------------------------------------------------------
+    def obs_tags(self) -> dict[str, Any]:
+        """Identity tags attached to observability spans and per-cell
+        profiles (:mod:`repro.obs`).  Workloads may override to add
+        algorithm-specific tags (graph scale, matrix order, ...); keep
+        values low-cardinality — these label trace lanes, not records."""
+        return {
+            "workload": self.spec.name,
+            "pattern": self.spec.pattern.lower(),
+            "footprint_gb": round(self.footprint_bytes / 1e9, 3),
+        }
+
     def describe(self) -> str:
         return (
             f"{self.spec.name} ({self.spec.app_type}, {self.spec.pattern}): "

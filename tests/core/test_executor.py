@@ -220,6 +220,51 @@ class TestCacheHitRate:
         assert stats.executed == 0 and stats.hit_rate == 1.0
 
 
+class TestStatsConsistencyAcrossStrategies:
+    """The documented `ExecutorStats` aggregation contract: counters
+    accumulate in the submitting process under *every* strategy, so the
+    same batch sequence reports identical stats whether cells ran
+    serially, on a thread pool or across a process pool — `--jobs N`
+    hit rates are directly comparable."""
+
+    def _run_batches(self, machine, strategy):
+        with SweepExecutor(
+            ExperimentRunner(machine), jobs=4, strategy=strategy
+        ) as executor:
+            _sweep(executor)
+            _sweep(executor)  # second pass: all memory-cache hits
+            stats = executor.stats()
+        return stats
+
+    @pytest.fixture(scope="class")
+    def serial_stats(self, machine):
+        return self._run_batches(machine, "serial")
+
+    @pytest.mark.parametrize("strategy", ["threads", "processes"])
+    def test_identical_to_serial(self, machine, serial_stats, strategy):
+        stats = self._run_batches(machine, strategy)
+        assert (
+            stats.hits,
+            stats.misses,
+            stats.disk_hits,
+            stats.executed,
+        ) == (
+            serial_stats.hits,
+            serial_stats.misses,
+            serial_stats.disk_hits,
+            serial_stats.executed,
+        )
+        assert stats.hit_rate == serial_stats.hit_rate
+
+    def test_counts_are_complete(self, serial_stats):
+        # Every lookup is either a hit or a miss; every miss executed.
+        assert serial_stats.hits + serial_stats.misses > 0
+        assert serial_stats.executed == serial_stats.misses
+        assert serial_stats.hit_rate == pytest.approx(
+            serial_stats.hits / (serial_stats.hits + serial_stats.misses)
+        )
+
+
 class TestExecutorFromEnv:
     def test_no_env_returns_runner(self, machine):
         runner = ExperimentRunner(machine)

@@ -1,0 +1,17 @@
+"""Observability tests must never leak an installed session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled_before_and_after():
+    """Every test starts from — and restores — the disabled fast path."""
+    assert not obs_trace.enabled() and not obs_metrics.enabled()
+    yield
+    obs_trace.uninstall()
+    obs_metrics.uninstall()

@@ -1,0 +1,114 @@
+"""Metrics registry: aggregation, labels, export, the disabled no-ops."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import metrics
+
+
+class TestCounters:
+    def test_accumulates(self):
+        registry = metrics.MetricsRegistry()
+        registry.add("runs")
+        registry.add("runs", 2.5)
+        assert registry.counter_value("runs") == 3.5
+
+    def test_labels_create_distinct_series(self):
+        registry = metrics.MetricsRegistry()
+        registry.add("bytes", 10, {"device": "dram"})
+        registry.add("bytes", 7, {"device": "mcdram"})
+        registry.add("bytes", 5, {"device": "dram"})
+        assert registry.counter_value("bytes", {"device": "dram"}) == 15
+        assert registry.counter_value("bytes", {"device": "mcdram"}) == 7
+        assert registry.counter_value("bytes") == 0.0  # unlabelled is separate
+
+    def test_label_order_is_irrelevant(self):
+        registry = metrics.MetricsRegistry()
+        registry.add("m", 1, {"a": 1, "b": 2})
+        registry.add("m", 1, {"b": 2, "a": 1})
+        assert registry.counter_value("m", {"a": 1, "b": 2}) == 2
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        registry = metrics.MetricsRegistry()
+        registry.set_gauge("hit_rate", 0.25)
+        registry.set_gauge("hit_rate", 0.75)
+        assert registry.gauge_value("hit_rate") == 0.75
+
+    def test_unwritten_is_none(self):
+        assert metrics.MetricsRegistry().gauge_value("nope") is None
+
+
+class TestHistograms:
+    def test_summary(self):
+        registry = metrics.MetricsRegistry()
+        for value in (1.0, 2.0, 6.0):
+            registry.observe("latency", value)
+        summary = registry.histogram_summary("latency")
+        assert summary.count == 3
+        assert summary.total == 9.0
+        assert summary.minimum == 1.0 and summary.maximum == 6.0
+        assert summary.mean == pytest.approx(3.0)
+
+    def test_empty_as_dict(self):
+        histogram = metrics.Histogram()
+        assert histogram.as_dict() == {
+            "count": 0,
+            "sum": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "mean": 0.0,
+        }
+
+
+class TestExport:
+    def test_flat_name(self):
+        assert metrics.flat_name("m", None) == "m"
+        assert (
+            metrics.flat_name("m", {"b": 2, "a": "x"}) == "m{a=x,b=2}"
+        )  # sorted keys
+
+    def test_as_dict_shape_and_serializability(self):
+        registry = metrics.MetricsRegistry()
+        registry.add("c", 2, {"k": "v"})
+        registry.set_gauge("g", 0.5)
+        registry.observe("h", 1.0)
+        exported = registry.as_dict()
+        assert exported["counters"] == {"c{k=v}": 2}
+        assert exported["gauges"] == {"g": 0.5}
+        assert exported["histograms"]["h"]["count"] == 1
+        assert json.loads(json.dumps(exported)) == exported
+
+    def test_names_and_clear(self):
+        registry = metrics.MetricsRegistry()
+        registry.add("a", 1, {"x": 1})
+        registry.set_gauge("b", 1)
+        registry.observe("c", 1)
+        assert registry.names() == {"a", "b", "c"}
+        registry.clear()
+        assert registry.names() == set()
+
+
+class TestModuleLevelSwitch:
+    def test_disabled_by_default_and_noop(self):
+        assert not metrics.enabled()
+        assert metrics.active_registry() is None
+        # Must not raise, must not create anything.
+        metrics.add("x")
+        metrics.set_gauge("y", 1.0)
+        metrics.observe("z", 1.0)
+
+    def test_install_routes_writes(self):
+        registry = metrics.install()
+        metrics.add("runs", 2)
+        metrics.set_gauge("rate", 0.5)
+        metrics.observe("lat", 3.0)
+        metrics.uninstall()
+        metrics.add("runs", 100)  # after uninstall: dropped
+        assert registry.counter_value("runs") == 2
+        assert registry.gauge_value("rate") == 0.5
+        assert registry.histogram_summary("lat").count == 1

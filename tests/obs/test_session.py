@@ -1,0 +1,106 @@
+"""Observation sessions: lifecycle, env wiring, exports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+class TestLifecycle:
+    def test_observe_installs_and_uninstalls_both(self):
+        assert not obs.enabled()
+        with obs.observe() as session:
+            assert obs_trace.enabled() and obs_metrics.enabled()
+            assert obs_trace.active_tracer() is session.tracer
+            assert obs_metrics.active_registry() is session.metrics
+        assert not obs_trace.enabled() and not obs_metrics.enabled()
+
+    def test_uninstalls_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.observe():
+                raise RuntimeError("boom")
+        assert not obs.enabled()
+
+    def test_sessions_do_not_nest(self):
+        with obs.observe():
+            with pytest.raises(RuntimeError, match="do not nest"):
+                obs.Observation().start()
+
+    def test_double_start_rejected(self):
+        session = obs.Observation().start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                session.start()
+        finally:
+            session.stop()
+
+    def test_stop_is_idempotent(self):
+        session = obs.Observation().start()
+        session.stop()
+        session.stop()
+        assert not obs.enabled()
+
+
+class TestEnvWiring:
+    @pytest.mark.parametrize(
+        "value", [None, "", "0", "false", "FALSE", "off", "no", "  0  "]
+    )
+    def test_falsy(self, value):
+        assert not obs.env_truthy(value)
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "anything"])
+    def test_truthy(self, value):
+        assert obs.env_truthy(value)
+
+    def test_observation_from_env_disabled(self):
+        assert obs.observation_from_env({}) is None
+        assert obs.observation_from_env({"REPRO_TRACE": "0"}) is None
+        assert not obs.enabled()
+
+    def test_observation_from_env_enabled(self):
+        session = obs.observation_from_env({"REPRO_TRACE": "1"})
+        try:
+            assert session is not None
+            assert obs.enabled()
+        finally:
+            session.stop()
+
+
+class TestViewsAndExport:
+    def _session_with_data(self):
+        with obs.observe() as session:
+            with obs_trace.span("outer", tags={"k": "v"}):
+                obs_metrics.add("count", 3)
+                obs_metrics.observe("lat", 2.0)
+        return session
+
+    def test_views_survive_stop(self):
+        session = self._session_with_data()
+        (record,) = session.spans()
+        assert record.name == "outer"
+        assert session.metrics_dict()["counters"] == {"count": 3}
+        events = session.chrome_trace()["traceEvents"]
+        assert any(e["ph"] == "X" and e["name"] == "outer" for e in events)
+
+    def test_summary(self):
+        session = self._session_with_data()
+        assert session.summary() == "1 spans, 2 metric series"
+
+    def test_write_both_files(self, tmp_path):
+        session = self._session_with_data()
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        written = session.write(trace_out=trace_path, metrics_out=metrics_path)
+        assert written == [trace_path, metrics_path]
+        trace_doc = json.loads(trace_path.read_text())
+        assert trace_doc["traceEvents"]
+        metrics_doc = json.loads(metrics_path.read_text())
+        assert metrics_doc["counters"]["count"] == 3
+
+    def test_write_nothing(self):
+        assert self._session_with_data().write() == []

@@ -1,0 +1,192 @@
+"""Span tracer: nesting, timing, the disabled fast path, Chrome export."""
+
+from __future__ import annotations
+
+import gc
+import json
+import sys
+import threading
+import time
+
+from repro.obs import trace
+
+
+class TestSpanRecording:
+    def test_records_name_and_positive_duration(self):
+        tracer = trace.install()
+        with trace.span("outer"):
+            time.sleep(0.001)
+        trace.uninstall()
+        (record,) = tracer.records()
+        assert record.name == "outer"
+        assert record.duration_ns >= 1_000_000  # slept >= 1 ms
+        assert record.end_ns == record.start_ns + record.duration_ns
+
+    def test_nesting_depth_and_parent(self):
+        tracer = trace.install()
+        with trace.span("a"):
+            with trace.span("b"):
+                with trace.span("c"):
+                    pass
+        trace.uninstall()
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["a"].depth == 0 and by_name["a"].parent is None
+        assert by_name["b"].depth == 1 and by_name["b"].parent == "a"
+        assert by_name["c"].depth == 2 and by_name["c"].parent == "b"
+
+    def test_completion_order_is_child_first(self):
+        tracer = trace.install()
+        with trace.span("parent"):
+            with trace.span("child"):
+                pass
+        trace.uninstall()
+        assert [r.name for r in tracer.records()] == ["child", "parent"]
+
+    def test_child_nested_within_parent_interval(self):
+        tracer = trace.install()
+        with trace.span("parent"):
+            with trace.span("child"):
+                pass
+        trace.uninstall()
+        child, parent = tracer.records()
+        assert parent.start_ns <= child.start_ns
+        assert child.end_ns <= parent.end_ns
+
+    def test_tags_recorded_and_tag_method(self):
+        tracer = trace.install()
+        with trace.span("t", tags={"config": "HBM"}) as span:
+            span.tag("outcome", "ok")
+        trace.uninstall()
+        (record,) = tracer.records()
+        assert record.tags == {"config": "HBM", "outcome": "ok"}
+
+    def test_sibling_spans_reuse_depth(self):
+        tracer = trace.install()
+        with trace.span("parent"):
+            with trace.span("first"):
+                pass
+            with trace.span("second"):
+                pass
+        trace.uninstall()
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["first"].depth == by_name["second"].depth == 1
+        assert by_name["second"].parent == "parent"
+
+    def test_per_thread_stacks(self):
+        tracer = trace.install()
+        seen = []
+
+        def worker():
+            with trace.span("worker"):
+                seen.append(threading.get_ident())
+
+        with trace.span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        trace.uninstall()
+        by_name = {r.name: r for r in tracer.records()}
+        # The other thread's span is a root in its own stack, not a child
+        # of the main thread's open span.
+        assert by_name["worker"].depth == 0
+        assert by_name["worker"].parent is None
+        assert by_name["worker"].thread_id == seen[0]
+        assert by_name["worker"].thread_id != by_name["main"].thread_id
+
+
+class TestDisabledFastPath:
+    def test_disabled_by_default(self):
+        assert not trace.enabled()
+        assert trace.active_tracer() is None
+
+    def test_null_span_is_a_singleton(self):
+        first = trace.span("a", tags={"x": 1})
+        second = trace.span("b")
+        assert first is second
+
+    def test_null_span_supports_the_full_protocol(self):
+        with trace.span("ignored") as span:
+            assert span.tag("k", "v") is span
+
+    def test_no_allocation_per_call(self):
+        # The contract that makes hot-path instrumentation free: a
+        # disabled span() call allocates no objects at all.
+        span = trace.span  # resolve attribute outside the loop
+        for _ in range(10):  # warm up (method caches, etc.)
+            with span("warm"):
+                pass
+        gc.collect()
+        before = sys.getallocatedblocks()
+        for _ in range(10_000):
+            with span("hot"):
+                pass
+        gc.collect()
+        after = sys.getallocatedblocks()
+        assert after - before < 10  # zero per-call; small slack for gc noise
+
+    def test_install_uninstall_round_trip(self):
+        tracer = trace.install()
+        assert trace.enabled() and trace.active_tracer() is tracer
+        with trace.span("seen"):
+            pass
+        trace.uninstall()
+        assert not trace.enabled()
+        with trace.span("unseen"):
+            pass
+        assert [r.name for r in tracer.records()] == ["seen"]
+
+
+class TestTracerBounds:
+    def test_max_spans_drops_not_crashes(self):
+        tracer = trace.install(trace.Tracer(max_spans=3))
+        for index in range(5):
+            with trace.span(f"s{index}"):
+                pass
+        trace.uninstall()
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+
+    def test_clear(self):
+        tracer = trace.install()
+        with trace.span("x"):
+            pass
+        trace.uninstall()
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+
+
+class TestChromeTrace:
+    def _records(self):
+        tracer = trace.install()
+        with trace.span("runner.run", tags={"config": "DRAM"}):
+            with trace.span("perfmodel.phase"):
+                pass
+        trace.uninstall()
+        return tracer.records()
+
+    def test_structure(self):
+        doc = trace.to_chrome_trace(self._records())
+        assert doc["displayTimeUnit"] == "ms"
+        meta, *events = doc["traceEvents"]
+        assert meta["ph"] == "M" and meta["args"]["name"] == "repro"
+        assert {e["ph"] for e in events} == {"X"}
+        for event in events:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert event["pid"] == 0 and isinstance(event["tid"], int)
+
+    def test_categories_and_tags_in_args(self):
+        doc = trace.to_chrome_trace(self._records())
+        by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert by_name["runner.run"]["cat"] == "runner"
+        assert by_name["runner.run"]["args"]["config"] == "DRAM"
+        assert by_name["perfmodel.phase"]["args"]["parent"] == "runner.run"
+
+    def test_json_serializable(self):
+        doc = trace.to_chrome_trace(self._records())
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_empty(self):
+        assert trace.to_chrome_trace([]) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }

@@ -1,5 +1,7 @@
 """CLI tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -89,3 +91,56 @@ class TestCLIExecutor:
     def test_bad_executor_rejected(self):
         with pytest.raises(SystemExit):
             main(["--executor", "gpu", "fig5"])
+
+
+class TestCLIObservability:
+    def test_trace_and_metrics_files_written(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        args = [
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+            "fig5",
+        ]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "[obs]" in captured.err
+
+        trace_doc = json.loads(trace_path.read_text())
+        events = trace_doc["traceEvents"]
+        assert events[0]["ph"] == "M"  # process-name metadata
+        assert any(
+            e["ph"] == "X" and e["name"] == "perfmodel.run" for e in events
+        )
+
+        metrics_doc = json.loads(metrics_path.read_text())
+        assert metrics_doc["counters"]["model.runs"] > 0
+        assert metrics_doc["cells"]  # per-cell sweep breakdown
+        assert all("wall_ns" in cell for cell in metrics_doc["cells"])
+
+    def test_stdout_identical_with_observability(self, capsys, tmp_path):
+        assert main(["fig5"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["--metrics-out", str(tmp_path / "m.json"), "fig5"]) == 0
+        observed = capsys.readouterr()
+        assert observed.out == plain
+
+    def test_env_enables_observability(self, capsys, tmp_path, monkeypatch):
+        metrics_path = tmp_path / "m.json"
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_METRICS_OUT", str(metrics_path))
+        assert main(["fig5"]) == 0
+        assert "[obs]" in capsys.readouterr().err
+        assert json.loads(metrics_path.read_text())["counters"]
+
+    def test_falsy_env_keeps_fast_path(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert main(["table1"]) == 0
+        assert "[obs]" not in capsys.readouterr().err
+
+    def test_session_uninstalled_after_run(self, capsys, tmp_path):
+        from repro import obs
+
+        assert main(["--metrics-out", str(tmp_path / "m.json"), "table1"]) == 0
+        capsys.readouterr()
+        assert not obs.enabled()
