@@ -1,6 +1,6 @@
 # Developer entry points (documentation; everything is plain pytest/python).
 
-.PHONY: install test test-fast bench report examples docs-check clean
+.PHONY: install test test-fast bench report examples docs-check check clean
 
 install:
 	pip install -e .
@@ -12,6 +12,12 @@ test: docs-check
 # CLI flag must be mentioned in README.md or docs/.
 docs-check:
 	python tools/check_docs.py
+
+# Regenerate every exhibit under full invariant checking (repro.checks):
+# run-, sweep- and exhibit-scope physics audits; non-zero exit on any
+# violation.  See docs/TESTING.md for the invariant catalogue.
+check:
+	python -m repro check
 
 # Tier-1 suite through the process-pool executor, plus a no-cacheprovider
 # smoke job (catches accidental reliance on pytest's cache plugin).

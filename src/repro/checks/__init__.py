@@ -1,0 +1,61 @@
+"""Model-invariant checking: registry, runtime checker, batch audits.
+
+Public surface:
+
+* :data:`~repro.checks.invariants.REGISTRY` and the
+  :func:`~repro.checks.invariants.invariant` decorator — the declarative
+  invariant registry (see docs/TESTING.md for the catalogue);
+* :class:`~repro.checks.checker.CheckingRunner` and the ``check_run`` /
+  ``check_sweep`` / ``check_exhibit`` entry points — runtime checking,
+  wired into :class:`~repro.core.executor.SweepExecutor` via its
+  ``check=`` parameter, the ``--check`` CLI flag and ``REPRO_CHECK``;
+* :mod:`repro.checks.batch` (imported lazily by the CLI) — the
+  ``make check`` pass over every exhibit.
+"""
+
+from repro.checks.checker import (
+    CheckingRunner,
+    CheckMode,
+    CheckReport,
+    InvariantViolation,
+    check_exhibit,
+    check_mode_from_env,
+    check_run,
+    check_sweep,
+)
+from repro.checks.invariants import (
+    REGISTRY,
+    ExhibitContext,
+    Invariant,
+    RunContext,
+    Scope,
+    SweepContext,
+    SweepEntry,
+    Violation,
+    invariant,
+    unregister,
+)
+from repro.checks.window import MetricsWindow, metrics_window
+
+__all__ = [
+    "REGISTRY",
+    "Scope",
+    "Invariant",
+    "Violation",
+    "invariant",
+    "unregister",
+    "RunContext",
+    "SweepEntry",
+    "SweepContext",
+    "ExhibitContext",
+    "CheckMode",
+    "CheckReport",
+    "CheckingRunner",
+    "InvariantViolation",
+    "check_run",
+    "check_sweep",
+    "check_exhibit",
+    "check_mode_from_env",
+    "MetricsWindow",
+    "metrics_window",
+]

@@ -1,0 +1,964 @@
+"""The declarative invariant registry.
+
+Every invariant encodes a physical accounting law or a paper-grounded
+ordering the simulation must obey *by construction* — Little's law
+(Section IV), per-device byte conservation, MCDRAM-cache and TLB event
+conservation (Sections II and IV-A, Fig. 3), NUMA capacity feasibility
+(``--membind=1`` beyond 16 GB must fail, Section III-C) and the
+cross-configuration orderings behind Figs. 2-6.  The checker
+(:mod:`repro.checks.checker`) evaluates them at three scopes:
+
+* ``run`` — one :class:`~repro.core.runner.RunRecord`, optionally with a
+  :class:`~repro.checks.window.MetricsWindow` of the run's metric deltas;
+* ``sweep`` — one batch of sweep cells (a size or thread axis);
+* ``exhibit`` — one rendered :class:`~repro.figures.common.Exhibit`.
+
+An invariant function receives its scope's context object and returns
+``None`` when not applicable (wrong configuration, infeasible record,
+no metrics window, ...) or a list of :class:`Violation` — empty when
+the law holds.  Registration is declarative::
+
+    @invariant(
+        "byte-conservation",
+        scope=Scope.RUN,
+        description="...",
+        paper_ref="Section IV",
+    )
+    def _byte_conservation(ctx: RunContext) -> list[Violation] | None: ...
+
+``docs/TESTING.md`` catalogues every registered invariant.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.configs import ConfigName, SystemConfig
+from repro.core.runner import RunRecord
+from repro.engine.littles_law import littles_law_bandwidth
+from repro.engine.perfmodel import PerformanceModel
+from repro.engine.placement import Location
+from repro.engine.profilephase import AccessPattern, MemoryProfile, Phase
+from repro.machine.topology import KNLMachine
+from repro.memory.modes import MemorySystem
+from repro.memory.tlb import TLBModel
+from repro.runtime.process import OpenMPEnvironment
+from repro.util.units import CACHE_LINE, NS_PER_S
+from repro.workloads.base import Workload
+
+__all__ = [
+    "Scope",
+    "Violation",
+    "Invariant",
+    "RunContext",
+    "SweepEntry",
+    "SweepContext",
+    "ExhibitContext",
+    "REGISTRY",
+    "invariant",
+    "unregister",
+]
+
+#: Relative tolerance for "equal up to float round-off" assertions.
+REL_TOL = 1e-6
+
+_PATTERNS = ("sequential", "random")
+
+
+class Scope(enum.Enum):
+    """Granularity at which an invariant is evaluated."""
+
+    RUN = "run"
+    SWEEP = "sweep"
+    EXHIBIT = "exhibit"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant at one subject."""
+
+    invariant: str
+    subject: str
+    message: str
+
+    def describe(self) -> str:
+        return f"[{self.invariant}] {self.subject}: {self.message}"
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A registered check: metadata plus the evaluating function."""
+
+    name: str
+    scope: Scope
+    description: str
+    paper_ref: str
+    fn: Callable[..., "list[Violation] | None"] = field(repr=False)
+
+
+#: name -> Invariant, in registration order.
+REGISTRY: dict[str, Invariant] = {}
+
+
+def invariant(
+    name: str, *, scope: Scope, description: str, paper_ref: str
+) -> Callable[[Callable], Callable]:
+    """Register a checking function under ``name``."""
+
+    def register(fn: Callable) -> Callable:
+        if name in REGISTRY:
+            raise ValueError(f"invariant {name!r} already registered")
+        REGISTRY[name] = Invariant(
+            name=name,
+            scope=scope,
+            description=description,
+            paper_ref=paper_ref,
+            fn=fn,
+        )
+        return fn
+
+    return register
+
+
+def unregister(name: str) -> None:
+    """Remove an invariant (tests registering temporary ones)."""
+    del REGISTRY[name]
+
+
+# -- contexts -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Everything a run-scope invariant may inspect."""
+
+    machine: KNLMachine
+    memory: MemorySystem
+    workload: Workload
+    config: SystemConfig
+    num_threads: int
+    record: RunRecord
+    #: The workload's profile; None when the record is infeasible.
+    profile: MemoryProfile | None
+    #: Per-run metric deltas; None when checking a bare record.
+    window: "object | None"
+
+    def subject(self) -> str:
+        gb = self.workload.footprint_bytes / 1e9
+        return (
+            f"{self.workload.spec.name}[{gb:g} GB] "
+            f"{self.config.name.value} t={self.num_threads}"
+        )
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """One cell of a sweep: inputs plus the resulting record."""
+
+    workload: Workload
+    config: SystemConfig
+    num_threads: int
+    record: RunRecord
+
+
+@dataclass(frozen=True)
+class SweepContext:
+    """A completed sweep batch."""
+
+    machine: KNLMachine
+    #: "size" or "threads" — which axis the sweep varied.
+    axis: str
+    entries: tuple[SweepEntry, ...]
+
+
+@dataclass(frozen=True)
+class ExhibitContext:
+    """One rendered exhibit (``.data`` carries the raw series)."""
+
+    exhibit: "object"
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _close(a: float, b: float, rel: float = REL_TOL) -> bool:
+    return abs(a - b) <= rel * max(abs(a), abs(b), 1.0)
+
+
+def _line_bytes(phase: Phase) -> float:
+    """Bytes the memory system moves for one phase (full 64 B lines)."""
+    if phase.pattern is AccessPattern.SEQUENTIAL:
+        return float(phase.traffic_bytes)
+    return phase.accesses * CACHE_LINE
+
+
+def _cached_fraction(record: RunRecord) -> float:
+    assert record.run_result is not None
+    return record.run_result.placement.fraction(Location.DRAM_CACHED)
+
+
+# -- run-scope invariants -----------------------------------------------------
+
+
+@invariant(
+    "byte-conservation",
+    scope=Scope.RUN,
+    description=(
+        "Per-device bytes moved equal the placement-weighted line traffic: "
+        "MCDRAM sees the HBM plus cached fractions, DRAM sees the direct "
+        "fraction plus exactly the cache-miss fill bytes, and together they "
+        "cover every requested byte."
+    ),
+    paper_ref="Section II (MCDRAM cache organization), docs/MODEL.md traffic split",
+)
+def _byte_conservation(ctx: RunContext) -> list[Violation] | None:
+    record = ctx.record
+    if record.run_result is None or ctx.window is None or ctx.profile is None:
+        return None
+    mix = record.run_result.placement
+    direct_dram = expected_mcdram = total = 0.0
+    for phase in ctx.profile.phases:
+        lb = _line_bytes(phase)
+        total += lb
+        direct_dram += lb * mix.fraction(Location.DRAM)
+        expected_mcdram += lb * (
+            mix.fraction(Location.HBM) + mix.fraction(Location.DRAM_CACHED)
+        )
+    if total == 0.0:
+        return []
+    d_dram = ctx.window.delta("model.bytes_moved", {"device": "dram"})
+    d_mcdram = ctx.window.delta("model.bytes_moved", {"device": "mcdram"})
+    miss_bytes = CACHE_LINE * sum(
+        ctx.window.delta("mcdram_cache.misses", {"pattern": p}) for p in _PATTERNS
+    )
+    subject = ctx.subject()
+    out = []
+    if not _close(d_mcdram, expected_mcdram):
+        out.append(
+            Violation(
+                "byte-conservation",
+                subject,
+                f"MCDRAM moved {d_mcdram:.6g} B, expected {expected_mcdram:.6g} B "
+                "(HBM + cached fractions of line traffic)",
+            )
+        )
+    if not _close(d_dram, direct_dram + miss_bytes):
+        out.append(
+            Violation(
+                "byte-conservation",
+                subject,
+                f"DRAM moved {d_dram:.6g} B, expected {direct_dram:.6g} B direct "
+                f"+ {miss_bytes:.6g} B cache-miss fills",
+            )
+        )
+    if d_dram + d_mcdram < total * (1.0 - REL_TOL) - 1.0:
+        out.append(
+            Violation(
+                "byte-conservation",
+                subject,
+                f"devices moved {d_dram + d_mcdram:.6g} B total but the run "
+                f"requested {total:.6g} B — bytes went unaccounted",
+            )
+        )
+    return out
+
+
+@invariant(
+    "mcdram-cache-accounting",
+    scope=Scope.RUN,
+    description=(
+        "Cache events conserve: hits + misses = accesses per pattern, "
+        "0 <= conflict misses <= misses, hit rate in [0, 1], the aggregate "
+        "hit rate never exceeds the capacity bound min(1, C/F), and it "
+        "collapses once the footprint is far past the 16 GB capacity."
+    ),
+    paper_ref="Section IV-A (STREAM in cache mode, direct-mapped MCDRAM cache)",
+)
+def _mcdram_cache_accounting(ctx: RunContext) -> list[Violation] | None:
+    cache = ctx.memory.cache_model
+    if cache is None or ctx.record.run_result is None or ctx.window is None:
+        return None
+    if ctx.profile is None or _cached_fraction(ctx.record) == 0.0:
+        return None
+    subject = ctx.subject()
+    out = []
+    total_accesses = total_hits = 0.0
+    for pattern in _PATTERNS:
+        labels = {"pattern": pattern}
+        accesses = ctx.window.delta("mcdram_cache.accesses", labels)
+        hits = ctx.window.delta("mcdram_cache.hits", labels)
+        misses = ctx.window.delta("mcdram_cache.misses", labels)
+        conflicts = ctx.window.delta("mcdram_cache.conflict_misses", labels)
+        total_accesses += accesses
+        total_hits += hits
+        if accesses == 0.0:
+            continue
+        if not _close(hits + misses, accesses):
+            out.append(
+                Violation(
+                    "mcdram-cache-accounting",
+                    subject,
+                    f"{pattern}: hits {hits:.6g} + misses {misses:.6g} != "
+                    f"accesses {accesses:.6g}",
+                )
+            )
+        if min(hits, misses) < -REL_TOL * accesses:
+            out.append(
+                Violation(
+                    "mcdram-cache-accounting",
+                    subject,
+                    f"{pattern}: negative event count "
+                    f"(hits {hits:.6g}, misses {misses:.6g})",
+                )
+            )
+        if not -REL_TOL * accesses <= conflicts <= misses * (1 + REL_TOL):
+            out.append(
+                Violation(
+                    "mcdram-cache-accounting",
+                    subject,
+                    f"{pattern}: conflict misses {conflicts:.6g} outside "
+                    f"[0, misses={misses:.6g}]",
+                )
+            )
+        gauge = ctx.window.gauge("mcdram_cache.hit_rate", labels)
+        if gauge is not None and not -REL_TOL <= gauge <= 1.0 + REL_TOL:
+            out.append(
+                Violation(
+                    "mcdram-cache-accounting",
+                    subject,
+                    f"{pattern}: hit-rate gauge {gauge:.6g} outside [0, 1]",
+                )
+            )
+    if total_accesses <= 0.0:
+        return out
+    # Capacity bound + far-over-capacity collapse (the paper's cache-mode
+    # degradation): the aggregate hit rate can never beat the best phase's
+    # residency bound, and with every cached footprint at >= 2x capacity
+    # no organization keeps a high hit rate.
+    cached = [
+        p
+        for p in ctx.profile.phases
+        if _line_bytes(p) > 0 and p.footprint_bytes > 0
+    ]
+    aggregate = total_hits / total_accesses
+    if cached:
+        bound = max(
+            min(1.0, cache.capacity_bytes / p.footprint_bytes) for p in cached
+        )
+        if aggregate > bound + REL_TOL:
+            out.append(
+                Violation(
+                    "mcdram-cache-accounting",
+                    subject,
+                    f"aggregate hit rate {aggregate:.4f} exceeds the capacity "
+                    f"bound min(1, C/F) = {bound:.4f}",
+                )
+            )
+        ratio = min(p.footprint_bytes / cache.capacity_bytes for p in cached)
+        if ratio >= 2.0 and aggregate > 0.6:
+            out.append(
+                Violation(
+                    "mcdram-cache-accounting",
+                    subject,
+                    f"hit rate {aggregate:.4f} has not collapsed although every "
+                    f"cached footprint is >= {ratio:.1f}x the cache capacity",
+                )
+            )
+    return out
+
+
+@invariant(
+    "tlb-accounting",
+    scope=Scope.RUN,
+    description=(
+        "Translation events conserve: page walks <= L1-TLB misses <= random "
+        "accesses, both match the TLB model's miss rates exactly, and the "
+        "walk-depth gauge stays within [0, walk_levels]."
+    ),
+    paper_ref="Fig. 3 (latency growth beyond 128 MB: TLB misses and page walks)",
+)
+def _tlb_accounting(ctx: RunContext) -> list[Violation] | None:
+    if ctx.record.run_result is None or ctx.window is None or ctx.profile is None:
+        return None
+    random_phases = [
+        p
+        for p in ctx.profile.phases
+        if p.pattern is AccessPattern.RANDOM and p.traffic_bytes > 0
+    ]
+    if not random_phases:
+        return None
+    tlb = TLBModel()
+    total = sum(p.accesses for p in random_phases)
+    expected_l1 = sum(
+        tlb.l1_miss_rate(p.footprint_bytes) * p.accesses for p in random_phases
+    )
+    expected_walks = sum(
+        tlb.l2_miss_rate(p.footprint_bytes) * p.accesses for p in random_phases
+    )
+    l1 = ctx.window.delta("tlb.l1_misses")
+    walks = ctx.window.delta("tlb.walks")
+    subject = ctx.subject()
+    out = []
+    if not walks <= l1 * (1 + REL_TOL) + REL_TOL:
+        out.append(
+            Violation(
+                "tlb-accounting",
+                subject,
+                f"page walks {walks:.6g} exceed L1-TLB misses {l1:.6g}",
+            )
+        )
+    if not l1 <= total * (1 + REL_TOL):
+        out.append(
+            Violation(
+                "tlb-accounting",
+                subject,
+                f"L1-TLB misses {l1:.6g} exceed random accesses {total:.6g}",
+            )
+        )
+    if not _close(l1, expected_l1):
+        out.append(
+            Violation(
+                "tlb-accounting",
+                subject,
+                f"L1-TLB misses {l1:.6g} != model expectation {expected_l1:.6g}",
+            )
+        )
+    if not _close(walks, expected_walks):
+        out.append(
+            Violation(
+                "tlb-accounting",
+                subject,
+                f"page walks {walks:.6g} != model expectation "
+                f"{expected_walks:.6g}",
+            )
+        )
+    depth = ctx.window.gauge("tlb.walk_depth")
+    if depth is not None and not -REL_TOL <= depth <= tlb.walk_levels + REL_TOL:
+        out.append(
+            Violation(
+                "tlb-accounting",
+                subject,
+                f"walk-depth gauge {depth:.6g} outside [0, {tlb.walk_levels}]",
+            )
+        )
+    return out
+
+
+@invariant(
+    "littles-law-concurrency",
+    scope=Scope.RUN,
+    description=(
+        "Every location's served rate obeys Little's law: it never exceeds "
+        "min(outstanding x fraction / latency, device capacity); the stored "
+        "achieved bandwidth and effective latency are consistent with the "
+        "phase's traffic and the placement-weighted location latencies."
+    ),
+    paper_ref="Section IV (Little's law), Section IV-D (concurrency scaling)",
+)
+def _littles_law_concurrency(ctx: RunContext) -> list[Violation] | None:
+    run = ctx.record.run_result
+    if run is None or ctx.profile is None:
+        return None
+    subject = ctx.subject()
+    model = PerformanceModel(ctx.machine, ctx.memory)
+    env = OpenMPEnvironment(ctx.machine, ctx.num_threads)
+    mix = run.placement
+    out = []
+    for phase, result in zip(ctx.profile.phases, run.phase_results):
+        if phase.traffic_bytes <= 0 or result.memory_time_ns <= 0:
+            continue
+        outstanding = model.threading.outstanding_requests(phase, env)
+        seconds = result.memory_time_ns / NS_PER_S
+        sequential = phase.pattern is AccessPattern.SEQUENTIAL
+        weighted_latency = 0.0
+        for location, fraction in mix.fractions:
+            if fraction == 0.0:
+                continue
+            try:
+                if sequential:
+                    served = phase.traffic_bytes * fraction / seconds
+                    latency = model.sequential_latency_ns(
+                        location, phase.footprint_bytes
+                    )
+                    demand = littles_law_bandwidth(
+                        outstanding * fraction, latency
+                    )
+                    limit = min(
+                        demand,
+                        model.sequential_bandwidth(
+                            location,
+                            phase.footprint_bytes,
+                            env.threads_per_core,
+                        ),
+                    )
+                    unit = "B/s"
+                else:
+                    served = phase.accesses * fraction / seconds
+                    latency = model.random_latency_ns(
+                        location, phase.footprint_bytes
+                    )
+                    demand = outstanding * fraction / (latency / NS_PER_S)
+                    limit = min(
+                        demand,
+                        model.random_capacity_lines(
+                            location,
+                            phase.footprint_bytes,
+                            phase.write_fraction,
+                        ),
+                    )
+                    unit = "lines/s"
+            except ValueError as exc:
+                out.append(
+                    Violation(
+                        "littles-law-concurrency",
+                        subject,
+                        f"{phase.name}: placement location {location.value} "
+                        f"is invalid for this memory mode ({exc})",
+                    )
+                )
+                continue
+            weighted_latency += fraction * latency
+            if served > limit * (1 + REL_TOL):
+                out.append(
+                    Violation(
+                        "littles-law-concurrency",
+                        subject,
+                        f"{phase.name}@{location.value}: served "
+                        f"{served:.6g} {unit} exceeds the Little's-law/"
+                        f"capacity limit {limit:.6g} {unit}",
+                    )
+                )
+        expected_bw = (
+            phase.traffic_bytes if sequential else phase.accesses * CACHE_LINE
+        ) / seconds
+        if not _close(result.achieved_bandwidth, expected_bw):
+            out.append(
+                Violation(
+                    "littles-law-concurrency",
+                    subject,
+                    f"{phase.name}: achieved bandwidth "
+                    f"{result.achieved_bandwidth:.6g} B/s inconsistent with "
+                    f"traffic/time = {expected_bw:.6g} B/s",
+                )
+            )
+        if not _close(result.effective_latency_ns, weighted_latency):
+            out.append(
+                Violation(
+                    "littles-law-concurrency",
+                    subject,
+                    f"{phase.name}: effective latency "
+                    f"{result.effective_latency_ns:.6g} ns != placement-"
+                    f"weighted location latency {weighted_latency:.6g} ns",
+                )
+            )
+    return out
+
+
+#: numactl policies that hard-bind all data to one NUMA node.
+_BOUND_NODE_CAPACITY: dict[str, Callable[[MemorySystem], int]] = {
+    "--membind=0": lambda memory: memory.dram.capacity_bytes,
+    "--membind=1": lambda memory: memory.flat_hbm_bytes,
+}
+
+
+@invariant(
+    "capacity-feasibility",
+    scope=Scope.RUN,
+    description=(
+        "A footprint over the bound node's capacity (e.g. HBM membind "
+        "beyond 16 GB) must yield an infeasible record, never a silent "
+        "spill; a footprint within capacity must not fail for capacity "
+        "reasons; nothing larger than total memory ever reports a metric."
+    ),
+    paper_ref="Section III-C (membind=1 fails over 16 GB), Table II capacities",
+)
+def _capacity_feasibility(ctx: RunContext) -> list[Violation] | None:
+    footprint = ctx.workload.footprint_bytes
+    subject = ctx.subject()
+    out = []
+    total = ctx.memory.dram.capacity_bytes + ctx.memory.flat_hbm_bytes
+    if ctx.record.metric is not None and footprint > total:
+        out.append(
+            Violation(
+                "capacity-feasibility",
+                subject,
+                f"footprint {footprint:.6g} B exceeds total memory "
+                f"{total:.6g} B yet the run reported a metric",
+            )
+        )
+    capacity_of = _BOUND_NODE_CAPACITY.get(ctx.config.numactl)
+    if capacity_of is not None:
+        capacity = capacity_of(ctx.memory)
+        if footprint > capacity and ctx.record.metric is not None:
+            out.append(
+                Violation(
+                    "capacity-feasibility",
+                    subject,
+                    f"footprint {footprint:.6g} B exceeds the bound node's "
+                    f"{capacity:.6g} B ({ctx.config.numactl}) yet the run "
+                    "reported a metric — the allocation silently spilled",
+                )
+            )
+        if (
+            footprint <= capacity
+            and ctx.record.metric is None
+            and ctx.record.infeasible_reason is not None
+            and "does not fit" in ctx.record.infeasible_reason
+        ):
+            out.append(
+                Violation(
+                    "capacity-feasibility",
+                    subject,
+                    f"footprint {footprint:.6g} B fits the bound node's "
+                    f"{capacity:.6g} B yet the run failed with: "
+                    f"{ctx.record.infeasible_reason}",
+                )
+            )
+    return out
+
+
+@invariant(
+    "timing-composition",
+    scope=Scope.RUN,
+    description=(
+        "Per phase, time = max(memory, compute) x sync with sync >= 1 and "
+        "non-negative components; phase results align one-to-one with the "
+        "profile's phases; a feasible run's metric is finite and positive."
+    ),
+    paper_ref="roofline overlap assumption (docs/MODEL.md), Section IV-D sync",
+)
+def _timing_composition(ctx: RunContext) -> list[Violation] | None:
+    run = ctx.record.run_result
+    if run is None or ctx.profile is None:
+        return None
+    subject = ctx.subject()
+    out = []
+    if len(run.phase_results) != len(ctx.profile.phases) or any(
+        p.name != r.name for p, r in zip(ctx.profile.phases, run.phase_results)
+    ):
+        out.append(
+            Violation(
+                "timing-composition",
+                subject,
+                "phase results do not align with the workload profile "
+                f"({[r.name for r in run.phase_results]} vs "
+                f"{[p.name for p in ctx.profile.phases]})",
+            )
+        )
+        return out
+    for result in run.phase_results:
+        if result.sync_factor < 1.0 - REL_TOL:
+            out.append(
+                Violation(
+                    "timing-composition",
+                    subject,
+                    f"{result.name}: sync factor {result.sync_factor:.6g} < 1",
+                )
+            )
+        if result.memory_time_ns < 0 or result.compute_time_ns < 0:
+            out.append(
+                Violation(
+                    "timing-composition",
+                    subject,
+                    f"{result.name}: negative component time",
+                )
+            )
+        expected = (
+            max(result.memory_time_ns, result.compute_time_ns)
+            * result.sync_factor
+        )
+        if not _close(result.time_ns, expected):
+            out.append(
+                Violation(
+                    "timing-composition",
+                    subject,
+                    f"{result.name}: time {result.time_ns:.6g} ns != "
+                    f"max(memory, compute) x sync = {expected:.6g} ns",
+                )
+            )
+    if run.time_ns <= 0:
+        out.append(
+            Violation(
+                "timing-composition", subject, "run total time is not positive"
+            )
+        )
+    metric = ctx.record.metric
+    if metric is not None and (not math.isfinite(metric) or metric <= 0):
+        out.append(
+            Violation(
+                "timing-composition",
+                subject,
+                f"feasible run reported a non-positive/non-finite metric "
+                f"{metric!r}",
+            )
+        )
+    return out
+
+
+# -- sweep-scope invariants ---------------------------------------------------
+
+
+def _grouped_metrics(
+    entries: Sequence[SweepEntry], pattern: str
+) -> "dict[tuple, dict[ConfigName, tuple[SweepEntry, float]]]":
+    """Feasible metrics grouped by identical (workload, threads) cell."""
+    groups: dict[tuple, dict[ConfigName, tuple[SweepEntry, float]]] = {}
+    for entry in entries:
+        if entry.workload.spec.pattern != pattern:
+            continue
+        if entry.record.metric is None:
+            continue
+        key = (
+            entry.workload.spec.name,
+            json.dumps(entry.workload.params(), sort_keys=True, default=str),
+            entry.num_threads,
+        )
+        groups.setdefault(key, {})[entry.config.name] = (
+            entry,
+            entry.record.metric,
+        )
+    return groups
+
+
+@invariant(
+    "streaming-config-ordering",
+    scope=Scope.SWEEP,
+    description=(
+        "For bandwidth-bound (Sequential) workloads, flat HBM is at least "
+        "as fast as DRAM and as cache mode at the same size and thread "
+        "count whenever it fits."
+    ),
+    paper_ref="Figs. 2, 4 top, 6a/6b (STREAM ~4x; cache mode between)",
+)
+def _streaming_config_ordering(ctx: SweepContext) -> list[Violation] | None:
+    groups = _grouped_metrics(ctx.entries, "Sequential")
+    if not groups:
+        return None
+    out = []
+    for by_config in groups.values():
+        hbm = by_config.get(ConfigName.HBM)
+        if hbm is None:
+            continue
+        entry, hbm_metric = hbm
+        subject = (
+            f"{entry.workload.spec.name}"
+            f"[{entry.workload.footprint_bytes / 1e9:g} GB] "
+            f"t={entry.num_threads}"
+        )
+        for other in (ConfigName.DRAM, ConfigName.CACHE):
+            pair = by_config.get(other)
+            if pair is None:
+                continue
+            _, other_metric = pair
+            if hbm_metric < other_metric * (1 - REL_TOL):
+                out.append(
+                    Violation(
+                        "streaming-config-ordering",
+                        subject,
+                        f"streaming HBM metric {hbm_metric:.6g} below "
+                        f"{other.value} metric {other_metric:.6g}",
+                    )
+                )
+    return out
+
+
+@invariant(
+    "random-dram-preference",
+    scope=Scope.SWEEP,
+    description=(
+        "For latency-bound (Random) workloads at one thread per core, "
+        "DRAM is at least as fast as flat HBM and as cache mode — HBM's "
+        "higher idle latency only pays off once extra hardware threads "
+        "supply the concurrency."
+    ),
+    paper_ref="Fig. 4 bottom (HBM 15-20% slower), Fig. 6d crossover beyond 64t",
+)
+def _random_dram_preference(ctx: SweepContext) -> list[Violation] | None:
+    groups = _grouped_metrics(ctx.entries, "Random")
+    applicable = False
+    out = []
+    for by_config in groups.values():
+        dram = by_config.get(ConfigName.DRAM)
+        if dram is None:
+            continue
+        entry, dram_metric = dram
+        if entry.num_threads > ctx.machine.num_cores:
+            continue  # past 1 thread/core the paper's crossover kicks in
+        applicable = True
+        subject = (
+            f"{entry.workload.spec.name}"
+            f"[{entry.workload.footprint_bytes / 1e9:g} GB] "
+            f"t={entry.num_threads}"
+        )
+        for other in (ConfigName.HBM, ConfigName.CACHE):
+            pair = by_config.get(other)
+            if pair is None:
+                continue
+            _, other_metric = pair
+            if dram_metric < other_metric * (1 - REL_TOL):
+                out.append(
+                    Violation(
+                        "random-dram-preference",
+                        subject,
+                        f"random-access DRAM metric {dram_metric:.6g} below "
+                        f"{other.value} metric {other_metric:.6g} at "
+                        f"{entry.num_threads} threads",
+                    )
+                )
+    return out if applicable else None
+
+
+@invariant(
+    "thread-scaling-unimodal",
+    scope=Scope.SWEEP,
+    description=(
+        "Along a thread axis, each configuration's metric rises "
+        "monotonically up to its peak and only then declines — more "
+        "hardware threads help until the model's saturation point, never "
+        "in a zig-zag."
+    ),
+    paper_ref="Figs. 5, 6 (gains to 256t on HBM, saturation/decline elsewhere)",
+)
+def _thread_scaling_unimodal(ctx: SweepContext) -> list[Violation] | None:
+    if ctx.axis != "threads":
+        return None
+    series: dict[tuple, list[tuple[int, SweepEntry]]] = {}
+    for entry in ctx.entries:
+        if entry.record.metric is None:
+            continue
+        key = (
+            entry.workload.spec.name,
+            json.dumps(entry.workload.params(), sort_keys=True, default=str),
+            entry.config.name,
+        )
+        series.setdefault(key, []).append((entry.num_threads, entry))
+    out = []
+    for (name, _, config), points in series.items():
+        points.sort(key=lambda pair: pair[0])
+        metrics = [entry.record.metric for _, entry in points]
+        assert all(m is not None for m in metrics)
+        peak = max(range(len(metrics)), key=metrics.__getitem__)
+        for i in range(peak):
+            if metrics[i] > metrics[i + 1] * (1 + REL_TOL):
+                threads = [t for t, _ in points]
+                out.append(
+                    Violation(
+                        "thread-scaling-unimodal",
+                        f"{name} {config.value}",
+                        f"metric dips from {metrics[i]:.6g} at "
+                        f"{threads[i]}t to {metrics[i + 1]:.6g} at "
+                        f"{threads[i + 1]}t before the peak at "
+                        f"{threads[peak]}t",
+                    )
+                )
+    return out
+
+
+# -- exhibit-scope invariants -------------------------------------------------
+
+
+@invariant(
+    "latency-device-ordering",
+    scope=Scope.EXHIBIT,
+    description=(
+        "In the idle-latency exhibit, HBM is never faster than DRAM at any "
+        "block size, both latency curves are monotone non-decreasing in "
+        "block size, and the reported gap matches the two curves."
+    ),
+    paper_ref="Fig. 3 (dual random read latency, DRAM 15-20% faster)",
+)
+def _latency_device_ordering(ctx: ExhibitContext) -> list[Violation] | None:
+    data = getattr(ctx.exhibit, "data", None) or {}
+    if not {"blocks", "dram_ns", "hbm_ns"} <= set(data):
+        return None
+    subject = getattr(ctx.exhibit, "exhibit_id", "exhibit")
+    blocks = data["blocks"]
+    dram = data["dram_ns"]
+    hbm = data["hbm_ns"]
+    out = []
+    for block, d, h in zip(blocks, dram, hbm):
+        if h < d * (1 - REL_TOL):
+            out.append(
+                Violation(
+                    "latency-device-ordering",
+                    subject,
+                    f"HBM latency {h:.6g} ns below DRAM {d:.6g} ns at "
+                    f"block {block}",
+                )
+            )
+    for label, curve in (("DRAM", dram), ("HBM", hbm)):
+        for i in range(len(curve) - 1):
+            if curve[i] > curve[i + 1] * (1 + REL_TOL):
+                out.append(
+                    Violation(
+                        "latency-device-ordering",
+                        subject,
+                        f"{label} latency falls from {curve[i]:.6g} ns to "
+                        f"{curve[i + 1]:.6g} ns as the block grows "
+                        f"({blocks[i]} -> {blocks[i + 1]})",
+                    )
+                )
+    for block, d, h, gap in zip(blocks, dram, hbm, data.get("gap_percent", ())):
+        expected = (h / d - 1.0) * 100.0
+        if abs(gap - expected) > 1e-6:
+            out.append(
+                Violation(
+                    "latency-device-ordering",
+                    subject,
+                    f"gap {gap:.6g}% at block {block} inconsistent with the "
+                    f"latency curves ({expected:.6g}%)",
+                )
+            )
+    return out
+
+
+def _walk_numbers(value: "object") -> "list[float]":
+    if isinstance(value, bool):
+        return []
+    if isinstance(value, (int, float)):
+        return [float(value)]
+    if isinstance(value, dict):
+        return [n for v in value.values() for n in _walk_numbers(v)]
+    if isinstance(value, (list, tuple)):
+        return [n for v in value for n in _walk_numbers(v)]
+    return []
+
+
+@invariant(
+    "exhibit-data-sanity",
+    scope=Scope.EXHIBIT,
+    description=(
+        "Every numeric leaf of an exhibit's data is finite (no NaN/inf "
+        "reaches a table or chart) and the exhibit renders to non-empty "
+        "text."
+    ),
+    paper_ref="all exhibits (Tables I-II, Figs. 1-6)",
+)
+def _exhibit_data_sanity(ctx: ExhibitContext) -> list[Violation] | None:
+    subject = getattr(ctx.exhibit, "exhibit_id", "exhibit")
+    out = []
+    bad = [
+        n
+        for n in _walk_numbers(getattr(ctx.exhibit, "data", {}))
+        if not math.isfinite(n)
+    ]
+    if bad:
+        out.append(
+            Violation(
+                "exhibit-data-sanity",
+                subject,
+                f"{len(bad)} non-finite numeric value(s) in exhibit data",
+            )
+        )
+    rendered = ctx.exhibit.render() if hasattr(ctx.exhibit, "render") else ""
+    if not str(rendered).strip():
+        out.append(
+            Violation(
+                "exhibit-data-sanity", subject, "exhibit renders to empty text"
+            )
+        )
+    return out

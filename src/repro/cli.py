@@ -26,6 +26,7 @@ import sys
 from collections.abc import Sequence
 
 from repro import obs
+from repro.checks.checker import InvariantViolation, check_mode_from_env
 from repro.core.advisor import PlacementAdvisor
 from repro.core.executor import ExecutionStrategy, SweepExecutor
 from repro.core.runner import ExperimentRunner
@@ -61,6 +62,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="persist run records as JSON under DIR and reuse them",
+    )
+    parser.add_argument(
+        "--check",
+        choices=["warn", "raise"],
+        default=None,
+        metavar="MODE",
+        help=(
+            "validate every run against the model-invariant registry "
+            "(MODE: warn or raise; the REPRO_CHECK environment variable "
+            "does the same, e.g. REPRO_CHECK=1 for raise)"
+        ),
     )
     parser.add_argument(
         "--trace-out",
@@ -114,7 +126,18 @@ def _build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--size-gb", type=float, required=True)
     optimize.add_argument("--threads", type=int, default=64)
     sub.add_parser("report", help="full study report (all exhibits)")
+    sub.add_parser(
+        "check",
+        help="regenerate every exhibit under full invariant checking",
+    )
     return parser
+
+
+def _check_mode(args: argparse.Namespace) -> "str | None":
+    """The effective check mode: --check wins, REPRO_CHECK is fallback."""
+    if args.check is not None:
+        return args.check
+    return check_mode_from_env()
 
 
 def _build_executor(args: argparse.Namespace) -> SweepExecutor:
@@ -124,6 +147,7 @@ def _build_executor(args: argparse.Namespace) -> SweepExecutor:
         strategy=args.executor,
         cache_dir=args.cache_dir,
         profile_hooks=getattr(args, "profile_hooks", ()),
+        check=_check_mode(args),
     )
 
 
@@ -180,12 +204,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     session = _observation_for(args)
     if session is None:
-        return _dispatch(args)
+        return _dispatch_checked(args)
     try:
-        return _dispatch(args)
+        return _dispatch_checked(args)
     finally:
         session.stop()
         _write_observability(session, args)
+
+
+def _dispatch_checked(args: argparse.Namespace) -> int:
+    """Dispatch, turning raise-mode violations into a clean exit 1."""
+    try:
+        return _dispatch(args)
+    except InvariantViolation as exc:
+        print(f"[check] {exc}", file=sys.stderr)
+        return 1
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -250,6 +283,16 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"optimized per-structure placement: {best.metric:.4g}")
         print(f"  {best.describe()}")
         return 0
+    if command == "check":
+        from repro.checks.batch import check_exhibits
+
+        report = check_exhibits(
+            jobs=args.jobs,
+            strategy=args.executor,
+            cache_dir=args.cache_dir,
+        )
+        print(report.render())
+        return 0 if report.ok else 1
     if command == "report":
         from repro.core.report import generate_report
 

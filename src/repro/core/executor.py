@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, TypeVar
 
+from repro.checks.checker import CheckingRunner, CheckMode, check_mode_from_env
 from repro.core.configs import ConfigName, SystemConfig, make_config
 from repro.core.runner import ExperimentRunner, RunRecord
 from repro.engine.perfmodel import PhaseResult, RunResult
@@ -151,12 +152,18 @@ def cache_key(
     workload: Workload,
     config: SystemConfig,
     num_threads: int,
+    *,
+    check: str | None = None,
 ) -> str:
     """Deterministic content hash of one sweep cell.
 
     Two cells share a key exactly when the machine preset, the workload
-    identity and parameters, the resolved configuration and the thread
-    count all agree.
+    identity and parameters, the resolved configuration, the thread
+    count and the check mode all agree.  ``check`` is the active
+    invariant-checking mode (``"warn"``/``"raise"``) or ``None``; it is
+    part of the key so a ``--check`` run never reuses a record that was
+    produced — and cached, possibly on disk — without being audited.
+    Unchecked keys are byte-identical to the historical format.
     """
     payload = {
         "machine": machine_fingerprint(machine),
@@ -164,6 +171,8 @@ def cache_key(
         "config": config_fingerprint(config),
         "num_threads": int(num_threads),
     }
+    if check is not None:
+        payload["check"] = str(check)
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -345,17 +354,20 @@ class SweepExecutor:
 
     def __init__(
         self,
-        runner: ExperimentRunner | None = None,
+        runner: "ExperimentRunner | CheckingRunner | None" = None,
         *,
         jobs: int = 1,
         strategy: ExecutionStrategy | str | None = None,
         cache_size: int = 4096,
         cache_dir: str | os.PathLike[str] | None = None,
         profile_hooks: Sequence[ProfileHook] = (),
+        check: "CheckMode | str | None" = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.runner = runner if runner is not None else ExperimentRunner()
+        if check is not None and not isinstance(self.runner, CheckingRunner):
+            self.runner = CheckingRunner(self.runner, mode=check)
         self.jobs = jobs
         if strategy is None:
             strategy = (
@@ -383,6 +395,11 @@ class SweepExecutor:
     @property
     def machine(self) -> KNLMachine:
         return self.runner.machine
+
+    @property
+    def checking(self) -> "CheckingRunner | None":
+        """The active invariant checker, when one wraps the runner."""
+        return self.runner if isinstance(self.runner, CheckingRunner) else None
 
     def run(
         self,
@@ -505,8 +522,13 @@ class SweepExecutor:
             )
 
     def cache_key(self, cell: SweepCell) -> str:
+        checking = self.checking
         return cache_key(
-            self.runner.machine, cell.workload, cell.config, cell.num_threads
+            self.runner.machine,
+            cell.workload,
+            cell.config,
+            cell.num_threads,
+            check=checking.mode.value if checking is not None else None,
         )
 
     def _execute(
@@ -561,7 +583,9 @@ class SweepExecutor:
         self.close()
 
 
-def as_executor(runner: "ExperimentRunner | SweepExecutor") -> SweepExecutor:
+def as_executor(
+    runner: "ExperimentRunner | CheckingRunner | SweepExecutor",
+) -> SweepExecutor:
     """Wrap a plain runner in a serial executor; pass executors through."""
     if isinstance(runner, SweepExecutor):
         return runner
@@ -573,24 +597,27 @@ def executor_from_env(
     env: Mapping[str, str] | None = None,
 ) -> "ExperimentRunner | SweepExecutor":
     """Wrap ``runner`` per the ``REPRO_JOBS`` / ``REPRO_EXECUTOR`` /
-    ``REPRO_CACHE_DIR`` environment variables; unchanged when none are set.
+    ``REPRO_CACHE_DIR`` / ``REPRO_CHECK`` environment variables;
+    unchanged when none are set.
 
     This is how the test and benchmark harnesses opt whole suites into
-    parallel execution (e.g. ``make test-fast``) without touching call
-    sites.
+    parallel execution (e.g. ``make test-fast``) or invariant checking
+    without touching call sites.
     """
     env = env if env is not None else os.environ
     jobs = env.get("REPRO_JOBS", "").strip()
     strategy = env.get("REPRO_EXECUTOR", "").strip()
     cache_dir = env.get("REPRO_CACHE_DIR", "").strip()
+    check = check_mode_from_env(env)
     base = runner if runner is not None else ExperimentRunner()
-    if not (jobs or strategy or cache_dir):
+    if not (jobs or strategy or cache_dir or check):
         return base
     return SweepExecutor(
         base,
         jobs=int(jobs) if jobs else 1,
         strategy=strategy or None,
         cache_dir=cache_dir or None,
+        check=check,
     )
 
 

@@ -13,11 +13,39 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+from repro.checks.checker import check_sweep
 from repro.core.configs import ConfigName, SystemConfig, make_config
 from repro.core.executor import SweepCell, SweepExecutor, as_executor
 from repro.core.results import ResultSet
-from repro.core.runner import ExperimentRunner
+from repro.core.runner import ExperimentRunner, RunRecord
 from repro.workloads.base import Workload
+
+
+def _check_sweep_batch(
+    executor: SweepExecutor,
+    cells: Sequence[SweepCell],
+    records: Sequence[RunRecord],
+    axis: str,
+) -> None:
+    """Evaluate the sweep-scope invariants when checking is active.
+
+    Run-scope checks already happened cell by cell inside the executor's
+    :class:`~repro.checks.checker.CheckingRunner` (cache misses only —
+    cached records were audited when first computed); the cross-cell
+    orderings need the whole batch, so they run here, after it.
+    """
+    checking = executor.checking
+    if checking is None:
+        return
+    report = check_sweep(
+        [
+            (cell.workload, cell.config, cell.num_threads, record)
+            for cell, record in zip(cells, records)
+        ],
+        machine=executor.machine,
+        axis=axis,
+    )
+    checking.handle_report(report)
 
 
 def resolve_configs(
@@ -80,6 +108,7 @@ def size_sweep(
             xs.append(float(size))
             cells.append(SweepCell(workload, config, num_threads))
     records = executor.run_cells(cells)
+    _check_sweep_batch(executor, cells, records, axis="size")
     return ResultSet(list(zip(xs, records)), x_label=x_label, title=title)
 
 
@@ -105,4 +134,5 @@ def thread_sweep(
             xs.append(float(threads))
             cells.append(SweepCell(workload, config, int(threads)))
     records = executor.run_cells(cells)
+    _check_sweep_batch(executor, cells, records, axis="threads")
     return ResultSet(list(zip(xs, records)), x_label=x_label, title=title)

@@ -1,0 +1,57 @@
+"""Checking on ⇒ every exhibit byte-identical to its golden output.
+
+The checker's core promise mirrors the observability layer's
+(``tests/obs/test_golden_identity.py``): auditing a run must never
+perturb it.  One :func:`~repro.checks.batch.check_exhibits` pass — the
+same code path as ``make check`` — regenerates all 15 exhibits under
+full invariant checking; the rendered text is diffed against the
+``benchmarks/output`` goldens and the pass itself must report zero
+violations.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.checks.batch import check_exhibits
+from repro.figures import EXHIBITS
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent.parent / "benchmarks" / "output"
+
+
+def _normalize(text: str) -> str:
+    return "\n".join(line.rstrip() for line in text.splitlines()).rstrip() + "\n"
+
+
+@pytest.fixture(scope="module")
+def batch():
+    """One full checked batch, shared across the parametrized diffs."""
+    report = check_exhibits()
+    return report
+
+
+def test_batch_is_clean(batch):
+    assert batch.ok, batch.render()
+    assert batch.total_violations == 0
+    assert len(batch.checks) == len(EXHIBITS)
+
+
+def test_every_exhibit_was_audited(batch):
+    for check in batch.checks:
+        assert check.evaluated >= 1, (
+            f"{check.exhibit_id} passed through the batch without a single "
+            "invariant evaluation"
+        )
+
+
+@pytest.mark.parametrize("exhibit_id", sorted(EXHIBITS))
+def test_checked_exhibit_identical_to_golden(batch, exhibit_id):
+    golden = _normalize((GOLDEN_DIR / f"{exhibit_id}.txt").read_text())
+    by_id = {check.exhibit_id: check for check in batch.checks}
+    actual = _normalize(by_id[exhibit_id].rendered)
+    assert actual == golden, (
+        f"{exhibit_id} drifted when regenerated under invariant checking — "
+        "auditing must never change model output"
+    )

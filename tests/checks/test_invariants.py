@@ -1,0 +1,409 @@
+"""The invariant registry: structure, and that every law can actually fire.
+
+A checker that never fires is indistinguishable from no checker, so for
+each registered invariant this module constructs a *tampered* subject —
+a record with a scaled phase time, a metrics window reporting too many
+cache hits, a fabricated metric on an over-capacity bind — and asserts
+the invariant produces a violation naming itself.  The clean-path
+counterpart (real runs produce zero violations) lives in
+``test_checker.py`` and ``test_golden_identity_checked.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+import pytest
+
+from repro.checks.checker import check_exhibit, check_run, check_sweep
+from repro.checks.invariants import (
+    REGISTRY,
+    Scope,
+    Violation,
+    invariant,
+    unregister,
+)
+from repro.checks.window import metrics_window
+from repro.core.configs import ConfigName, make_config
+from repro.core.runner import ExperimentRunner, RunRecord
+from repro.workloads.registry import FROM_GB
+
+
+def _checked_inputs(workload, config_name, num_threads=64):
+    """Run one real cell and hand back everything check_run needs."""
+    runner = ExperimentRunner()
+    config = make_config(config_name)
+    with metrics_window() as window:
+        record = runner.run(workload, config, num_threads)
+    return runner.machine, config, record, window
+
+
+def _violated(report):
+    return {v.invariant for v in report.violations}
+
+
+class TamperWindow:
+    """A MetricsWindow proxy with selected deltas/gauges overridden."""
+
+    def __init__(self, window, deltas=None, gauges=None):
+        self._window = window
+        self._deltas = deltas or {}
+        self._gauges = gauges or {}
+
+    @staticmethod
+    def _key(name, labels):
+        return (name, tuple(sorted(labels.items())) if labels else ())
+
+    def delta(self, name, labels=None):
+        key = self._key(name, labels)
+        if key in self._deltas:
+            return self._deltas[key]
+        return self._window.delta(name, labels)
+
+    def gauge(self, name, labels=None):
+        key = self._key(name, labels)
+        if key in self._gauges:
+            return self._gauges[key]
+        return self._window.gauge(name, labels)
+
+
+class FakeExhibit:
+    def __init__(self, data, text="body"):
+        self.exhibit_id = "fake"
+        self.data = data
+        self._text = text
+
+    def render(self):
+        return self._text
+
+
+# -- registry structure -------------------------------------------------------
+
+
+def test_registry_names_are_kebab_case():
+    for name in REGISTRY:
+        assert re.fullmatch(r"[a-z0-9]+(-[a-z0-9]+)+", name), name
+
+
+def test_registry_entries_are_documented():
+    for inv in REGISTRY.values():
+        assert isinstance(inv.scope, Scope)
+        assert inv.description.strip()
+        assert inv.paper_ref.strip()
+        assert inv.name in REGISTRY
+
+
+def test_registry_covers_all_scopes():
+    scopes = {inv.scope for inv in REGISTRY.values()}
+    assert scopes == set(Scope)
+
+
+def test_registry_rejects_duplicate_names():
+    name = next(iter(REGISTRY))
+    with pytest.raises(ValueError, match="already registered"):
+        invariant(
+            name, scope=Scope.RUN, description="dup", paper_ref="none"
+        )(lambda ctx: None)
+
+
+def test_unregister_removes_temporary_invariants():
+    @invariant(
+        "temporary-test-invariant",
+        scope=Scope.RUN,
+        description="temp",
+        paper_ref="none",
+    )
+    def _temp(ctx):
+        return []
+
+    assert "temporary-test-invariant" in REGISTRY
+    unregister("temporary-test-invariant")
+    assert "temporary-test-invariant" not in REGISTRY
+
+
+# -- run scope: tampered subjects fire ---------------------------------------
+
+
+def test_byte_conservation_detects_phantom_dram_traffic():
+    machine, config, record, window = _checked_inputs(
+        FROM_GB["minife"](1.0), ConfigName.DRAM
+    )
+    bad = TamperWindow(
+        window,
+        deltas={
+            TamperWindow._key("model.bytes_moved", {"device": "dram"}): (
+                window.delta("model.bytes_moved", {"device": "dram"}) + 1e9
+            )
+        },
+    )
+    report = check_run(machine, FROM_GB["minife"](1.0), config, 64, record, bad)
+    assert "byte-conservation" in _violated(report)
+
+
+def test_byte_conservation_detects_unaccounted_bytes():
+    machine, config, record, window = _checked_inputs(
+        FROM_GB["minife"](1.0), ConfigName.HBM
+    )
+    bad = TamperWindow(
+        window,
+        deltas={
+            TamperWindow._key("model.bytes_moved", {"device": "mcdram"}): 0.0,
+            TamperWindow._key("model.bytes_moved", {"device": "dram"}): 0.0,
+        },
+    )
+    report = check_run(machine, FROM_GB["minife"](1.0), config, 64, record, bad)
+    assert "byte-conservation" in _violated(report)
+
+
+def test_mcdram_cache_accounting_detects_inflated_hits():
+    workload = FROM_GB["gups"](1.0)
+    machine, config, record, window = _checked_inputs(workload, ConfigName.CACHE)
+    labels = {"pattern": "random"}
+    bad = TamperWindow(
+        window,
+        deltas={
+            TamperWindow._key("mcdram_cache.hits", labels): (
+                window.delta("mcdram_cache.hits", labels)
+                + window.delta("mcdram_cache.accesses", labels)
+            )
+        },
+    )
+    report = check_run(machine, workload, config, 64, record, bad)
+    assert "mcdram-cache-accounting" in _violated(report)
+
+
+def test_mcdram_cache_accounting_detects_out_of_range_gauge():
+    workload = FROM_GB["gups"](1.0)
+    machine, config, record, window = _checked_inputs(workload, ConfigName.CACHE)
+    bad = TamperWindow(
+        window,
+        gauges={
+            TamperWindow._key("mcdram_cache.hit_rate", {"pattern": "random"}): 1.5
+        },
+    )
+    report = check_run(machine, workload, config, 64, record, bad)
+    assert "mcdram-cache-accounting" in _violated(report)
+
+
+def test_tlb_accounting_detects_excess_walks():
+    workload = FROM_GB["gups"](1.0)
+    machine, config, record, window = _checked_inputs(workload, ConfigName.DRAM)
+    bad = TamperWindow(
+        window,
+        deltas={
+            TamperWindow._key("tlb.walks", None): (
+                window.delta("tlb.l1_misses") * 2.0 + 1.0
+            )
+        },
+    )
+    report = check_run(machine, workload, config, 64, record, bad)
+    assert "tlb-accounting" in _violated(report)
+
+
+def test_littles_law_detects_scaled_bandwidth():
+    workload = FROM_GB["gups"](1.0)
+    machine, config, record, window = _checked_inputs(workload, ConfigName.DRAM)
+    run = record.run_result
+    faster = dataclasses.replace(
+        run,
+        phase_results=tuple(
+            dataclasses.replace(
+                p,
+                memory_time_ns=p.memory_time_ns / 10.0,
+                achieved_bandwidth=p.achieved_bandwidth * 10.0,
+            )
+            for p in run.phase_results
+        ),
+    )
+    tampered = dataclasses.replace(record, run_result=faster)
+    report = check_run(machine, workload, config, 64, tampered, window)
+    assert "littles-law-concurrency" in _violated(report)
+
+
+def test_capacity_feasibility_detects_silent_spill():
+    workload = FROM_GB["gups"](32.0)  # far over the 16 GiB flat HBM node
+    machine = ExperimentRunner().machine
+    config = make_config(ConfigName.HBM)
+    fabricated = RunRecord(
+        workload=workload.spec.name,
+        workload_params=workload.params(),
+        config=ConfigName.HBM,
+        num_threads=64,
+        metric=0.01,
+        metric_name=workload.spec.metric_name,
+        metric_unit=workload.spec.metric_unit,
+    )
+    report = check_run(machine, workload, config, 64, fabricated)
+    assert "capacity-feasibility" in _violated(report)
+
+
+def test_capacity_feasibility_detects_spurious_rejection():
+    workload = FROM_GB["gups"](1.0)  # comfortably fits the HBM node
+    machine = ExperimentRunner().machine
+    config = make_config(ConfigName.HBM)
+    fabricated = RunRecord(
+        workload=workload.spec.name,
+        workload_params=workload.params(),
+        config=ConfigName.HBM,
+        num_threads=64,
+        metric=None,
+        metric_name=workload.spec.metric_name,
+        metric_unit=workload.spec.metric_unit,
+        infeasible_reason="data does not fit node 1",
+    )
+    report = check_run(machine, workload, config, 64, fabricated)
+    assert "capacity-feasibility" in _violated(report)
+
+
+def test_timing_composition_detects_scaled_phase_time():
+    workload = FROM_GB["minife"](1.0)
+    machine, config, record, window = _checked_inputs(workload, ConfigName.DRAM)
+    run = record.run_result
+    slowed = dataclasses.replace(
+        run,
+        phase_results=tuple(
+            dataclasses.replace(p, time_ns=p.time_ns * 2.0)
+            for p in run.phase_results
+        ),
+    )
+    tampered = dataclasses.replace(record, run_result=slowed)
+    report = check_run(machine, workload, config, 64, tampered, window)
+    assert "timing-composition" in _violated(report)
+
+
+def test_clean_run_passes_every_run_invariant():
+    workload = FROM_GB["gups"](1.0)
+    machine, config, record, window = _checked_inputs(workload, ConfigName.CACHE)
+    report = check_run(machine, workload, config, 64, record, window)
+    assert report.ok, [v.describe() for v in report.violations]
+    assert len(report.evaluated) > 0
+
+
+# -- sweep scope --------------------------------------------------------------
+
+
+def _trio_entries(workload, num_threads=64):
+    runner = ExperimentRunner()
+    entries = []
+    for name in ConfigName.paper_trio():
+        config = make_config(name)
+        record = runner.run(workload, config, num_threads)
+        entries.append((workload, config, num_threads, record))
+    return runner.machine, entries
+
+
+def test_streaming_ordering_detects_swapped_metrics():
+    workload = FROM_GB["minife"](4.0)
+    machine, entries = _trio_entries(workload)
+    swapped = []
+    by_name = {config.name: record for _, config, _, record in entries}
+    for wl, config, threads, record in entries:
+        other = (
+            ConfigName.HBM if config.name is ConfigName.DRAM else ConfigName.DRAM
+        )
+        if config.name in (ConfigName.DRAM, ConfigName.HBM):
+            record = dataclasses.replace(record, metric=by_name[other].metric)
+        swapped.append((wl, config, threads, record))
+    report = check_sweep(swapped, machine=machine, axis="size")
+    assert "streaming-config-ordering" in _violated(report)
+
+
+def test_random_dram_preference_detects_degraded_dram():
+    workload = FROM_GB["gups"](1.0)
+    machine, entries = _trio_entries(workload)
+    nerfed = [
+        (
+            wl,
+            config,
+            threads,
+            dataclasses.replace(record, metric=record.metric * 0.1)
+            if config.name is ConfigName.DRAM and record.metric is not None
+            else record,
+        )
+        for wl, config, threads, record in entries
+    ]
+    report = check_sweep(nerfed, machine=machine, axis="size")
+    assert "random-dram-preference" in _violated(report)
+
+
+def test_random_dram_preference_not_applicable_past_one_thread_per_core():
+    workload = FROM_GB["gups"](1.0)
+    machine, entries = _trio_entries(workload, num_threads=128)
+    report = check_sweep(entries, machine=machine, axis="size")
+    assert "random-dram-preference" not in report.evaluated
+
+
+def test_thread_scaling_detects_pre_peak_dip():
+    workload = FROM_GB["gups"](1.0)
+    runner = ExperimentRunner()
+    config = make_config(ConfigName.HBM)
+    entries = []
+    for threads, forced in ((64, 10.0), (128, 5.0), (256, 20.0)):
+        record = runner.run(workload, config, threads)
+        entries.append(
+            (workload, config, threads, dataclasses.replace(record, metric=forced))
+        )
+    report = check_sweep(entries, machine=runner.machine, axis="threads")
+    assert "thread-scaling-unimodal" in _violated(report)
+    # The same dip along a *size* axis is not this invariant's business.
+    report = check_sweep(entries, machine=runner.machine, axis="size")
+    assert "thread-scaling-unimodal" not in report.evaluated
+
+
+# -- exhibit scope ------------------------------------------------------------
+
+
+def test_latency_ordering_detects_hbm_faster_than_dram():
+    report = check_exhibit(
+        FakeExhibit(
+            {
+                "blocks": [1 << 20, 1 << 21],
+                "dram_ns": [100.0, 110.0],
+                "hbm_ns": [90.0, 130.0],
+                "gap_percent": [-10.0, 130.0 / 110.0 * 100 - 100],
+            }
+        )
+    )
+    assert "latency-device-ordering" in _violated(report)
+
+
+def test_latency_ordering_detects_non_monotone_curve():
+    report = check_exhibit(
+        FakeExhibit(
+            {
+                "blocks": [1 << 20, 1 << 21],
+                "dram_ns": [120.0, 100.0],
+                "hbm_ns": [130.0, 125.0],
+                "gap_percent": [130.0 / 120.0 * 100 - 100, 25.0],
+            }
+        )
+    )
+    assert "latency-device-ordering" in _violated(report)
+
+
+def test_latency_ordering_detects_inconsistent_gap():
+    report = check_exhibit(
+        FakeExhibit(
+            {
+                "blocks": [1 << 20],
+                "dram_ns": [100.0],
+                "hbm_ns": [120.0],
+                "gap_percent": [3.0],  # curves say 20 %
+            }
+        )
+    )
+    assert "latency-device-ordering" in _violated(report)
+
+
+def test_exhibit_sanity_detects_nan_and_empty_render():
+    report = check_exhibit(
+        FakeExhibit({"series": [1.0, float("nan")]}, text="  \n ")
+    )
+    assert _violated(report) == {"exhibit-data-sanity"}
+    assert len(report.violations) == 2
+
+
+def test_violation_describe_names_the_invariant():
+    violation = Violation("some-law", "subject", "broke")
+    assert violation.describe() == "[some-law] subject: broke"

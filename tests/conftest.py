@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.core.executor import executor_from_env
 from repro.core.runner import ExperimentRunner
@@ -10,6 +13,16 @@ from repro.engine.perfmodel import PerformanceModel
 from repro.machine.presets import knl7210
 from repro.memory.modes import MCDRAMConfig, MemorySystem
 from repro.runtime.simos import SimulatedOS
+
+# Pinned hypothesis profile: derandomized (examples derive from the test
+# body, not a random seed) so property runs — including the metamorphic
+# suite in tests/checks/ — are bit-for-bit reproducible locally and in
+# CI.  Override with HYPOTHESIS_PROFILE (e.g. a personal "dev" profile
+# registered in a local conftest) when hunting for new counterexamples.
+settings.register_profile(
+    "repro", derandomize=True, deadline=None, max_examples=25
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,82 @@
+"""Process lifecycle on the simulated OS: boot, bind, allocate, OOM.
+
+Walks the sequence an experiment run performs — boot a node in one
+MCDRAM mode, build the OpenMP environment, allocate under a numactl
+policy — and pins the failure mode at the heart of the paper's Section
+III-C: a strict ``--membind=1`` (flat HBM) allocation beyond 16 GiB
+must raise :class:`~repro.memory.numa.OutOfNodeMemory`, never spill.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.modes import MCDRAMConfig
+from repro.memory.numa import OutOfNodeMemory
+from repro.runtime.simos import SimulatedOS
+
+GIB = 1 << 30
+
+
+@pytest.fixture()
+def flat_node():
+    return SimulatedOS(MCDRAMConfig.flat())
+
+
+def test_boot_bind_run_teardown(flat_node):
+    env = flat_node.openmp(128)
+    assert env.num_threads == 128
+    assert env.threads_per_core == 2
+    with flat_node.allocation_scope():
+        table = flat_node.malloc("table", 8 * GIB, numactl="--membind=1")
+        assert table.fraction_on(1) == 1.0
+        assert flat_node.allocator.used_bytes(1) == 8 * GIB
+    # Scope exit frees everything allocated inside it.
+    assert flat_node.allocator.used_bytes(1) == 0
+    assert flat_node.allocator.live_allocations == []
+
+
+def test_hbm_bind_over_capacity_raises_not_spills(flat_node):
+    with pytest.raises(OutOfNodeMemory):
+        flat_node.malloc("too-big", 17 * GIB, numactl="--membind=1")
+    # The failed allocation reserved nothing anywhere.
+    assert flat_node.allocator.used_bytes(0) == 0
+    assert flat_node.allocator.used_bytes(1) == 0
+
+
+def test_hbm_fills_then_next_allocation_ooms(flat_node):
+    with flat_node.allocation_scope():
+        flat_node.malloc("first", 12 * GIB, numactl="--membind=1")
+        with pytest.raises(OutOfNodeMemory):
+            flat_node.malloc("second", 8 * GIB, numactl="--membind=1")
+        # The survivor is intact; only the failed malloc was rejected.
+        assert flat_node.allocator.used_bytes(1) == 12 * GIB
+    assert flat_node.allocator.used_bytes(1) == 0
+
+
+def test_dram_bind_over_capacity_raises(flat_node):
+    with pytest.raises(OutOfNodeMemory):
+        flat_node.malloc("huge", 100 * GIB, numactl="--membind=0")
+
+
+def test_preferred_policy_spills_instead_of_failing(flat_node):
+    with flat_node.allocation_scope():
+        spilled = flat_node.malloc("spill", 20 * GIB, numactl="--preferred=1")
+        assert 0.0 < spilled.fraction_on(1) < 1.0
+        assert spilled.fraction_on(0) + spilled.fraction_on(1) == pytest.approx(1.0)
+
+
+def test_cache_mode_has_no_hbm_node(flat_node):
+    cache_node = SimulatedOS(MCDRAMConfig.cache())
+    assert cache_node.memory.flat_hbm_bytes == 0
+    with pytest.raises(Exception):
+        cache_node.malloc("hbm", GIB, numactl="--membind=1")
+    # Rebooting modes is a new instance; the flat node is untouched.
+    assert flat_node.memory.flat_hbm_bytes == 16 * GIB
+
+
+def test_double_free_is_rejected(flat_node):
+    allocation = flat_node.malloc("once", GIB, numactl="--membind=0")
+    flat_node.free(allocation)
+    with pytest.raises(ValueError, match="not live"):
+        flat_node.free(allocation)
