@@ -1,5 +1,11 @@
 # Developer entry points (documentation; everything is plain pytest/python).
 
+# The package lives under src/ and is not installed in dev checkouts;
+# every target needs it importable (tier-1 verify sets this itself, but
+# bench/check/report/examples used to fail from a clean checkout).
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+export PYTHONPATH
+
 .PHONY: install test test-fast bench report examples docs-check check clean
 
 install:

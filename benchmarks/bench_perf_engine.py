@@ -1,0 +1,38 @@
+"""Engine perf trajectory: scalar vs columnar batch throughput.
+
+Unlike the exhibit benches, this one measures the reproduction *engine*
+itself: a 10k-point query grid through the per-point
+:class:`~repro.core.runner.ExperimentRunner` loop versus
+:class:`~repro.engine.batch.BatchEvaluator`, with bit-identity verified
+on a sample before any speedup is recorded.  Results are written to
+``BENCH_engine.json`` at the repo root (the perf trajectory CI tracks)
+in addition to the usual ``benchmarks/output/`` text dump.
+
+The 10x floor asserted here is deliberately conservative (steady-state
+measures ~100x on an idle machine) so CI noise cannot fail the build
+while a real regression — e.g. the batch path silently falling back to
+per-point evaluation — still does.
+"""
+
+import pathlib
+
+from repro.core.perfbench import measure_engine, write_bench_json
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SPEEDUP_FLOOR = 10.0
+
+
+def test_engine_throughput(benchmark, record_text):
+    result = benchmark.pedantic(measure_engine, rounds=1, iterations=1)
+    write_bench_json(result, REPO_ROOT / "BENCH_engine.json")
+    record_text("engine_throughput", result.describe())
+    print(result.describe())
+
+    assert result.grid_points >= 10_000
+    assert result.identity_checked_points > 0
+    # Conservative floors: the batch engine must stay an order of
+    # magnitude ahead of the scalar loop, and the optimized event loop
+    # must not regress to (or below) its reference implementation.
+    assert result.speedup_hot >= SPEEDUP_FLOOR, result.describe()
+    assert result.eventsim_speedup >= 1.0, result.describe()

@@ -10,7 +10,7 @@ survive the machine change.
 import pytest
 
 from repro.core.configs import ConfigName
-from repro.core.runner import ExperimentRunner
+from repro.engine.batch import BatchEvaluator
 from repro.machine.presets import knl7250
 from repro.util.tables import TextTable
 from repro.workloads.gups import GUPS
@@ -19,26 +19,30 @@ from repro.workloads.xsbench import XSBench
 
 
 def run_whatif():
-    runner = ExperimentRunner(knl7250())
-    cores = runner.machine.num_cores
-    out = {}
-    minife = MiniFE.from_matrix_gb(7.2)
-    out["minife"] = {
-        c: runner.run(minife, c, cores).metric for c in ConfigName.paper_trio()
+    # One columnar evaluation over the full 12-cell comparison grid
+    # (bit-identical to the historical per-cell ExperimentRunner loop).
+    evaluator = BatchEvaluator(knl7250())
+    cores = evaluator.machine.num_cores
+    trio = ConfigName.paper_trio()
+    rows = [
+        ("minife", MiniFE.from_matrix_gb(7.2), cores),
+        ("gups", GUPS.from_table_gb(8.0), cores),
+        ("xsbench-1t", XSBench.from_problem_gb(11.3), cores),
+        ("xsbench-4t", XSBench.from_problem_gb(11.3), 4 * cores),
+    ]
+    cells = [
+        (workload, config, threads)
+        for _, workload, threads in rows
+        for config in trio
+    ]
+    records = evaluator.evaluate(cells).records()
+    return {
+        name: {
+            config: records[row * len(trio) + j].metric
+            for j, config in enumerate(trio)
+        }
+        for row, (name, _, _) in enumerate(rows)
     }
-    gups = GUPS.from_table_gb(8.0)
-    out["gups"] = {
-        c: runner.run(gups, c, cores).metric for c in ConfigName.paper_trio()
-    }
-    xs = XSBench.from_problem_gb(11.3)
-    out["xsbench-1t"] = {
-        c: runner.run(xs, c, cores).metric for c in ConfigName.paper_trio()
-    }
-    out["xsbench-4t"] = {
-        c: runner.run(xs, c, 4 * cores).metric
-        for c in ConfigName.paper_trio()
-    }
-    return out
 
 
 def test_whatif_knl7250(benchmark, record_text):

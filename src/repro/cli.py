@@ -130,6 +130,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "check",
         help="regenerate every exhibit under full invariant checking",
     )
+    bench = sub.add_parser(
+        "bench",
+        help="measure scalar-vs-batch engine throughput (BENCH_engine.json)",
+    )
+    bench.add_argument(
+        "--points",
+        type=int,
+        default=10_080,
+        help="minimum grid size to evaluate (default: 10080)",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_engine.json",
+        metavar="FILE",
+        help="where to write the measurement JSON (default: BENCH_engine.json)",
+    )
     return parser
 
 
@@ -282,6 +298,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         best = PlacementOptimizer().optimize(workload, num_threads=args.threads)
         print(f"optimized per-structure placement: {best.metric:.4g}")
         print(f"  {best.describe()}")
+        return 0
+    if command == "bench":
+        from repro.core.perfbench import measure_engine, write_bench_json
+
+        result = measure_engine(args.points)
+        path = write_bench_json(result, args.out)
+        print(result.describe())
+        print(f"[bench] wrote {path}", file=sys.stderr)
         return 0
     if command == "check":
         from repro.checks.batch import check_exhibits

@@ -20,6 +20,7 @@ Two more configurations support the ablation studies:
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass
 
 from repro.memory.modes import MCDRAMConfig
@@ -57,10 +58,11 @@ class SystemConfig:
         return f"{self.label}: MCDRAM {mode} mode, numactl {self.numactl or '(none)'}"
 
 
+@functools.lru_cache(maxsize=None)
 def make_config(
     name: ConfigName, *, cache_associativity: int = 1, hybrid_cache_fraction: float = 0.5
 ) -> SystemConfig:
-    """Build a named configuration.
+    """Build a named configuration (memoized — the result is frozen).
 
     ``cache_associativity`` parameterizes the cache-organization ablation;
     ``hybrid_cache_fraction`` the hybrid split (0.25/0.5/0.75).

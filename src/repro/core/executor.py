@@ -42,6 +42,7 @@ from typing import Any, TypeVar
 from repro.checks.checker import CheckingRunner, CheckMode, check_mode_from_env
 from repro.core.configs import ConfigName, SystemConfig, make_config
 from repro.core.runner import ExperimentRunner, RunRecord
+from repro.engine.batch import BatchEvaluator
 from repro.engine.perfmodel import PhaseResult, RunResult
 from repro.engine.placement import Location, PlacementMix
 from repro.machine.topology import KNLMachine
@@ -60,6 +61,7 @@ class ExecutionStrategy(Enum):
     SERIAL = "serial"
     THREADS = "threads"
     PROCESSES = "processes"
+    BATCH = "batch"
 
     @classmethod
     def parse(cls, value: "ExecutionStrategy | str") -> "ExecutionStrategy":
@@ -377,6 +379,7 @@ class SweepExecutor:
         self.cache = RunCache(cache_size, cache_dir)
         self.profile_hooks: list[ProfileHook] = list(profile_hooks)
         self._pool: Executor | None = None
+        self._batch_evaluator: BatchEvaluator | None = None
         self._stats_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -536,6 +539,8 @@ class SweepExecutor:
     ) -> list[tuple[RunRecord, int]]:
         if not cells:
             return []
+        if self._batch_eligible(cells):
+            return self._execute_batch(cells)
         if (
             self.strategy is ExecutionStrategy.SERIAL
             or self.jobs == 1
@@ -545,6 +550,41 @@ class SweepExecutor:
         pool = self._ensure_pool()
         futures = [pool.submit(_run_cell, self.runner, cell) for cell in cells]
         return [f.result() for f in futures]
+
+    def _batch_eligible(self, cells: Sequence[SweepCell]) -> bool:
+        """Whether a miss batch can go through the columnar evaluator.
+
+        The batch path produces bit-identical records but aggregates
+        observability (one ``batch.evaluate`` span instead of per-cell
+        ``executor.cell`` / ``perfmodel.run`` spans), so it only engages
+        where per-cell dispatch semantics are not part of the contract:
+        a plain :class:`ExperimentRunner` (a :class:`CheckingRunner`
+        needs the per-run hook), at least two cells, and a serial-ish
+        dispatch (the ``threads``/``processes`` strategies with
+        ``jobs > 1`` keep per-cell spans stacked on pool lanes).
+        """
+        return (
+            self.checking is None
+            and len(cells) >= 2
+            and type(self.runner) is ExperimentRunner
+            and (
+                self.strategy in (ExecutionStrategy.SERIAL, ExecutionStrategy.BATCH)
+                or self.jobs == 1
+            )
+        )
+
+    def _execute_batch(
+        self, cells: Sequence[SweepCell]
+    ) -> list[tuple[RunRecord, int]]:
+        if self._batch_evaluator is None:
+            self._batch_evaluator = BatchEvaluator(self.runner.machine)
+        start = time.perf_counter_ns()
+        result = self._batch_evaluator.evaluate(
+            [(c.workload, c.config, c.num_threads) for c in cells]
+        )
+        records = result.records()
+        per_cell_ns = (time.perf_counter_ns() - start) // len(cells)
+        return [(record, per_cell_ns) for record in records]
 
     def _ensure_pool(self) -> Executor:
         if self._pool is None:

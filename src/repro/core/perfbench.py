@@ -1,0 +1,225 @@
+"""Scalar-vs-batch engine throughput measurement (``BENCH_engine.json``).
+
+The batch engine's reason to exist is throughput, so its speedup over the
+per-point scalar path is part of the repo's checked surface: this module
+builds a dense, realistic query grid (size x workload x configuration x
+threads — the shape every figure sweeps), times the scalar
+:class:`~repro.core.runner.ExperimentRunner` loop against
+:class:`~repro.engine.batch.BatchEvaluator`, verifies the two agree
+bit-for-bit on a sample, and serializes the numbers to
+``BENCH_engine.json`` at the repo root — the perf trajectory file that
+``make bench`` regenerates and CI guards with a conservative floor.
+
+Two batch timings are reported:
+
+* **warm** — first evaluation, paying table construction (memoized
+  latencies, placements, thread shapes) for the whole grid;
+* **hot** — steady state, the number that matters for a long-lived
+  service answering many grids against the same machine model.
+
+The event simulator's optimized inner loop is measured against its
+retained reference implementation in the same file.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass
+
+from repro.core.configs import ConfigName, SystemConfig, make_config
+from repro.core.runner import ExperimentRunner
+from repro.engine.batch import BatchEvaluator
+from repro.engine.eventsim import MemoryEventSimulator
+from repro.memory.dram import ddr4_archer
+from repro.workloads.base import Workload
+from repro.workloads.registry import FROM_GB
+
+#: Default grid shape: 240 sizes x 2 workloads x 3 configs x 7 thread
+#: counts = 10 080 points (the acceptance grid).
+_WORKLOADS = ("minife", "gups")
+_THREADS = (1, 2, 4, 16, 64, 128, 256)
+_POINTS_PER_SIZE = len(_WORKLOADS) * 3 * len(_THREADS)
+
+
+@dataclass(frozen=True)
+class EngineBenchResult:
+    """One measurement of the engine perf trajectory."""
+
+    grid_points: int
+    scalar_sample_points: int
+    scalar_seconds: float
+    batch_warm_seconds: float
+    batch_hot_seconds: float
+    identity_checked_points: int
+    eventsim_requests: int
+    eventsim_reference_seconds: float
+    eventsim_optimized_seconds: float
+
+    @property
+    def scalar_us_per_point(self) -> float:
+        return self.scalar_seconds / self.scalar_sample_points * 1e6
+
+    @property
+    def batch_hot_us_per_point(self) -> float:
+        return self.batch_hot_seconds / self.grid_points * 1e6
+
+    @property
+    def speedup_hot(self) -> float:
+        """Steady-state batch speedup over the scalar per-point loop."""
+        return self.scalar_us_per_point / self.batch_hot_us_per_point
+
+    @property
+    def speedup_warm(self) -> float:
+        return self.scalar_us_per_point / (
+            self.batch_warm_seconds / self.grid_points * 1e6
+        )
+
+    @property
+    def eventsim_speedup(self) -> float:
+        return self.eventsim_reference_seconds / self.eventsim_optimized_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "grid_points": self.grid_points,
+            "scalar": {
+                "sample_points": self.scalar_sample_points,
+                "seconds": self.scalar_seconds,
+                "us_per_point": self.scalar_us_per_point,
+                "points_per_s": 1e6 / self.scalar_us_per_point,
+            },
+            "batch": {
+                "warm_seconds": self.batch_warm_seconds,
+                "hot_seconds": self.batch_hot_seconds,
+                "hot_us_per_point": self.batch_hot_us_per_point,
+                "hot_points_per_s": 1e6 / self.batch_hot_us_per_point,
+                "speedup_warm": self.speedup_warm,
+                "speedup_hot": self.speedup_hot,
+            },
+            "identity_checked_points": self.identity_checked_points,
+            "eventsim": {
+                "requests": self.eventsim_requests,
+                "reference_seconds": self.eventsim_reference_seconds,
+                "optimized_seconds": self.eventsim_optimized_seconds,
+                "speedup": self.eventsim_speedup,
+            },
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.grid_points} points: scalar "
+            f"{self.scalar_us_per_point:.0f} us/pt, batch hot "
+            f"{self.batch_hot_us_per_point:.2f} us/pt -> "
+            f"{self.speedup_hot:.1f}x (warm {self.speedup_warm:.1f}x); "
+            f"eventsim {self.eventsim_speedup:.1f}x over reference"
+        )
+
+
+def build_grid(
+    points: int = 10_080,
+) -> list[tuple[Workload, SystemConfig, int]]:
+    """A dense sweep grid of at least ``points`` cells.
+
+    One workload object per (name, size) — the shape real sweeps produce
+    (``factory(size)`` once per size) — crossed with the paper trio and a
+    1..256 thread ladder.  Sizes straddle the 16 GB MCDRAM capacity so
+    the grid contains infeasible HBM cells, like real sweeps do.
+    """
+    if points < 1:
+        raise ValueError(f"points must be >= 1, got {points}")
+    num_sizes = -(-points // _POINTS_PER_SIZE)
+    sizes = [0.5 + 0.15 * i for i in range(num_sizes)]
+    trio = [make_config(c) for c in ConfigName.paper_trio()]
+    workloads = [FROM_GB[name](s) for s in sizes for name in _WORKLOADS]
+    return [
+        (workload, config, threads)
+        for workload in workloads
+        for config in trio
+        for threads in _THREADS
+    ]
+
+
+def _bench_eventsim() -> tuple[int, float, float]:
+    """Time the optimized event loop against the retained reference."""
+    simulator = MemoryEventSimulator(ddr4_archer(), sequential=False)
+    params = dict(threads=64, mlp=8.0, requests_per_thread=200, seed=1)
+    requests = params["threads"] * params["requests_per_thread"]
+    start = time.perf_counter()
+    reference = simulator._simulate_reference(**params)
+    reference_s = time.perf_counter() - start
+    start = time.perf_counter()
+    optimized = simulator._simulate(**params)
+    optimized_s = time.perf_counter() - start
+    if reference != optimized:
+        raise AssertionError(
+            "optimized event loop diverged from reference: "
+            f"{optimized} != {reference}"
+        )
+    return requests, reference_s, optimized_s
+
+
+def measure_engine(
+    points: int = 10_080,
+    *,
+    scalar_sample: int = 1_000,
+    identity_sample: int = 100,
+) -> EngineBenchResult:
+    """Time scalar vs batch on a fresh grid and cross-check identity.
+
+    The scalar loop is timed over the grid's first ``scalar_sample``
+    cells (timing all 10k+ takes several scalar seconds for no extra
+    information — throughput is per-point); the batch engine evaluates
+    the **whole** grid twice, once cold (warm number) and once memoized
+    (hot number).  The first ``identity_sample`` records of both paths
+    must compare equal, so the recorded speedup is for bit-identical
+    output.
+    """
+    grid = build_grid(points)
+    runner = ExperimentRunner()
+    sample = grid[: min(scalar_sample, len(grid))]
+    start = time.perf_counter()
+    scalar_records = [
+        runner.run(workload, config, threads)
+        for workload, config, threads in sample
+    ]
+    scalar_seconds = time.perf_counter() - start
+
+    evaluator = BatchEvaluator(runner.machine)
+    start = time.perf_counter()
+    result = evaluator.evaluate(grid)
+    batch_warm_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    evaluator.evaluate(grid)
+    batch_hot_seconds = time.perf_counter() - start
+
+    checked = min(identity_sample, len(sample))
+    for i in range(checked):
+        if result.record(i) != scalar_records[i]:
+            raise AssertionError(
+                f"batch/scalar mismatch at grid point {i}: "
+                f"{result.record(i)} != {scalar_records[i]}"
+            )
+
+    requests, reference_s, optimized_s = _bench_eventsim()
+    return EngineBenchResult(
+        grid_points=len(grid),
+        scalar_sample_points=len(sample),
+        scalar_seconds=scalar_seconds,
+        batch_warm_seconds=batch_warm_seconds,
+        batch_hot_seconds=batch_hot_seconds,
+        identity_checked_points=checked,
+        eventsim_requests=requests,
+        eventsim_reference_seconds=reference_s,
+        eventsim_optimized_seconds=optimized_s,
+    )
+
+
+def write_bench_json(
+    result: EngineBenchResult,
+    path: "str | pathlib.Path" = "BENCH_engine.json",
+) -> pathlib.Path:
+    """Serialize one measurement to the perf-trajectory file."""
+    out = pathlib.Path(path)
+    out.write_text(json.dumps(result.as_dict(), indent=2) + "\n")
+    return out

@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
-from repro.engine.perfmodel import PerformanceModel
+from repro.engine.batch import ModelTables
 from repro.engine.placement import Location, PlacementMix
 from repro.machine.topology import KNLMachine
 from repro.memory.modes import MCDRAMConfig, MemorySystem
@@ -98,7 +98,8 @@ class PlacementOptimizer:
 
         self.machine = machine if machine is not None else knl7210()
         self.memory = MemorySystem(MCDRAMConfig.flat())
-        self.model = PerformanceModel(self.machine, self.memory)
+        self.tables = ModelTables(self.machine, self.memory)
+        self.model = self.tables.model
 
     def optimize(
         self,
@@ -126,8 +127,11 @@ class PlacementOptimizer:
             )
         hbm_capacity = self.memory.mcdram.capacity_bytes
 
-        best: OptimizedPlacement | None = None
-        evaluated = 0
+        # Enumerate the feasible assignments first, then evaluate them as
+        # ONE columnar batch (bit-identical to per-assignment model.run);
+        # the winner is picked with the same strict-> tie-break the
+        # per-point loop used, in the same enumeration order.
+        feasible: list[tuple[tuple[Location, ...], int]] = []
         for assignment in itertools.product(
             (Location.DRAM, Location.HBM), repeat=len(structures)
         ):
@@ -138,12 +142,26 @@ class PlacementOptimizer:
             )
             if hbm_bytes > hbm_capacity:
                 continue
+            feasible.append((assignment, hbm_bytes))
+        if not feasible:
+            raise RuntimeError("no feasible assignment (HBM capacity)")
+        runs = self.tables.run_batch(
+            [
+                (
+                    profile,
+                    {
+                        s.phase: PlacementMix.pure(loc)
+                        for s, loc in zip(structures, assignment)
+                    },
+                    num_threads,
+                )
+                for assignment, _ in feasible
+            ]
+        )
+        best: OptimizedPlacement | None = None
+        evaluated = 0
+        for (assignment, hbm_bytes), run in zip(feasible, runs):
             evaluated += 1
-            mixes = {
-                s.phase: PlacementMix.pure(loc)
-                for s, loc in zip(structures, assignment)
-            }
-            run = self.model.run(profile, mixes, num_threads)
             metric = workload.metric(run)
             if best is None or metric > best.metric:
                 best = OptimizedPlacement(
@@ -154,8 +172,7 @@ class PlacementOptimizer:
                     hbm_bytes=hbm_bytes,
                     evaluated=evaluated,
                 )
-        if best is None:
-            raise RuntimeError("no feasible assignment (HBM capacity)")
+        assert best is not None
         return OptimizedPlacement(
             assignments=best.assignments,
             metric=best.metric,

@@ -14,6 +14,7 @@ modelled faithfully rather than papered over:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any
 
@@ -53,10 +54,39 @@ class ExperimentRunner:
 
     def __init__(self, machine: KNLMachine | None = None) -> None:
         self.machine = machine if machine is not None else knl7210()
+        self._local = threading.local()
 
     # -- internals ---------------------------------------------------------
-    def _boot(self, config: SystemConfig) -> SimulatedOS:
-        return SimulatedOS(config.mcdram, machine=self.machine)
+    def _boot(self, config: SystemConfig) -> tuple[SimulatedOS, PerformanceModel]:
+        """Booted OS + model for a configuration, cached per MCDRAM mode.
+
+        Booting a :class:`SimulatedOS` (and with it a scipy cache-survival
+        interpolator) per run dominated the scalar path's setup cost; one
+        boot per configuration serves every subsequent run.  The cache is
+        thread-local because the OS allocator is mutated during a run
+        (``allocation_scope`` restores it afterwards, but not atomically),
+        so threads-strategy executors must not share instances.
+        """
+        cache = getattr(self._local, "boot", None)
+        if cache is None:
+            cache = self._local.boot = {}
+        entry = cache.get(config.mcdram)
+        if entry is None:
+            sim_os = SimulatedOS(config.mcdram, machine=self.machine)
+            entry = (sim_os, PerformanceModel(self.machine, sim_os.memory))
+            cache[config.mcdram] = entry
+        return entry
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Process-pool workers pickle the runner; the boot cache is
+        # per-process scratch state and is rebuilt on first use.
+        state = self.__dict__.copy()
+        del state["_local"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._local = threading.local()
 
     def _infeasible(
         self, workload: Workload, config: SystemConfig, threads: int, reason: str
@@ -87,10 +117,10 @@ class ExperimentRunner:
         counted in ``runner.runs`` / ``runner.infeasible``; the returned
         record is identical either way.
         """
-        if not (obs_trace.enabled() or obs_metrics.enabled()):
-            return self._run(workload, config, num_threads)
         if isinstance(config, ConfigName):
             config = make_config(config)
+        if not (obs_trace.enabled() or obs_metrics.enabled()):
+            return self._run(workload, config, num_threads)
         tags = workload.obs_tags()
         tags["config"] = config.name.value
         tags["threads"] = num_threads
@@ -105,12 +135,10 @@ class ExperimentRunner:
     def _run(
         self,
         workload: Workload,
-        config: SystemConfig | ConfigName,
+        config: SystemConfig,
         num_threads: int,
     ) -> RunRecord:
-        if isinstance(config, ConfigName):
-            config = make_config(config)
-        sim_os = self._boot(config)
+        sim_os, model = self._boot(config)
 
         try:
             workload.check_runnable(num_threads)
@@ -128,7 +156,6 @@ class ExperimentRunner:
                     allocation.split,
                     dram_cached=sim_os.memory.dram_fronted_by_cache,
                 )
-                model = PerformanceModel(self.machine, sim_os.memory)
                 result = model.run(workload.profile(), mix, num_threads)
         except OutOfNodeMemory as exc:
             return self._infeasible(

@@ -25,7 +25,7 @@ from repro.memory.device import MemoryDevice
 from repro.memory.dram import ddr4_archer
 from repro.memory.mcdram import mcdram_archer
 from repro.memory.modes import MCDRAMConfig, MemorySystem
-from repro.engine.perfmodel import PerformanceModel
+from repro.engine.batch import ModelTables
 from repro.engine.placement import Location, PlacementMix
 from repro.util.validation import check_positive
 from repro.workloads.base import Workload
@@ -184,24 +184,38 @@ class SensitivityAnalysis:
         cache = MemorySystem(
             MCDRAMConfig.cache(), dram=devices.dram, mcdram=devices.mcdram
         )
-        flat_model = PerformanceModel(self.machine, flat)
-        cache_model = PerformanceModel(self.machine, cache)
+        # Hoisted columnar tables instead of per-call PerformanceModel
+        # plumbing: device latencies, random caps, cache survival and TLB
+        # tiers are memoized across every metric call of a perturbation
+        # (conclusions repeatedly probe the same small point set), and
+        # evaluated points are memoized outright.  run_batch is
+        # bit-identical to PerformanceModel.run, so the predicates see
+        # exactly the values the per-point loop produced.
+        flat_tables = ModelTables(self.machine, flat)
+        cache_tables = ModelTables(self.machine, cache)
+        memo: dict[tuple[int, ConfigName, int], float | None] = {}
 
         def metric(
             workload: Workload, config: ConfigName, threads: int
         ) -> float | None:
+            key = (id(workload), config, threads)
+            if key in memo:
+                return memo[key]
             if config is ConfigName.HBM:
                 if workload.footprint_bytes > devices.mcdram.capacity_bytes:
+                    memo[key] = None
                     return None
-                model, location = flat_model, Location.HBM
+                tables, location = flat_tables, Location.HBM
             elif config is ConfigName.DRAM:
-                model, location = flat_model, Location.DRAM
+                tables, location = flat_tables, Location.DRAM
             else:
-                model, location = cache_model, Location.DRAM_CACHED
-            run = model.run(
-                workload.profile(), PlacementMix.pure(location), threads
-            )
-            return workload.metric(run)
+                tables, location = cache_tables, Location.DRAM_CACHED
+            run = tables.run_batch(
+                [(workload.profile(), PlacementMix.pure(location), threads)]
+            )[0]
+            value = workload.metric(run)
+            memo[key] = value
+            return value
 
         return metric
 

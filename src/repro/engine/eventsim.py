@@ -127,6 +127,80 @@ class MemoryEventSimulator:
         requests_per_thread: int,
         seed: int | None = None,
     ) -> EventSimResult:
+        """Optimized event loop; result-identical to ``_simulate_reference``.
+
+        The per-request ``rng.integers`` call dominated the reference
+        loop.  ``Generator.integers(..., size=n)`` consumes the identical
+        bit stream as n scalar draws, so hoisting all channel picks into
+        one vectorized draw preserves every simulated event
+        (``tests/engine/test_eventsim.py`` pins exact equality).  The rest
+        of the state lives in plain Python lists — scalar indexing on
+        small numpy arrays is slower than list access in this loop.
+        """
+        check_positive("threads", threads)
+        check_positive("mlp", mlp)
+        check_positive("requests_per_thread", requests_per_thread)
+        rng = make_rng(seed, "eventsim", threads, mlp, requests_per_thread)
+
+        total = threads * requests_per_thread
+        window = max(1, int(round(mlp)))
+        channel_of = rng.integers(0, self.channels, size=total).tolist()
+        channel_free = [0.0] * self.channels
+        in_flight: list[tuple[float, int]] = []
+        remaining = [requests_per_thread] * threads
+        issued_at: list[float] = []
+        completed_at: list[float] = []
+        service_ns = self.service_ns
+        wire_ns = self.wire_ns
+        push, pop = heapq.heappush, heapq.heappop
+        cursor = 0
+        now = 0.0
+
+        prime = min(window, requests_per_thread)
+        for thread in range(threads):
+            for _ in range(prime):
+                channel = channel_of[cursor]
+                cursor += 1
+                start = channel_free[channel]
+                finish = (start if start > 0.0 else 0.0) + service_ns
+                channel_free[channel] = finish
+                completion = finish + wire_ns
+                push(in_flight, (completion, thread))
+                issued_at.append(0.0)
+                completed_at.append(completion)
+            remaining[thread] = requests_per_thread - prime
+
+        while in_flight:
+            now, thread = pop(in_flight)
+            if remaining[thread] > 0:
+                remaining[thread] -= 1
+                channel = channel_of[cursor]
+                cursor += 1
+                free = channel_free[channel]
+                start = free if free > now else now
+                finish = start + service_ns
+                channel_free[channel] = finish
+                completion = finish + wire_ns
+                push(in_flight, (completion, thread))
+                issued_at.append(now)
+                completed_at.append(completion)
+
+        latencies = np.array(completed_at) - np.array(issued_at)
+        return EventSimResult(
+            requests=total,
+            elapsed_ns=now,
+            mean_latency_ns=float(latencies.mean()),
+        )
+
+    def _simulate_reference(
+        self,
+        *,
+        threads: int,
+        mlp: float,
+        requests_per_thread: int,
+        seed: int | None = None,
+    ) -> EventSimResult:
+        """The readable per-event loop the optimized path must match."""
         check_positive("threads", threads)
         check_positive("mlp", mlp)
         check_positive("requests_per_thread", requests_per_thread)

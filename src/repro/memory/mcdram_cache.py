@@ -31,6 +31,7 @@ direct mapping rather than capacity.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 
@@ -63,6 +64,19 @@ _STREAM_SURVIVAL_ANCHORS: tuple[tuple[float, float], ...] = (
     (2.8, 0.03),
     (5.6, 0.0),
 )
+
+
+@functools.lru_cache(maxsize=1)
+def _survival_interpolator() -> tuple[PchipInterpolator, float]:
+    """The survival spline, built once per process.
+
+    The anchors are module constants, so every cache model shares one
+    interpolator; rebuilding it per :class:`MCDRAMCacheModel` was the
+    single largest setup cost on the scalar run path.
+    """
+    xs = np.array([a[0] for a in _STREAM_SURVIVAL_ANCHORS])
+    ys = np.array([a[1] for a in _STREAM_SURVIVAL_ANCHORS])
+    return PchipInterpolator(xs, ys, extrapolate=False), float(xs[-1])
 
 
 @dataclass(frozen=True)
@@ -128,10 +142,7 @@ class MCDRAMCacheModel:
                 f"tag_probe_fraction must be in [0, 1], got {tag_probe_fraction}"
             )
         self.tag_probe_fraction = tag_probe_fraction
-        xs = np.array([a[0] for a in _STREAM_SURVIVAL_ANCHORS])
-        ys = np.array([a[1] for a in _STREAM_SURVIVAL_ANCHORS])
-        self._survival = PchipInterpolator(xs, ys, extrapolate=False)
-        self._survival_max_r = float(xs[-1])
+        self._survival, self._survival_max_r = _survival_interpolator()
 
     # -- geometry -------------------------------------------------------------
     def footprint_ratio(self, footprint_bytes: int) -> float:

@@ -37,6 +37,7 @@ __all__ = [
     "add",
     "set_gauge",
     "observe",
+    "observe_many",
     "enabled",
     "install",
     "uninstall",
@@ -97,6 +98,23 @@ class Histogram:
         if value > self.maximum:
             self.maximum = value
 
+    def merge(
+        self, count: int, total: float, minimum: float, maximum: float
+    ) -> None:
+        """Fold a pre-aggregated batch of observations into this summary.
+
+        Used by the batch engine, which accounts whole row blocks at once
+        instead of observing per point.
+        """
+        if count <= 0:
+            return
+        self.count += count
+        self.total += total
+        if minimum < self.minimum:
+            self.minimum = minimum
+        if maximum > self.maximum:
+            self.maximum = maximum
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -155,6 +173,36 @@ class MetricsRegistry:
             if histogram is None:
                 histogram = self._histograms[key] = Histogram()
             histogram.observe(value)
+
+    def observe_many(
+        self,
+        name: str,
+        values: "Any",
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Record a whole batch of histogram observations at once.
+
+        ``values`` is any numeric sequence (typically a numpy array); the
+        summary is updated as if :meth:`observe` had been called per
+        element, with one lock acquisition for the batch.
+        """
+        count = len(values)
+        if not count:
+            return
+        if hasattr(values, "sum"):  # numpy fast path
+            total = float(values.sum())
+            minimum = float(values.min())
+            maximum = float(values.max())
+        else:
+            total = float(sum(values))
+            minimum = float(min(values))
+            maximum = float(max(values))
+        key = (name, _label_key(labels))
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = Histogram()
+            histogram.merge(count, total, minimum, maximum)
 
     # -- reads ----------------------------------------------------------------
     def counter_value(
@@ -275,3 +323,14 @@ def observe(
     registry = _registry
     if registry is not None:
         registry.observe(name, value, labels)
+
+
+def observe_many(
+    name: str, values: "Any", labels: Mapping[str, Any] | None = None
+) -> None:
+    """Record a batch of histogram observations (no-op when disabled)."""
+    if not _enabled:
+        return
+    registry = _registry
+    if registry is not None:
+        registry.observe_many(name, values, labels)
