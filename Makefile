@@ -6,7 +6,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 export PYTHONPATH
 
-.PHONY: install test test-fast bench report examples docs-check check clean
+.PHONY: install test test-fast bench bench-serve serve-smoke report examples docs-check check clean
 
 install:
 	pip install -e .
@@ -33,6 +33,16 @@ test-fast:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Serving-layer throughput: coalesced vs naive one-request-one-eval
+# (regenerates BENCH_serve.json; see docs/SERVING.md).
+bench-serve:
+	python -m repro bench serve
+
+# CI smoke for the prediction service: 200 concurrent queries, p99
+# bound, bit-identity and invariant audit (tools/serve_smoke.py).
+serve-smoke:
+	python tools/serve_smoke.py
 
 report:
 	python -m repro report

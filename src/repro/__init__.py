@@ -15,7 +15,15 @@ Hybrid Memory System on HPC Environments" (2017), built as a library:
 * :mod:`repro.figures` — generators for every table/figure in the paper,
 * :mod:`repro.obs` — structured observability: span tracing, a metrics
   registry surfacing the model internals (bytes moved, cache hit/conflict
-  counts, TLB walks, concurrency), and per-cell sweep profiling hooks.
+  counts, TLB walks, concurrency), and per-cell sweep profiling hooks,
+* :mod:`repro.api` — the unified typed prediction API: frozen
+  :class:`~repro.api.types.Query` / :class:`~repro.api.types.QueryGrid` /
+  :class:`~repro.api.types.PredictionResult` wire types, the typed error
+  taxonomy, and the :class:`~repro.api.facade.Predictor` facade every
+  entry point routes through,
+* :mod:`repro.serve` — the asyncio prediction service: request
+  coalescing into dense batches, TTL result caching, admission control,
+  an HTTP front end plus a stdlib client (see ``docs/SERVING.md``).
 
 Quickstart::
 
@@ -50,7 +58,8 @@ from repro.engine import (
     Phase,
     PlacementMix,
 )
-from repro import obs
+from repro import api, obs
+from repro.api import PredictionResult, Predictor, Query, QueryGrid
 from repro.machine import KNLMachine, knl7210, knl7250
 from repro.memory import MCDRAMConfig, MemoryMode, MemorySystem
 from repro.obs import Observation, observe
@@ -84,6 +93,11 @@ __all__ = [
     "MemoryMode",
     "MemorySystem",
     "SimulatedOS",
+    "api",
+    "Query",
+    "QueryGrid",
+    "PredictionResult",
+    "Predictor",
     "obs",
     "Observation",
     "observe",

@@ -1,0 +1,68 @@
+"""`repro.api` — the unified typed prediction API.
+
+The single wire/Python contract every consumer speaks: the service and
+its client (:mod:`repro.serve`), the CLI, the advisor, the placement
+optimizer and the batch engine all route through the types
+(:mod:`repro.api.types`), errors (:mod:`repro.api.errors`) and facade
+(:mod:`repro.api.facade`) re-exported here.
+"""
+
+from repro.api.errors import (
+    ApiError,
+    CapacityError,
+    DeadlineExceededError,
+    InfeasibleConfigError,
+    SchemaVersionError,
+    UnknownWorkloadError,
+    ValidationError,
+    error_from_info,
+)
+from repro.api.facade import (
+    Predictor,
+    compare_configs,
+    default_predictor,
+    evaluate_placements,
+    machine_preset,
+    predict,
+    predict_grid,
+    predict_many,
+    query_cache_key,
+    sized_workload,
+)
+from repro.api.types import (
+    MACHINE_NAMES,
+    SCHEMA_VERSION,
+    ErrorInfo,
+    PredictionResult,
+    Query,
+    QueryGrid,
+    check_schema_version,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MACHINE_NAMES",
+    "Query",
+    "QueryGrid",
+    "PredictionResult",
+    "ErrorInfo",
+    "check_schema_version",
+    "ApiError",
+    "ValidationError",
+    "SchemaVersionError",
+    "UnknownWorkloadError",
+    "InfeasibleConfigError",
+    "CapacityError",
+    "DeadlineExceededError",
+    "error_from_info",
+    "Predictor",
+    "default_predictor",
+    "predict",
+    "predict_many",
+    "predict_grid",
+    "compare_configs",
+    "evaluate_placements",
+    "query_cache_key",
+    "sized_workload",
+    "machine_preset",
+]

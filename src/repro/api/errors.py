@@ -1,0 +1,148 @@
+"""The unified error taxonomy of the prediction API.
+
+One hierarchy replaces the historical mix of bare ``ValueError``,
+``KeyError``, ``RuntimeError`` and string-status results that the
+fragmented entry points grew independently:
+
+* :class:`ValidationError` — the request itself is malformed (bad types,
+  out-of-range sizes, impossible thread counts).  Subclasses
+  ``ValueError`` so legacy ``except ValueError`` call sites keep working.
+* :class:`UnknownWorkloadError` — the workload name is not in the
+  queryable registry.  Subclasses ``LookupError`` for the same reason.
+* :class:`InfeasibleConfigError` — no *feasible* evaluation exists (the
+  advisor's "nothing fits" case).  Subclasses ``RuntimeError``, which is
+  what the advisor historically raised.  Note that a single infeasible
+  cell (HBM membind over 16 GB — the paper's Fig. 4 missing bars) is
+  **not** an exception: it serializes as a structured
+  :class:`~repro.api.types.ErrorInfo` inside the result, exactly like
+  the scalar runner's ``infeasible_reason`` records.
+* :class:`CapacityError` — the serving layer refused admission
+  (bounded queue full, oversized grid, draining server): the 429 of the
+  wire protocol.
+* :class:`DeadlineExceededError` — the per-request deadline elapsed
+  before the coalesced batch completed: the 504 of the wire protocol.
+
+Every class carries a stable wire ``code`` and an HTTP status; errors
+cross the wire only as :class:`~repro.api.types.ErrorInfo` payloads and
+are rehydrated client-side by :func:`error_from_info`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, ClassVar, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types imports us)
+    from repro.api.types import ErrorInfo
+
+__all__ = [
+    "ApiError",
+    "ValidationError",
+    "SchemaVersionError",
+    "UnknownWorkloadError",
+    "InfeasibleConfigError",
+    "CapacityError",
+    "DeadlineExceededError",
+    "error_from_info",
+    "error_types",
+]
+
+
+class ApiError(Exception):
+    """Base of the prediction-API error taxonomy."""
+
+    #: Stable wire identifier (``ErrorInfo.code``).
+    code: ClassVar[str] = "internal"
+    #: Status the HTTP protocol layer maps this error to.
+    http_status: ClassVar[int] = 500
+
+    def __init__(
+        self, message: str, *, details: Mapping[str, Any] | None = None
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.details: dict[str, Any] = dict(details) if details else {}
+
+    def to_info(self) -> "ErrorInfo":
+        """The wire form of this error."""
+        from repro.api.types import ErrorInfo
+
+        return ErrorInfo(
+            code=self.code, message=self.message, details=dict(self.details)
+        )
+
+
+class ValidationError(ApiError, ValueError):
+    """The request is malformed (types, ranges, unknown fields)."""
+
+    code = "validation"
+    http_status = 400
+
+
+class SchemaVersionError(ValidationError):
+    """The request speaks a schema version this service does not."""
+
+    code = "unsupported_schema"
+    http_status = 400
+
+
+class UnknownWorkloadError(ApiError, LookupError):
+    """The named workload is not queryable."""
+
+    code = "unknown_workload"
+    http_status = 404
+
+
+class InfeasibleConfigError(ApiError, RuntimeError):
+    """No feasible configuration exists for the request at all.
+
+    Raised process-locally (e.g. the advisor finding nothing that fits);
+    per-cell infeasibility serializes as ``ErrorInfo`` in the result
+    instead.
+    """
+
+    code = "infeasible_config"
+    http_status = 409
+
+
+class CapacityError(ApiError):
+    """The service refused admission (queue full, grid too large,
+    draining)."""
+
+    code = "capacity"
+    http_status = 429
+
+
+class DeadlineExceededError(ApiError):
+    """The per-request deadline elapsed before evaluation completed."""
+
+    code = "deadline_exceeded"
+    http_status = 504
+
+
+def error_types() -> dict[str, type[ApiError]]:
+    """Wire ``code`` -> exception class, for client-side rehydration."""
+    return {
+        cls.code: cls
+        for cls in (
+            ApiError,
+            ValidationError,
+            SchemaVersionError,
+            UnknownWorkloadError,
+            InfeasibleConfigError,
+            CapacityError,
+            DeadlineExceededError,
+        )
+    }
+
+
+def error_from_info(info: "ErrorInfo") -> ApiError:
+    """Rehydrate a wire :class:`ErrorInfo` into the matching exception.
+
+    Unknown codes fall back to the :class:`ApiError` base so a newer
+    server cannot crash an older client.
+    """
+    cls = error_types().get(info.code, ApiError)
+    error = cls(info.message, details=dict(info.details))
+    if cls is ApiError and info.code != ApiError.code:
+        error.details.setdefault("wire_code", info.code)
+    return error

@@ -8,6 +8,8 @@ Usage::
     knl-hybridmem --trace-out fig4c.trace.json --metrics-out fig4c.json fig4c
     knl-hybridmem advisor minife --size-gb 7.2 --threads 128
     knl-hybridmem describe
+    knl-hybridmem serve --port 8713
+    knl-hybridmem bench serve --clients 64
 
 Observability: ``--trace-out`` / ``--metrics-out`` (or ``REPRO_TRACE=1``,
 with optional ``REPRO_TRACE_OUT`` / ``REPRO_METRICS_OUT`` paths) wrap the
@@ -132,19 +134,126 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench = sub.add_parser(
         "bench",
-        help="measure scalar-vs-batch engine throughput (BENCH_engine.json)",
+        help=(
+            "measure throughput: 'engine' (scalar vs batch, "
+            "BENCH_engine.json) or 'serve' (coalesced vs naive serving, "
+            "BENCH_serve.json)"
+        ),
+    )
+    bench.add_argument(
+        "target",
+        nargs="?",
+        choices=["engine", "serve"],
+        default="engine",
+        help="what to benchmark (default: engine)",
     )
     bench.add_argument(
         "--points",
         type=int,
         default=10_080,
-        help="minimum grid size to evaluate (default: 10080)",
+        help="engine: minimum grid size to evaluate (default: 10080)",
+    )
+    bench.add_argument(
+        "--clients",
+        type=int,
+        default=64,
+        help="serve: concurrent closed-loop clients (default: 64)",
+    )
+    bench.add_argument(
+        "--requests-per-client",
+        type=int,
+        default=8,
+        help="serve: requests each client issues per phase (default: 8)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="serve: runs per phase, best reported (default: 3)",
+    )
+    bench.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        help="serve: evaluation worker threads in the server (default: 2)",
     )
     bench.add_argument(
         "--out",
-        default="BENCH_engine.json",
+        default=None,
         metavar="FILE",
-        help="where to write the measurement JSON (default: BENCH_engine.json)",
+        help=(
+            "where to write the measurement JSON (default: "
+            "BENCH_engine.json or BENCH_serve.json by target)"
+        ),
+    )
+    serve = sub.add_parser(
+        "serve",
+        help="run the coalescing prediction service (see docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8713,
+        help="TCP port; 0 picks a free one (default: 8713)",
+    )
+    serve.add_argument(
+        "--machine",
+        choices=["knl7210", "knl7250"],
+        default="knl7210",
+        help="machine preset answering the queries (default: knl7210)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="evaluation worker threads (default: 2)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="largest coalesced batch per dispatch (default: 256)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        help="admission queue bound; beyond it requests get 429 "
+        "(default: 1024)",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="how long a dispatcher waits for a batch to fill "
+        "(default: 2.0; 0 dispatches immediately)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=4096,
+        help="result-cache capacity; 0 disables caching (default: 4096)",
+    )
+    serve.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=300.0,
+        help="result-cache TTL in seconds; 0 or less means no expiry "
+        "(default: 300)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=10.0,
+        help="default per-request deadline in seconds (default: 10)",
+    )
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="serve one-evaluation-per-request (the naive baseline)",
     )
     return parser
 
@@ -237,6 +346,59 @@ def _dispatch_checked(args: argparse.Namespace) -> int:
         return 1
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the prediction service in the foreground until interrupted."""
+    import asyncio
+
+    from repro.api.errors import ValidationError
+    from repro.serve.http import HttpServer
+    from repro.serve.service import PredictionService, ServiceConfig
+
+    try:
+        config = ServiceConfig(
+            machine=args.machine,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+            batch_window_s=args.batch_window_ms / 1e3,
+            workers=args.workers,
+            cache_entries=args.cache_entries,
+            cache_ttl_s=args.cache_ttl if args.cache_ttl > 0 else None,
+            default_deadline_s=args.deadline,
+            coalesce=not args.no_coalesce,
+        )
+    except ValidationError as exc:
+        print(f"[serve] {exc}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        service = PredictionService(config)
+        server = HttpServer(service, host=args.host, port=args.port)
+        await service.start()
+        host, port = await server.start()
+        mode = "coalescing" if config.coalesce else "naive (no coalescing)"
+        print(
+            f"[serve] listening on http://{host}:{port} "
+            f"({config.machine}, {mode}, {config.workers} workers) — "
+            f"Ctrl-C drains and exits",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("[serve] draining...", file=sys.stderr)
+            await server.stop()
+            await service.stop()
+            print("[serve] stopped", file=sys.stderr)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     command = args.command
     if command == "list":
@@ -300,13 +462,41 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"  {best.describe()}")
         return 0
     if command == "bench":
+        if args.target == "serve":
+            from repro.serve.loadgen import measure_serve, write_bench_json
+
+            document = measure_serve(
+                clients=args.clients,
+                requests_per_client=args.requests_per_client,
+                workers=args.serve_workers,
+                repeats=args.repeats,
+            )
+            path = write_bench_json(
+                document, args.out or "BENCH_serve.json"
+            )
+            for phase in ("coalesced", "hot_cache", "naive"):
+                stats = document[phase]
+                print(
+                    f"{phase:<10} {stats['throughput_rps']:8.1f} rps  "
+                    f"p50 {stats['p50_ms']:.2f} ms  "
+                    f"p99 {stats['p99_ms']:.2f} ms"
+                )
+            print(
+                "speedup coalesced/naive "
+                f"{document['speedup_coalesced_vs_naive']:.2f}x, "
+                f"hot/naive {document['speedup_hot_vs_naive']:.2f}x"
+            )
+            print(f"[bench] wrote {path}", file=sys.stderr)
+            return 0
         from repro.core.perfbench import measure_engine, write_bench_json
 
         result = measure_engine(args.points)
-        path = write_bench_json(result, args.out)
+        path = write_bench_json(result, args.out or "BENCH_engine.json")
         print(result.describe())
         print(f"[bench] wrote {path}", file=sys.stderr)
         return 0
+    if command == "serve":
+        return _run_serve(args)
     if command == "check":
         from repro.checks.batch import check_exhibits
 

@@ -64,13 +64,22 @@ class PlacementAdvisor:
 
     def recommend(self, workload: Workload, num_threads: int = 64) -> Recommendation:
         """Evaluate every candidate configuration and pick the best feasible."""
+        # Imported lazily: repro.api resolves core modules at import time.
+        from repro.api import InfeasibleConfigError, compare_configs
+
         records = tuple(
-            self.runner.run(workload, make_config(name), num_threads)
-            for name in self.candidates
+            compare_configs(
+                workload,
+                tuple(make_config(name) for name in self.candidates),
+                num_threads,
+                runner=self.runner,
+            )
         )
         feasible = [r for r in records if r.feasible]
         if not feasible:
-            raise RuntimeError(
+            # An InfeasibleConfigError IS a RuntimeError (the historical
+            # contract of this method).
+            raise InfeasibleConfigError(
                 f"no feasible configuration for {workload.spec.name} "
                 f"({workload.footprint_bytes / 1e9:.1f} GB)"
             )

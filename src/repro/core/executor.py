@@ -35,7 +35,7 @@ import time
 from collections import OrderedDict
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, TypeVar
 
@@ -105,6 +105,15 @@ class ExecutorStats:
     misses: int
     disk_hits: int
     executed: int
+    #: Miss batches that went through the columnar evaluator, and the
+    #: constituent cells they covered.  A coalesced batch of N cells
+    #: counts N in ``batched_cells`` (and N in ``misses``/``executed``
+    #: like any other miss), never 1 — per-cell accounting is identical
+    #: across strategies, which is why these two stay out of equality
+    #: comparisons (``compare=False``): the serial strategy is
+    #: batch-eligible while multi-job thread/process pools are not.
+    batches: int = field(default=0, compare=False)
+    batched_cells: int = field(default=0, compare=False)
 
     @property
     def lookups(self) -> int:
@@ -125,9 +134,19 @@ class ExecutorStats:
 
 # -- cache keys ---------------------------------------------------------------
 
+# Fingerprints are memoized per machine *object*: presets are immutable
+# and few, but peak_dp_gflops walks every core on every call, which is
+# measurable when a serving layer keys thousands of queries per second.
+# The strong reference in the value pins the id against reuse.
+_MACHINE_FINGERPRINTS: dict[int, tuple[KNLMachine, dict[str, Any]]] = {}
+
+
 def machine_fingerprint(machine: KNLMachine) -> dict[str, Any]:
     """The preset-identifying facts that influence a simulated run."""
-    return {
+    entry = _MACHINE_FINGERPRINTS.get(id(machine))
+    if entry is not None and entry[0] is machine:
+        return entry[1]
+    fingerprint = {
         "name": machine.name,
         "num_cores": machine.num_cores,
         "smt_per_core": machine.smt_per_core,
@@ -136,6 +155,8 @@ def machine_fingerprint(machine: KNLMachine) -> dict[str, Any]:
         "cluster_mode": machine.mesh.cluster_mode.value,
         "peak_dp_gflops": machine.peak_dp_gflops,
     }
+    _MACHINE_FINGERPRINTS[id(machine)] = (machine, fingerprint)
+    return fingerprint
 
 
 def config_fingerprint(config: SystemConfig) -> dict[str, Any]:
@@ -384,6 +405,8 @@ class SweepExecutor:
         self._hits = 0
         self._misses = 0
         self._executed = 0
+        self._batches = 0
+        self._batched_cells = 0
 
     def add_profile_hook(self, hook: ProfileHook) -> None:
         """Register a per-cell profiling callback (:mod:`repro.obs.profiling`).
@@ -584,6 +607,12 @@ class SweepExecutor:
         )
         records = result.records()
         per_cell_ns = (time.perf_counter_ns() - start) // len(cells)
+        with self._stats_lock:
+            self._batches += 1
+            self._batched_cells += len(cells)
+        if obs_metrics.enabled():
+            obs_metrics.add("executor.batches", 1.0)
+            obs_metrics.add("executor.batched_cells", float(len(cells)))
         return [(record, per_cell_ns) for record in records]
 
     def _ensure_pool(self) -> Executor:
@@ -604,11 +633,14 @@ class SweepExecutor:
                 misses=self._misses,
                 disk_hits=self.cache.disk_hits,
                 executed=self._executed,
+                batches=self._batches,
+                batched_cells=self._batched_cells,
             )
 
     def reset_stats(self) -> None:
         with self._stats_lock:
             self._hits = self._misses = self._executed = 0
+            self._batches = self._batched_cells = 0
             self.cache.disk_hits = 0
 
     def close(self) -> None:

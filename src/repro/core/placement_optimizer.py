@@ -145,18 +145,20 @@ class PlacementOptimizer:
             feasible.append((assignment, hbm_bytes))
         if not feasible:
             raise RuntimeError("no feasible assignment (HBM capacity)")
-        runs = self.tables.run_batch(
+        # Imported lazily: repro.api resolves core modules at import time.
+        from repro.api import evaluate_placements
+
+        runs = evaluate_placements(
+            profile,
             [
-                (
-                    profile,
-                    {
-                        s.phase: PlacementMix.pure(loc)
-                        for s, loc in zip(structures, assignment)
-                    },
-                    num_threads,
-                )
+                {
+                    s.phase: PlacementMix.pure(loc)
+                    for s, loc in zip(structures, assignment)
+                }
                 for assignment, _ in feasible
-            ]
+            ],
+            num_threads,
+            tables=self.tables,
         )
         best: OptimizedPlacement | None = None
         evaluated = 0

@@ -156,7 +156,7 @@ class ExperimentRunner:
                     allocation.split,
                     dram_cached=sim_os.memory.dram_fronted_by_cache,
                 )
-                result = model.run(workload.profile(), mix, num_threads)
+                result = model.evaluate(workload.profile(), mix, num_threads)
         except OutOfNodeMemory as exc:
             return self._infeasible(
                 workload,
@@ -181,8 +181,17 @@ class ExperimentRunner:
         configs: tuple[SystemConfig | ConfigName, ...] | None = None,
         num_threads: int = 64,
     ) -> list[RunRecord]:
-        """Run the workload under several configurations (default: the
-        paper's trio)."""
-        if configs is None:
-            configs = ConfigName.paper_trio()
-        return [self.run(workload, c, num_threads) for c in configs]
+        """Deprecated alias of :func:`repro.api.compare_configs` (which
+        preserves this runner's per-config dispatch exactly)."""
+        import warnings
+
+        warnings.warn(
+            "ExperimentRunner.run_configs is deprecated; use "
+            "repro.api.compare_configs",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # Imported lazily: repro.api resolves core modules at import time.
+        from repro.api import compare_configs
+
+        return compare_configs(workload, configs, num_threads, runner=self)

@@ -188,9 +188,9 @@ class SensitivityAnalysis:
         # plumbing: device latencies, random caps, cache survival and TLB
         # tiers are memoized across every metric call of a perturbation
         # (conclusions repeatedly probe the same small point set), and
-        # evaluated points are memoized outright.  run_batch is
-        # bit-identical to PerformanceModel.run, so the predicates see
-        # exactly the values the per-point loop produced.
+        # evaluated points are memoized outright.  evaluate_batch is
+        # bit-identical to PerformanceModel.evaluate, so the predicates
+        # see exactly the values the per-point loop produced.
         flat_tables = ModelTables(self.machine, flat)
         cache_tables = ModelTables(self.machine, cache)
         memo: dict[tuple[int, ConfigName, int], float | None] = {}
@@ -210,7 +210,7 @@ class SensitivityAnalysis:
                 tables, location = flat_tables, Location.DRAM
             else:
                 tables, location = cache_tables, Location.DRAM_CACHED
-            run = tables.run_batch(
+            run = tables.evaluate_batch(
                 [(workload.profile(), PlacementMix.pure(location), threads)]
             )[0]
             value = workload.metric(run)

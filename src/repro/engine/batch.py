@@ -53,6 +53,7 @@ value.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -393,14 +394,31 @@ class ModelTables:
             {"device": "dram"},
         )
 
-    # -- model.run twin ------------------------------------------------------
+    # -- model.evaluate twin -------------------------------------------------
     def run_batch(
         self,
         requests: Sequence[
             tuple[MemoryProfile, "PlacementMix | dict[str, PlacementMix]", int]
         ],
     ) -> list[RunResult]:
-        """Evaluate many ``model.run`` calls at once; returns RunResults.
+        """Deprecated alias of :meth:`evaluate_batch` (the pre-`repro.api`
+        entry point; kept for callers of the historical shape)."""
+        warnings.warn(
+            "ModelTables.run_batch is deprecated; use "
+            "ModelTables.evaluate_batch (or the repro.api facade)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.evaluate_batch(requests)
+
+    def evaluate_batch(
+        self,
+        requests: Sequence[
+            tuple[MemoryProfile, "PlacementMix | dict[str, PlacementMix]", int]
+        ],
+    ) -> list[RunResult]:
+        """Evaluate many ``model.evaluate`` calls at once; returns
+        RunResults.
 
         Validation order matches a scalar loop over the requests: the
         OpenMP environment is checked, then fine-grained dicts are checked

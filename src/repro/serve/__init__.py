@@ -1,0 +1,40 @@
+"""Prediction service layer: coalescing what-if serving over repro.api.
+
+The package splits along the request path:
+
+* :mod:`repro.serve.cache` — TTL+LRU result cache keyed by the
+  content-addressed run key;
+* :mod:`repro.serve.coalescer` — admission queue + dispatchers that
+  merge concurrent queries into dense batches;
+* :mod:`repro.serve.service` — the protocol-independent service core
+  (lifecycle, deadlines, metrics, endpoints);
+* :mod:`repro.serve.http` — the zero-dependency asyncio HTTP front end;
+* :mod:`repro.serve.client` — the stdlib client;
+* :mod:`repro.serve.threadserver` — a background-thread server harness;
+* :mod:`repro.serve.loadgen` — the closed-loop benchmark behind
+  ``repro bench serve`` and the CI smoke.
+
+See ``docs/SERVING.md`` for the wire protocol and capacity tuning.
+"""
+
+from repro.serve.cache import TTLCache
+from repro.serve.client import ServeClient
+from repro.serve.coalescer import Coalescer
+from repro.serve.http import DEFAULT_PORT, HttpServer
+from repro.serve.loadgen import measure_serve, run_smoke, write_bench_json
+from repro.serve.service import PredictionService, ServiceConfig
+from repro.serve.threadserver import ServerThread
+
+__all__ = [
+    "TTLCache",
+    "Coalescer",
+    "ServiceConfig",
+    "PredictionService",
+    "HttpServer",
+    "DEFAULT_PORT",
+    "ServeClient",
+    "ServerThread",
+    "measure_serve",
+    "run_smoke",
+    "write_bench_json",
+]

@@ -1,0 +1,422 @@
+"""Closed-loop load generator and benchmark for the prediction service.
+
+Boots two in-process servers — the real coalescing service and the naive
+one-request-one-eval baseline (``coalesce=False``, cache disabled) —
+drives each with the same population of **distinct** what-if queries
+from N concurrent clients, and reports throughput and latency
+percentiles per phase:
+
+* ``coalesced`` — cold keys against the coalescing server: every query
+  is a model evaluation, but concurrent requests merge into dense
+  columnar batches;
+* ``hot_cache`` — the same keys again: served from the TTL result cache
+  on the event loop, no evaluation at all;
+* ``naive`` — the same cold keys against the baseline server: one
+  scalar evaluation per request, the pre-serve cost model.
+
+The measurement-hygiene decision that matters most: **the pool is
+shaped like real what-if traffic.**  Queries share a small basis of
+(workload, size) profiles and fan out across memory configs and thread
+counts — the shape of "how should *my* app be placed?" exploration.
+Keys are still pairwise distinct (verified by content-addressed run
+key, with quantizing size constructors deduplicated), so no result
+cache can hide evaluation cost in the cold phases; warmup uses a
+key-disjoint slice of the same generator.  Clients are keep-alive
+threads in this process, one connection each, released together by a
+barrier.
+
+Every phase's responses are checked bit-identical against direct scalar
+:mod:`repro.api` evaluation (and, in the smoke harness, against a
+:class:`~repro.checks.checker.CheckingRunner` in ``raise`` mode), which
+is the acceptance bar: coalescing and caching may only change *when*
+work happens, never the answer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.api.facade import Predictor
+from repro.api.types import PredictionResult, Query
+from repro.serve.client import ServeClient
+from repro.serve.service import ServiceConfig
+from repro.serve.threadserver import ServerThread
+
+__all__ = [
+    "LoadPhase",
+    "build_query_pool",
+    "run_phase",
+    "measure_serve",
+    "run_smoke",
+    "write_bench_json",
+]
+
+#: (workload, base size) profile basis — few profiles, shared by many
+#: queries, exactly like a user sweeping placements for their own app.
+_POOL_BASIS = (
+    ("dgemm", 2.0),
+    ("dgemm", 4.0),
+    ("dgemm", 8.0),
+    ("minife", 3.0),
+    ("minife", 6.0),
+    ("minife", 9.0),
+    ("xsbench", 2.5),
+    ("xsbench", 5.0),
+)
+_POOL_CONFIGS = ("DRAM", "HBM", "Cache Mode", "Interleave")
+_POOL_THREADS = tuple(range(8, 257, 8))
+_POOL_CYCLE = len(_POOL_BASIS) * len(_POOL_CONFIGS) * len(_POOL_THREADS)
+
+
+@dataclass(frozen=True)
+class LoadPhase:
+    """Measured outcome of one load phase."""
+
+    name: str
+    requests: int
+    errors: int
+    seconds: float
+    throughput_rps: float
+    p50_ms: float
+    p99_ms: float
+    max_ms: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "requests": self.requests,
+            "errors": self.errors,
+            "seconds": self.seconds,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.requests} requests in {self.seconds:.2f}s "
+            f"= {self.throughput_rps:.0f} rps "
+            f"(p50 {self.p50_ms:.1f} ms, p99 {self.p99_ms:.1f} ms)"
+        )
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def build_query_pool(
+    count: int, *, predictor: Predictor | None = None
+) -> list[Query]:
+    """``count`` queries with pairwise-distinct content-addressed keys.
+
+    The sweep walks the profile basis fastest, then configs, then thread
+    counts, then (past one full cycle) shifts the size axis — so a
+    prefix of the pool covers every (profile, config) pair early, which
+    is what warmup slicing relies on.  Candidates whose size quantizes
+    onto an already-used key (MiniFE rounds to a mesh dimension, XSBench
+    to a gridpoint count) are skipped.
+    """
+    predictor = predictor if predictor is not None else Predictor()
+    queries: list[Query] = []
+    seen: set[str] = set()
+    index = 0
+    while len(queries) < count:
+        workload, base_size = _POOL_BASIS[index % len(_POOL_BASIS)]
+        config = _POOL_CONFIGS[(index // len(_POOL_BASIS)) % len(_POOL_CONFIGS)]
+        threads = _POOL_THREADS[
+            (index // (len(_POOL_BASIS) * len(_POOL_CONFIGS)))
+            % len(_POOL_THREADS)
+        ]
+        size_gb = round(base_size + 0.37 * (index // _POOL_CYCLE), 4)
+        index += 1
+        query = Query(
+            workload=workload,
+            size_gb=size_gb,
+            config=config,
+            num_threads=threads,
+        )
+        key = predictor.cache_key(query)
+        if key in seen:
+            continue
+        seen.add(key)
+        queries.append(query)
+    return queries
+
+
+def _partition(queries: Sequence[Query], clients: int) -> list[list[Query]]:
+    """Deal queries round-robin over ``clients`` slots."""
+    partitions: list[list[Query]] = [[] for _ in range(clients)]
+    for i, query in enumerate(queries):
+        partitions[i % clients].append(query)
+    return [p for p in partitions if p]
+
+
+def run_phase(
+    name: str,
+    host: str,
+    port: int,
+    partitions: Sequence[Sequence[Query]],
+    *,
+    deadline_s: float = 120.0,
+) -> tuple[LoadPhase, list[PredictionResult]]:
+    """One closed loop: one client thread per partition, one request per
+    query.  Threads connect first, then a barrier releases them all.
+
+    Returns the phase summary plus every response (thread-major, in
+    request order) for identity verification.
+    """
+    barrier = threading.Barrier(len(partitions) + 1)
+    latencies_ms: list[list[float]] = [[] for _ in partitions]
+    responses: list[list[PredictionResult]] = [[] for _ in partitions]
+    errors = [0] * len(partitions)
+
+    def client_loop(slot: int, queries: Sequence[Query]) -> None:
+        with ServeClient(host, port, timeout=deadline_s + 30.0) as client:
+            client.healthz()  # establish the keep-alive connection
+            barrier.wait()
+            for query in queries:
+                started = time.perf_counter()
+                try:
+                    result = client.predict(query, deadline_s=deadline_s)
+                except Exception:
+                    errors[slot] += 1
+                    continue
+                latencies_ms[slot].append((time.perf_counter() - started) * 1e3)
+                responses[slot].append(result)
+
+    threads = [
+        threading.Thread(
+            target=client_loop, args=(i, partition), name=f"loadgen-{i}"
+        )
+        for i, partition in enumerate(partitions)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - started
+    flat = sorted(lat for bucket in latencies_ms for lat in bucket)
+    requests = sum(len(p) for p in partitions)
+    phase = LoadPhase(
+        name=name,
+        requests=requests,
+        errors=sum(errors),
+        seconds=seconds,
+        throughput_rps=requests / seconds if seconds else 0.0,
+        p50_ms=_percentile(flat, 0.50),
+        p99_ms=_percentile(flat, 0.99),
+        max_ms=flat[-1] if flat else 0.0,
+    )
+    return phase, [r for bucket in responses for r in bucket]
+
+
+def _warmup(host: str, port: int, queries: Sequence[Query], clients: int) -> None:
+    """Boot profiles and per-thread model tables on the target server."""
+    run_phase("warmup", host, port, _partition(queries, clients))
+
+
+def _verify_identity(
+    responses: Sequence[PredictionResult], sample: int
+) -> dict[str, Any]:
+    """Served results vs direct scalar facade evaluation, bit for bit."""
+    oracle = Predictor()
+    step = max(1, len(responses) // sample) if responses else 1
+    checked = 0
+    mismatches = 0
+    for response in list(responses)[::step][:sample]:
+        direct = oracle.predict(response.query)
+        checked += 1
+        if direct != response:
+            mismatches += 1
+    return {
+        "checked": checked,
+        "mismatches": mismatches,
+        "bit_identical": mismatches == 0,
+    }
+
+
+def _best(phases: Sequence[LoadPhase]) -> LoadPhase:
+    return max(phases, key=lambda p: p.throughput_rps)
+
+
+def measure_serve(
+    *,
+    clients: int = 64,
+    requests_per_client: int = 8,
+    workers: int = 2,
+    max_batch: int = 256,
+    repeats: int = 3,
+    identity_sample: int = 64,
+) -> dict[str, Any]:
+    """The serve benchmark: coalesced vs hot-cache vs naive.
+
+    Returns the ``BENCH_serve.json`` document (see module docstring for
+    the phases).  ``clients`` is the closed-loop concurrency; every
+    client issues ``requests_per_client`` single-query requests.
+    Warmup and measurement are key-disjoint slices of one deduplicated
+    pool, and each cold repeat gets its own slice, so cold phases
+    evaluate every query.  Every phase runs ``repeats`` times and the
+    best run is reported (the usual guard against interference noise on
+    a shared box); the naive server replays the same slices, so both
+    sides see identical traffic.
+    """
+    repeats = max(1, repeats)
+    total = clients * requests_per_client
+    warm_count = 2 * len(_POOL_BASIS) * len(_POOL_CONFIGS)
+    pool = build_query_pool(warm_count + repeats * total)
+    warmup = pool[:warm_count]
+    slices = [
+        pool[warm_count + i * total : warm_count + (i + 1) * total]
+        for i in range(repeats)
+    ]
+    partition_sets = [_partition(s, clients) for s in slices]
+
+    coalesced_config = ServiceConfig(
+        workers=workers, max_batch=max_batch, max_queue=max(1024, 4 * total)
+    )
+    naive_config = ServiceConfig(
+        workers=workers,
+        max_queue=max(1024, 4 * total),
+        coalesce=False,
+        cache_entries=0,
+    )
+
+    responses: list[PredictionResult] = []
+    coalesced_runs: list[LoadPhase] = []
+    hot_runs: list[LoadPhase] = []
+    naive_runs: list[LoadPhase] = []
+    with ServerThread(coalesced_config) as server:
+        _warmup(server.host, server.port, warmup, clients)
+        for partitions in partition_sets:
+            phase, run_responses = run_phase(
+                "coalesced", server.host, server.port, partitions
+            )
+            coalesced_runs.append(phase)
+            responses.extend(run_responses)
+        for _ in range(repeats):  # repeated keys: served from the TTL cache
+            phase, run_responses = run_phase(
+                "hot_cache", server.host, server.port, partition_sets[-1]
+            )
+            hot_runs.append(phase)
+        responses.extend(run_responses)
+        snapshot = server.service.metrics_snapshot()
+    with ServerThread(naive_config) as server:
+        _warmup(server.host, server.port, warmup, clients)
+        for partitions in partition_sets:
+            phase, _ = run_phase(
+                "naive", server.host, server.port, partitions
+            )
+            naive_runs.append(phase)
+
+    coalesced, hot, naive = _best(coalesced_runs), _best(hot_runs), _best(naive_runs)
+    batches = snapshot["coalescer"]["batches"]
+    batched = snapshot["coalescer"]["batched_queries"]
+    identity = _verify_identity(responses, identity_sample)
+    return {
+        "concurrency": clients,
+        "requests_per_client": requests_per_client,
+        "total_requests": total,
+        "unique_queries": repeats * total,
+        "workers": workers,
+        "max_batch": max_batch,
+        "repeats": repeats,
+        "coalesced": coalesced.as_dict(),
+        "hot_cache": hot.as_dict(),
+        "naive": naive.as_dict(),
+        "coalesced_runs_rps": [round(p.throughput_rps, 1) for p in coalesced_runs],
+        "naive_runs_rps": [round(p.throughput_rps, 1) for p in naive_runs],
+        "speedup_coalesced_vs_naive": (
+            coalesced.throughput_rps / naive.throughput_rps
+            if naive.throughput_rps
+            else 0.0
+        ),
+        "speedup_hot_vs_naive": (
+            hot.throughput_rps / naive.throughput_rps
+            if naive.throughput_rps
+            else 0.0
+        ),
+        "coalescing": {
+            "batches": batches,
+            "batched_queries": batched,
+            "mean_batch_size": batched / batches if batches else 0.0,
+        },
+        "identity": identity,
+    }
+
+
+def run_smoke(
+    *,
+    clients: int = 50,
+    requests_per_client: int = 4,
+    workers: int = 2,
+    p99_bound_ms: float = 5000.0,
+    check_sample: int = 16,
+) -> dict[str, Any]:
+    """The CI smoke: boot, drive concurrent queries, bound p99, audit
+    served results against the invariant checker.
+
+    Raises ``AssertionError`` on any failure (errors, p99 over bound,
+    non-identical results, invariant violations).
+    """
+    from repro.api.facade import sized_workload
+    from repro.checks.checker import CheckingRunner
+    from repro.core.configs import ConfigName
+
+    total = clients * requests_per_client
+    pool = build_query_pool(total)
+    with ServerThread(ServiceConfig(workers=workers)) as server:
+        phase, responses = run_phase(
+            "smoke", server.host, server.port, _partition(pool, clients)
+        )
+        health = server.service.healthz()
+    assert phase.errors == 0, f"{phase.errors} failed requests"
+    assert phase.requests == total, f"served {phase.requests}/{total}"
+    assert (
+        phase.p99_ms <= p99_bound_ms
+    ), f"p99 {phase.p99_ms:.0f} ms over bound {p99_bound_ms:.0f} ms"
+    identity = _verify_identity(responses, check_sample)
+    assert identity["bit_identical"], f"identity mismatches: {identity}"
+    # Invariant audit: re-evaluate a sample under CheckingRunner(raise) —
+    # it throws on any violated invariant — and pin the served metric to
+    # the audited record's, bit for bit.
+    checker = CheckingRunner(mode="raise")
+    step = max(1, len(responses) // check_sample)
+    audited = 0
+    for response in responses[::step][:check_sample]:
+        query = response.query
+        record = checker.run(
+            sized_workload(query.workload, query.size_gb),
+            ConfigName(query.config),
+            query.num_threads,
+        )
+        assert record.metric == response.metric, (
+            f"served metric {response.metric!r} != checked {record.metric!r} "
+            f"for {query}"
+        )
+        audited += 1
+    return {
+        "phase": phase.as_dict(),
+        "health_after": health,
+        "identity": identity,
+        "invariant_audited": audited,
+        "checked_runs": checker.runs_checked,
+        "violations": checker.violation_count,
+    }
+
+
+def write_bench_json(document: dict[str, Any], path: str) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return path

@@ -1,0 +1,72 @@
+"""The error taxonomy: wire codes, HTTP statuses, legacy-compatible bases.
+
+The taxonomy's contract has three parts: stable ``code``/``http_status``
+pairs, round-tripping through :class:`ErrorInfo`, and subclassing the
+builtin exceptions the pre-``repro.api`` entry points raised so legacy
+``except`` clauses keep working.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.errors import (
+    ApiError,
+    CapacityError,
+    DeadlineExceededError,
+    InfeasibleConfigError,
+    SchemaVersionError,
+    UnknownWorkloadError,
+    ValidationError,
+    error_from_info,
+    error_types,
+)
+from repro.api.types import ErrorInfo
+
+TAXONOMY = [
+    (ValidationError, "validation", 400),
+    (SchemaVersionError, "unsupported_schema", 400),
+    (UnknownWorkloadError, "unknown_workload", 404),
+    (InfeasibleConfigError, "infeasible_config", 409),
+    (CapacityError, "capacity", 429),
+    (DeadlineExceededError, "deadline_exceeded", 504),
+    (ApiError, "internal", 500),
+]
+
+
+@pytest.mark.parametrize("cls, code, status", TAXONOMY)
+def test_codes_and_statuses_are_stable(cls, code, status):
+    assert cls.code == code
+    assert cls.http_status == status
+
+
+@pytest.mark.parametrize("cls, code, status", TAXONOMY)
+def test_round_trip_through_error_info(cls, code, status):
+    error = cls("boom", details={"k": 1})
+    info = error.to_info()
+    assert info.code == code
+    rehydrated = error_from_info(info)
+    assert type(rehydrated) is cls
+    assert rehydrated.message == "boom"
+    assert rehydrated.details == {"k": 1}
+
+
+def test_unknown_code_falls_back_to_base():
+    error = error_from_info(ErrorInfo(code="from_the_future", message="m"))
+    assert type(error) is ApiError
+    assert error.details["wire_code"] == "from_the_future"
+
+
+def test_legacy_exception_bases():
+    # Historical call sites caught these builtins; the taxonomy must
+    # still land in them.
+    assert issubclass(ValidationError, ValueError)
+    assert issubclass(UnknownWorkloadError, LookupError)
+    assert issubclass(InfeasibleConfigError, RuntimeError)
+    assert all(issubclass(cls, ApiError) for cls, _, _ in TAXONOMY)
+
+
+def test_error_types_covers_the_taxonomy():
+    mapping = error_types()
+    for cls, code, _ in TAXONOMY:
+        assert mapping[code] is cls

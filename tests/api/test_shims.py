@@ -1,0 +1,54 @@
+"""Deprecation shims: the historical entry points warn, then answer
+bit-identically to their canonical replacements.
+
+The re-routing must be invisible except for the warning — each shim's
+output is compared field-for-field against the canonical path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import compare_configs
+from repro.core.configs import ConfigName, make_config
+from repro.core.runner import ExperimentRunner
+from repro.engine.batch import ModelTables
+from repro.engine.placement import Location, PlacementMix
+from repro.workloads.registry import FROM_GB
+
+
+def test_performance_model_run_is_deprecated_alias(flat_model):
+    profile = FROM_GB["minife"](7.2).profile()
+    mix = PlacementMix.pure(Location.HBM)
+    with pytest.warns(DeprecationWarning, match="PerformanceModel.run"):
+        shimmed = flat_model.run(profile, mix, 64)
+    canonical = flat_model.evaluate(profile, mix, 64)
+    assert shimmed == canonical
+
+
+def test_model_tables_run_batch_is_deprecated_alias(machine, flat_memory):
+    tables = ModelTables(machine, flat_memory)
+    requests = [
+        (FROM_GB["dgemm"](4.0).profile(), PlacementMix.pure(loc), threads)
+        for loc in (Location.DRAM, Location.HBM)
+        for threads in (32, 64)
+    ]
+    with pytest.warns(DeprecationWarning, match="ModelTables.run_batch"):
+        shimmed = tables.run_batch(requests)
+    canonical = tables.evaluate_batch(requests)
+    assert shimmed == canonical
+
+
+def test_runner_run_configs_is_deprecated_alias():
+    workload = FROM_GB["xsbench"](2.5)
+    runner = ExperimentRunner()
+    with pytest.warns(DeprecationWarning, match="run_configs is deprecated"):
+        shimmed = runner.run_configs(workload, num_threads=64)
+    canonical = compare_configs(workload, num_threads=64, runner=runner)
+    assert shimmed == canonical
+    # And the facade's answer is the per-config loop's answer.
+    loop = [
+        runner.run(workload, make_config(c), 64)
+        for c in ConfigName.paper_trio()
+    ]
+    assert shimmed == loop
