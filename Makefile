@@ -6,7 +6,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 export PYTHONPATH
 
-.PHONY: install test test-fast bench bench-serve serve-smoke report examples docs-check check clean
+.PHONY: install test test-fast bench bench-serve serve-smoke machine-zoo report examples docs-check check clean
 
 install:
 	pip install -e .
@@ -43,6 +43,13 @@ bench-serve:
 # bound, bit-identity and invariant audit (tools/serve_smoke.py).
 serve-smoke:
 	python tools/serve_smoke.py
+
+# Cross-machine conformance: the full invariant catalogue on every
+# registered machine, spec round-trip/rejection properties, KNL
+# bit-identity vs the pre-registry presets, and machine-isolation
+# regressions (docs/MACHINES.md).
+machine-zoo:
+	pytest tests/machine/ -q
 
 report:
 	python -m repro report

@@ -1,0 +1,30 @@
+"""Machine zoo: the paper trio replayed across every registry machine.
+
+Shape: the near tier wins the sequential solver on every machine; the
+lower-idle-latency tier wins the random kernel at one thread per core —
+DRAM on both KNL presets and on Xeon Max, the near DRAM tier on the
+emulated DRAM+NVM node (where NVM is the slow far tier).
+"""
+
+from repro.figures.machines import generate
+from repro.machine import registry
+
+
+def test_machines_zoo(benchmark, record_exhibit):
+    exhibit = benchmark(generate)
+    record_exhibit(exhibit)
+    assert exhibit.data["machines"] == list(registry.names())
+    for key in registry.names():
+        rows = {(r["workload"], r["threads"]): r for r in exhibit.data[key]}
+        machine = registry.build(key)
+        seq_low = rows[("minife-7.2GB", machine.num_cores)]
+        rand_low = rows[("gups-4GB", machine.num_cores)]
+        # Sequential: flat near tier beats flat far tier everywhere.
+        assert seq_low["HBM"] > seq_low["DRAM"]
+        # Random at 1 thread/core: the lower-latency tier wins.
+        far_faster = (
+            machine.far_device().idle_latency_ns
+            <= machine.near_device().idle_latency_ns
+        )
+        assert rand_low["best"] == ("DRAM" if far_faster else "HBM")
+    print(exhibit.render())

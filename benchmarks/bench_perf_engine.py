@@ -17,6 +17,7 @@ per-point evaluation — still does.
 import pathlib
 
 from repro.core.perfbench import measure_engine, write_bench_json
+from repro.machine import registry
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -36,3 +37,22 @@ def test_engine_throughput(benchmark, record_text):
     # must not regress to (or below) its reference implementation.
     assert result.speedup_hot >= SPEEDUP_FLOOR, result.describe()
     assert result.eventsim_speedup >= 1.0, result.describe()
+
+
+def test_engine_throughput_non_knl(benchmark, record_text):
+    """The batch engine's 10x floor is a property of the columnar layout,
+    not of the KNL tables — it must hold on a registry machine with a
+    different tier pair and a shorter thread ladder (Xeon Max: SMT2, so
+    112 hardware threads instead of 256)."""
+    machine = registry.build("xeonmax9480")
+    result = benchmark.pedantic(
+        lambda: measure_engine(2_520, machine=machine),
+        rounds=1,
+        iterations=1,
+    )
+    record_text("engine_throughput_xeonmax9480", result.describe())
+    print(result.describe())
+
+    assert result.grid_points >= 2_520
+    assert result.identity_checked_points > 0
+    assert result.speedup_hot >= SPEEDUP_FLOOR, result.describe()

@@ -34,7 +34,7 @@ from __future__ import annotations
 import functools
 import threading
 from collections.abc import Sequence
-from typing import TYPE_CHECKING, Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any
 
 from repro.api.errors import UnknownWorkloadError, ValidationError
 from repro.api.types import MACHINE_NAMES, PredictionResult, Query, QueryGrid
@@ -63,15 +63,16 @@ __all__ = [
 
 
 def machine_preset(name: str) -> "KNLMachine":
-    """Build the named machine preset (:data:`~repro.api.types.MACHINE_NAMES`)."""
-    from repro.machine.presets import knl7210, knl7250
+    """Build the named machine preset (:data:`~repro.api.types.MACHINE_NAMES`).
 
-    factories: Mapping[str, Callable[[], "KNLMachine"]] = {
-        "knl7210": knl7210,
-        "knl7250": knl7250,
-    }
+    Every name resolves through the declarative machine registry
+    (:mod:`repro.machine.registry`); the KNL entries build bit-identical
+    twins of the historical hand-coded presets.
+    """
+    from repro.machine import registry
+
     try:
-        return factories[name.lower()]()
+        return registry.build(name.lower())
     except KeyError:
         raise ValidationError(
             f"unknown machine {name!r}; expected one of {', '.join(MACHINE_NAMES)}"
@@ -172,12 +173,14 @@ class Predictor:
         """
         from repro.core.configs import ConfigName, make_config
         from repro.core.executor import SweepCell
+        from repro.runtime.simos import ensure_mode_supported
 
         workload = sized_workload(query.workload, query.size_gb)
         config = make_config(ConfigName(query.config))
         machine = self.machine(query.machine)
         try:
             machine.place_threads(query.num_threads)
+            ensure_mode_supported(machine, config.mcdram)
         except ValueError as exc:
             raise ValidationError(str(exc)) from exc
         return SweepCell(workload, config, query.num_threads)

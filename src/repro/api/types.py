@@ -25,16 +25,25 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.api.errors import SchemaVersionError, ValidationError
+from repro.machine.registry import names as _registry_names
 
 #: Version of the wire schema.  Bump on any incompatible change to the
 #: dataclasses below or to the service envelopes built from them.
-SCHEMA_VERSION = 1
+#: Version 2 added registry machines beyond the two KNL presets; version
+#: 1 payloads remain valid (the ``machine`` field always existed), so
+#: both are negotiable.
+SCHEMA_VERSION = 2
 
-#: Machine presets a query may name (see :mod:`repro.machine.presets`).
-MACHINE_NAMES = ("knl7210", "knl7250")
+#: Versions this build accepts on incoming payloads.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+
+#: Machine presets a query may name — every key in the machine registry
+#: (:mod:`repro.machine.registry`).
+MACHINE_NAMES = _registry_names()
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "MACHINE_NAMES",
     "ErrorInfo",
     "Query",
@@ -45,18 +54,22 @@ __all__ = [
 
 
 def check_schema_version(value: Any) -> int:
-    """Validate a declared schema version (missing -> current)."""
+    """Validate a declared schema version (missing -> current).
+
+    Any member of :data:`SUPPORTED_SCHEMA_VERSIONS` is accepted, so a
+    version-1 client keeps working against a version-2 build.
+    """
     if value is None:
         return SCHEMA_VERSION
     if not isinstance(value, int) or isinstance(value, bool):
         raise ValidationError(
             f"schema_version must be an integer, got {value!r}"
         )
-    if value != SCHEMA_VERSION:
+    if value not in SUPPORTED_SCHEMA_VERSIONS:
         raise SchemaVersionError(
             f"unsupported schema_version {value}; this build speaks "
             f"{SCHEMA_VERSION}",
-            details={"supported": [SCHEMA_VERSION]},
+            details={"supported": list(SUPPORTED_SCHEMA_VERSIONS)},
         )
     return value
 

@@ -46,8 +46,8 @@ from repro.checks.window import metrics_window
 from repro.core.configs import ConfigName, SystemConfig, make_config
 from repro.core.runner import ExperimentRunner, RunRecord
 from repro.machine.topology import KNLMachine
-from repro.memory.modes import MemorySystem
 from repro.obs import metrics as obs_metrics
+from repro.runtime.simos import memory_system_for
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -152,7 +152,7 @@ def check_run(
     resolved = make_config(config) if isinstance(config, ConfigName) else config
     ctx = RunContext(
         machine=machine,
-        memory=MemorySystem(resolved.mcdram),
+        memory=memory_system_for(machine, resolved.mcdram),
         workload=workload,
         config=resolved,
         num_threads=num_threads,

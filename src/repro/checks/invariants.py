@@ -493,6 +493,7 @@ def _littles_law_concurrency(ctx: RunContext) -> list[Violation] | None:
                             location,
                             phase.footprint_bytes,
                             env.threads_per_core,
+                            phase.write_fraction,
                         ),
                     )
                     unit = "B/s"
@@ -728,9 +729,11 @@ def _grouped_metrics(
     "streaming-config-ordering",
     scope=Scope.SWEEP,
     description=(
-        "For bandwidth-bound (Sequential) workloads, flat HBM is at least "
-        "as fast as DRAM and as cache mode at the same size and thread "
-        "count whenever it fits."
+        "For bandwidth-bound (Sequential) workloads at one thread per core "
+        "or more, flat HBM is at least as fast as DRAM and as cache mode at "
+        "the same size and thread count whenever it fits.  Below a thread "
+        "per core a single-threaded stream is latency- not bandwidth-bound, "
+        "so the lower-latency tier can win (DDR on KNL and Xeon Max)."
     ),
     paper_ref="Figs. 2, 4 top, 6a/6b (STREAM ~4x; cache mode between)",
 )
@@ -744,6 +747,8 @@ def _streaming_config_ordering(ctx: SweepContext) -> list[Violation] | None:
         if hbm is None:
             continue
         entry, hbm_metric = hbm
+        if entry.num_threads < ctx.machine.num_cores:
+            continue  # below 1 thread/core the stream is latency-bound
         subject = (
             f"{entry.workload.spec.name}"
             f"[{entry.workload.footprint_bytes / 1e9:g} GB] "
@@ -770,22 +775,35 @@ def _streaming_config_ordering(ctx: SweepContext) -> list[Violation] | None:
     "random-dram-preference",
     scope=Scope.SWEEP,
     description=(
-        "For latency-bound (Random) workloads at one thread per core, "
-        "DRAM is at least as fast as flat HBM and as cache mode — HBM's "
-        "higher idle latency only pays off once extra hardware threads "
-        "supply the concurrency."
+        "For latency-bound (Random) workloads at one thread per core, the "
+        "configuration bound to the lower-idle-latency tier is at least as "
+        "fast as the other bound config and as cache mode.  On KNL that is "
+        "DRAM — MCDRAM's higher idle latency only pays off once extra "
+        "hardware threads supply the concurrency; on a DRAM+NVM node it is "
+        "the near (DRAM) tier."
     ),
     paper_ref="Fig. 4 bottom (HBM 15-20% slower), Fig. 6d crossover beyond 64t",
 )
 def _random_dram_preference(ctx: SweepContext) -> list[Violation] | None:
     groups = _grouped_metrics(ctx.entries, "Random")
+    # The winner at low concurrency is whichever tier answers a dependent
+    # load sooner.  Ties go to the far tier (the KNL situation never ties,
+    # but a symmetric-latency machine should keep the historical reading).
+    if ctx.machine.far_device().idle_latency_ns <= (
+        ctx.machine.near_device().idle_latency_ns
+    ):
+        preferred = ConfigName.DRAM
+        others = (ConfigName.HBM, ConfigName.CACHE)
+    else:
+        preferred = ConfigName.HBM
+        others = (ConfigName.DRAM, ConfigName.CACHE)
     applicable = False
     out = []
     for by_config in groups.values():
-        dram = by_config.get(ConfigName.DRAM)
-        if dram is None:
+        best = by_config.get(preferred)
+        if best is None:
             continue
-        entry, dram_metric = dram
+        entry, preferred_metric = best
         if entry.num_threads > ctx.machine.num_cores:
             continue  # past 1 thread/core the paper's crossover kicks in
         applicable = True
@@ -794,19 +812,19 @@ def _random_dram_preference(ctx: SweepContext) -> list[Violation] | None:
             f"[{entry.workload.footprint_bytes / 1e9:g} GB] "
             f"t={entry.num_threads}"
         )
-        for other in (ConfigName.HBM, ConfigName.CACHE):
+        for other in others:
             pair = by_config.get(other)
             if pair is None:
                 continue
             _, other_metric = pair
-            if dram_metric < other_metric * (1 - REL_TOL):
+            if preferred_metric < other_metric * (1 - REL_TOL):
                 out.append(
                     Violation(
                         "random-dram-preference",
                         subject,
-                        f"random-access DRAM metric {dram_metric:.6g} below "
-                        f"{other.value} metric {other_metric:.6g} at "
-                        f"{entry.num_threads} threads",
+                        f"random-access {preferred.value} metric "
+                        f"{preferred_metric:.6g} below {other.value} metric "
+                        f"{other_metric:.6g} at {entry.num_threads} threads",
                     )
                 )
     return out if applicable else None

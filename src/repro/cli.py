@@ -33,6 +33,7 @@ from repro.core.advisor import PlacementAdvisor
 from repro.core.executor import ExecutionStrategy, SweepExecutor
 from repro.core.runner import ExperimentRunner
 from repro.figures import EXHIBITS
+from repro.machine import registry
 from repro.memory.modes import MCDRAMConfig
 from repro.runtime.simos import SimulatedOS
 from repro.workloads.registry import FROM_GB
@@ -64,6 +65,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="persist run records as JSON under DIR and reuse them",
+    )
+    parser.add_argument(
+        "--machine",
+        choices=list(registry.names()),
+        default="knl7210",
+        help=(
+            "machine model from the registry to evaluate on "
+            "(default: knl7210; see docs/MACHINES.md)"
+        ),
     )
     parser.add_argument(
         "--check",
@@ -201,7 +211,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--machine",
-        choices=["knl7210", "knl7250"],
+        choices=list(registry.names()),
         default="knl7210",
         help="machine preset answering the queries (default: knl7210)",
     )
@@ -265,9 +275,14 @@ def _check_mode(args: argparse.Namespace) -> "str | None":
     return check_mode_from_env()
 
 
+def _machine(args: argparse.Namespace) -> "object":
+    """Build the registry machine the global ``--machine`` flag names."""
+    return registry.build(getattr(args, "machine", "knl7210"))
+
+
 def _build_executor(args: argparse.Namespace) -> SweepExecutor:
     return SweepExecutor(
-        ExperimentRunner(),
+        ExperimentRunner(_machine(args)),
         jobs=args.jobs,
         strategy=args.executor,
         cache_dir=args.cache_dir,
@@ -406,11 +421,12 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(exhibit_id)
         return 0
     if command == "describe":
-        print(SimulatedOS(MCDRAMConfig.flat()).describe())
+        print(SimulatedOS(MCDRAMConfig.flat(), machine=_machine(args)).describe())
         return 0
     if command == "advisor":
         workload = FROM_GB[args.workload](args.size_gb)
-        recommendation = PlacementAdvisor().recommend(workload, args.threads)
+        advisor = PlacementAdvisor(ExperimentRunner(_machine(args)))
+        recommendation = advisor.recommend(workload, args.threads)
         print(recommendation.describe())
         return 0
     if command == "decompose":
@@ -490,7 +506,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             return 0
         from repro.core.perfbench import measure_engine, write_bench_json
 
-        result = measure_engine(args.points)
+        result = measure_engine(args.points, machine=_machine(args))
         path = write_bench_json(result, args.out or "BENCH_engine.json")
         print(result.describe())
         print(f"[bench] wrote {path}", file=sys.stderr)

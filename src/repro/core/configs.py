@@ -66,6 +66,14 @@ def make_config(
 
     ``cache_associativity`` parameterizes the cache-organization ablation;
     ``hybrid_cache_fraction`` the hybrid split (0.25/0.5/0.75).
+
+    Machine safety: the global ``lru_cache`` is sound across machines
+    because a :class:`SystemConfig` is machine-*independent* — it names a
+    memory mode and a numactl policy, never capacities or bandwidths.
+    Tier sizes bind later, when a machine's memory system is built from
+    the config (:func:`repro.runtime.simos.memory_system_for`), so a
+    config object cached under one machine is byte-for-byte the config
+    any other machine uses.
     """
     if name is ConfigName.DRAM:
         return SystemConfig(name, MCDRAMConfig.flat(), "--membind=0")

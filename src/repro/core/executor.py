@@ -142,7 +142,14 @@ _MACHINE_FINGERPRINTS: dict[int, tuple[KNLMachine, dict[str, Any]]] = {}
 
 
 def machine_fingerprint(machine: KNLMachine) -> dict[str, Any]:
-    """The preset-identifying facts that influence a simulated run."""
+    """The preset-identifying facts that influence a simulated run.
+
+    Machines built from a registry spec additionally contribute their
+    memory-tier and mode facts (:func:`repro.machine.registry.
+    fingerprint_extras`) — except the KNL presets, whose tiers match the
+    historical defaults and whose keys must stay byte-identical to every
+    on-disk cache written before the registry existed.
+    """
     entry = _MACHINE_FINGERPRINTS.get(id(machine))
     if entry is not None and entry[0] is machine:
         return entry[1]
@@ -155,6 +162,10 @@ def machine_fingerprint(machine: KNLMachine) -> dict[str, Any]:
         "cluster_mode": machine.mesh.cluster_mode.value,
         "peak_dp_gflops": machine.peak_dp_gflops,
     }
+    if machine.spec is not None:
+        from repro.machine.registry import fingerprint_extras
+
+        fingerprint.update(fingerprint_extras(machine.spec))
     _MACHINE_FINGERPRINTS[id(machine)] = (machine, fingerprint)
     return fingerprint
 

@@ -32,15 +32,32 @@ from repro.core.configs import ConfigName, SystemConfig, make_config
 from repro.core.runner import ExperimentRunner
 from repro.engine.batch import BatchEvaluator
 from repro.engine.eventsim import MemoryEventSimulator
+from repro.machine.topology import KNLMachine
 from repro.memory.dram import ddr4_archer
 from repro.workloads.base import Workload
 from repro.workloads.registry import FROM_GB
 
 #: Default grid shape: 240 sizes x 2 workloads x 3 configs x 7 thread
-#: counts = 10 080 points (the acceptance grid).
+#: counts = 10 080 points (the acceptance grid on KNL).
 _WORKLOADS = ("minife", "gups")
 _THREADS = (1, 2, 4, 16, 64, 128, 256)
 _POINTS_PER_SIZE = len(_WORKLOADS) * 3 * len(_THREADS)
+
+
+def _thread_ladder(machine: "KNLMachine | None") -> tuple[int, ...]:
+    """The 1..256 ladder clamped to a machine's thread capacity.
+
+    The KNL ladder tops out at 256 (64 cores x SMT4); machines with
+    fewer hardware threads keep the ladder's shape but cap it, with the
+    machine's own maximum as the final rung so saturation behaviour is
+    still exercised.
+    """
+    if machine is None:
+        return _THREADS
+    ladder = [t for t in _THREADS if t <= machine.max_threads]
+    if not ladder or ladder[-1] != machine.max_threads:
+        ladder.append(machine.max_threads)
+    return tuple(ladder)
 
 
 @dataclass(frozen=True)
@@ -118,25 +135,30 @@ class EngineBenchResult:
 
 def build_grid(
     points: int = 10_080,
+    *,
+    machine: "KNLMachine | None" = None,
 ) -> list[tuple[Workload, SystemConfig, int]]:
     """A dense sweep grid of at least ``points`` cells.
 
     One workload object per (name, size) — the shape real sweeps produce
     (``factory(size)`` once per size) — crossed with the paper trio and a
-    1..256 thread ladder.  Sizes straddle the 16 GB MCDRAM capacity so
-    the grid contains infeasible HBM cells, like real sweeps do.
+    1..256 thread ladder (clamped to ``machine``'s thread capacity when
+    one is given).  Sizes straddle the near tier's capacity so the grid
+    contains infeasible HBM cells, like real sweeps do.
     """
     if points < 1:
         raise ValueError(f"points must be >= 1, got {points}")
-    num_sizes = -(-points // _POINTS_PER_SIZE)
+    threads = _thread_ladder(machine)
+    points_per_size = len(_WORKLOADS) * 3 * len(threads)
+    num_sizes = -(-points // points_per_size)
     sizes = [0.5 + 0.15 * i for i in range(num_sizes)]
     trio = [make_config(c) for c in ConfigName.paper_trio()]
     workloads = [FROM_GB[name](s) for s in sizes for name in _WORKLOADS]
     return [
-        (workload, config, threads)
+        (workload, config, num_threads)
         for workload in workloads
         for config in trio
-        for threads in _THREADS
+        for num_threads in threads
     ]
 
 
@@ -164,6 +186,7 @@ def measure_engine(
     *,
     scalar_sample: int = 1_000,
     identity_sample: int = 100,
+    machine: "KNLMachine | None" = None,
 ) -> EngineBenchResult:
     """Time scalar vs batch on a fresh grid and cross-check identity.
 
@@ -173,10 +196,11 @@ def measure_engine(
     the **whole** grid twice, once cold (warm number) and once memoized
     (hot number).  The first ``identity_sample`` records of both paths
     must compare equal, so the recorded speedup is for bit-identical
-    output.
+    output.  ``machine`` defaults to the KNL 7210 testbed; any registry
+    machine works — the grid's thread ladder adapts to its capacity.
     """
-    grid = build_grid(points)
-    runner = ExperimentRunner()
+    grid = build_grid(points, machine=machine)
+    runner = ExperimentRunner(machine)
     sample = grid[: min(scalar_sample, len(grid))]
     start = time.perf_counter()
     scalar_records = [

@@ -66,6 +66,12 @@ class ExperimentRunner:
         thread-local because the OS allocator is mutated during a run
         (``allocation_scope`` restores it afterwards, but not atomically),
         so threads-strategy executors must not share instances.
+
+        Machine safety: one runner binds exactly one ``self.machine`` for
+        its lifetime and every booted OS is built from it, so interleaving
+        runs across two runners (two machines) can never cross-contaminate
+        — each runner's boot cache only ever holds its own machine's
+        memory systems (``tests/machine/test_conformance.py`` pins this).
         """
         cache = getattr(self._local, "boot", None)
         if cache is None:

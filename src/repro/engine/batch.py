@@ -130,9 +130,17 @@ class ModelTables:
         )
         self._num_cores = machine.num_cores
         self._peak_gflops = machine.peak_dp_gflops
+        # The packed (footprint << 3 | tpc) memo key in _sequential_cap
+        # requires tpc to fit three bits; every registered machine has
+        # smt_threads <= 4.
+        if core.smt_threads >= 8:
+            raise ValueError(
+                f"ModelTables supports at most 7 SMT threads per core, "
+                f"got {core.smt_threads}"
+            )
         # Memo tables, keyed by the scalar model's own argument tuples.
         self._seq_lat: dict[Location, dict[int, float]] = {}
-        self._seq_cap: dict[Location, dict[int, float]] = {}
+        self._seq_cap: dict[tuple[Location, float], dict[int, float]] = {}
         self._rand_lat: dict[Location, dict[int, float]] = {}
         self._rand_cap: dict[tuple[Location, float], dict[int, float]] = {}
         self._hit_rate: dict[str, dict[int, float]] = {}
@@ -147,16 +155,22 @@ class ModelTables:
         return _gather(memo, fps, lambda f: self.model.sequential_latency_ns(loc, f))
 
     def _sequential_cap(
-        self, loc: Location, fps: np.ndarray, tpcs: np.ndarray
+        self, loc: Location, fps: np.ndarray, tpcs: np.ndarray, wfs: np.ndarray
     ) -> np.ndarray:
-        memo = self._seq_cap.setdefault(loc, {})
-        # tpc <= smt_threads (4) < 8, so (footprint << 3 | tpc) is injective.
+        out = np.empty(len(fps))
+        # tpc <= smt_threads < 8 (checked in __init__), so
+        # (footprint << 3 | tpc) is injective.
         keys = fps * 8 + tpcs
-        return _gather(
-            memo,
-            keys,
-            lambda k: self.model.sequential_bandwidth(loc, k >> 3, k & 7),
-        )
+        for wf in np.unique(wfs):
+            mask = wfs == wf
+            wf = float(wf)
+            memo = self._seq_cap.setdefault((loc, wf), {})
+            out[mask] = _gather(
+                memo,
+                keys[mask],
+                lambda k: self.model.sequential_bandwidth(loc, k >> 3, k & 7, wf),
+            )
+        return out
 
     def _random_latency(self, loc: Location, fps: np.ndarray) -> np.ndarray:
         memo = self._rand_lat.setdefault(loc, {})
@@ -225,7 +239,9 @@ class ModelTables:
             lat = self._sequential_latency(loc, fp[idx])
             latency[idx] += f * lat
             demand = outstanding[idx] * f * CACHE_LINE / (lat / NS_PER_S)
-            cap = self._sequential_cap(loc, fp[idx], tpc[idx])
+            cap = self._sequential_cap(
+                loc, fp[idx], tpc[idx], rows["write_fraction"][idx]
+            )
             bw = np.minimum(demand, cap)
             time = traffic[idx] * f / bw * NS_PER_S
             worst[idx] = np.maximum(worst[idx], time)

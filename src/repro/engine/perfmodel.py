@@ -147,17 +147,30 @@ class PerformanceModel:
             )
 
     def sequential_bandwidth(
-        self, location: Location, footprint_bytes: int, threads_per_core: int
+        self,
+        location: Location,
+        footprint_bytes: int,
+        threads_per_core: int,
+        write_fraction: float = 0.0,
     ) -> float:
-        """Device-side sequential bandwidth cap for a location (bytes/s)."""
+        """Device-side sequential bandwidth cap for a location (bytes/s).
+
+        ``write_fraction`` engages the sequential write-asymmetry penalty
+        on devices that have one (NVM tiers); it is a no-op on the KNL
+        devices.
+        """
         self._check_location(location)
         if location is Location.DRAM:
-            return self.memory.dram.stream_bandwidth(threads_per_core)
+            return self.memory.dram.stream_bandwidth(
+                threads_per_core, write_fraction
+            )
         if location is Location.HBM:
-            return self.memory.mcdram.stream_bandwidth(threads_per_core)
+            return self.memory.mcdram.stream_bandwidth(
+                threads_per_core, write_fraction
+            )
         assert self.memory.cache_model is not None
         return self.memory.cache_model.streaming_bandwidth(
-            footprint_bytes, threads_per_core
+            footprint_bytes, threads_per_core, write_fraction
         )
 
     def sequential_latency_ns(self, location: Location, footprint_bytes: int) -> float:
@@ -230,7 +243,9 @@ class PerformanceModel:
             latency = self.sequential_latency_ns(location, phase.footprint_bytes)
             weighted_latency += fraction * latency
             demand = littles_law_bandwidth(outstanding * fraction, latency)
-            cap = self.sequential_bandwidth(location, phase.footprint_bytes, tpc)
+            cap = self.sequential_bandwidth(
+                location, phase.footprint_bytes, tpc, phase.write_fraction
+            )
             bandwidth = min(demand, cap)
             if bytes_here > 0:
                 worst_time = max(worst_time, bytes_here / bandwidth * NS_PER_S)

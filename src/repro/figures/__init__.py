@@ -20,6 +20,7 @@ from repro.figures.fig4 import (
     generate_e as fig4e,
 )
 from repro.figures.fig5 import generate as fig5
+from repro.figures.machines import generate as machines
 from repro.figures.fig6 import (
     generate_a as fig6a,
     generate_b as fig6b,
@@ -43,6 +44,7 @@ EXHIBITS = {
     "fig6b": fig6b,
     "fig6c": fig6c,
     "fig6d": fig6d,
+    "machines": machines,
 }
 
 __all__ = ["Exhibit", "EXHIBITS"] + list(EXHIBITS)

@@ -61,6 +61,15 @@ class Core:
         demand misses (hence TinyMemBench's *dual* random read).
     dp_flops_per_cycle:
         Peak double-precision FLOPs per cycle (2 x 8-wide AVX-512 FMA = 32).
+    issue_efficiency:
+        Per-core compute throughput multiplier indexed by active SMT
+        contexts (entry ``[n-1]`` applies with ``n`` threads).  The KNL
+        default encodes the alternating front end (see
+        :meth:`smt_issue_efficiency`); a big out-of-order core would use
+        ``(1.0, 1.0)``.
+    outstanding_line_cap:
+        Superqueue bound on total outstanding cache-line requests per
+        core, capping the SMT MLP gain (see :meth:`outstanding_lines`).
     """
 
     core_id: int
@@ -69,6 +78,8 @@ class Core:
     mlp_sequential: float = 13.4
     mlp_random: float = 2.0
     dp_flops_per_cycle: float = 32.0
+    issue_efficiency: tuple[float, ...] = (0.55, 0.85, 0.95, 0.92)
+    outstanding_line_cap: float = 17.0
 
     def __post_init__(self) -> None:
         check_positive("frequency_ghz", self.frequency_ghz)
@@ -76,8 +87,23 @@ class Core:
         check_positive("mlp_sequential", self.mlp_sequential)
         check_positive("mlp_random", self.mlp_random)
         check_positive("dp_flops_per_cycle", self.dp_flops_per_cycle)
+        check_positive("outstanding_line_cap", self.outstanding_line_cap)
         if self.core_id < 0:
             raise ValueError(f"core_id must be >= 0, got {self.core_id}")
+        object.__setattr__(
+            self, "issue_efficiency", tuple(self.issue_efficiency)
+        )
+        if len(self.issue_efficiency) < self.smt_threads:
+            raise ValueError(
+                f"issue_efficiency needs one factor per SMT level "
+                f"(got {len(self.issue_efficiency)} for "
+                f"{self.smt_threads} threads)"
+            )
+        for factor in self.issue_efficiency:
+            if not 0.0 < factor <= 1.0:
+                raise ValueError(
+                    f"issue_efficiency factors must be in (0, 1], got {factor}"
+                )
 
     @property
     def cycle_ns(self) -> float:
@@ -108,15 +134,14 @@ class Core:
                 f"active_threads must be in [1, {self.smt_threads}], "
                 f"got {active_threads}"
             )
-        # KNL's front end issues at most one instruction per thread per
-        # cycle from the same thread every other cycle, so one thread
-        # reaches only ~55% of peak issue; three threads peak, four pay a
-        # little contention.  The 0.95/0.55 ~ 1.7x span reproduces the
-        # paper's DGEMM/MiniFE hyper-threading gain (Fig. 6a/6b, 192 vs 64
-        # threads), consistent with the Joo et al. Wilson-Dslash study the
-        # paper cites on the importance of hyper-threads on KNL.
-        factors = {1: 0.55, 2: 0.85, 3: 0.95, 4: 0.92}
-        return factors[active_threads]
+        # The KNL default: the front end issues from the same thread only
+        # every other cycle, so one thread reaches ~55% of peak issue;
+        # three threads peak, four pay a little contention.  The
+        # 0.95/0.55 ~ 1.7x span reproduces the paper's DGEMM/MiniFE
+        # hyper-threading gain (Fig. 6a/6b, 192 vs 64 threads),
+        # consistent with the Joo et al. Wilson-Dslash study the paper
+        # cites on the importance of hyper-threads on KNL.
+        return self.issue_efficiency[active_threads - 1]
 
     def outstanding_lines(self, pattern_mlp: float, active_threads: int) -> float:
         """Total outstanding cache-line requests this core sustains.
@@ -124,12 +149,12 @@ class Core:
         Each hardware thread contributes its own miss-status registers, but
         the core's superqueue bounds the total in flight.  KNL supports
         about 16 outstanding L2 misses per tile per core-pair; we cap at
-        a per-core limit so SMT gains taper realistically.
+        a per-core limit (:attr:`outstanding_line_cap`) so SMT gains
+        taper realistically.
         """
         if not 1 <= active_threads <= self.smt_threads:
             raise ValueError(
                 f"active_threads must be in [1, {self.smt_threads}], "
                 f"got {active_threads}"
             )
-        per_core_cap = 17.0
-        return min(pattern_mlp * active_threads, per_core_cap)
+        return min(pattern_mlp * active_threads, self.outstanding_line_cap)

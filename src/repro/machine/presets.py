@@ -3,56 +3,37 @@
 :func:`knl7210` is the paper's testbed (Archer KNL nodes, Section III-A).
 :func:`knl7250` (Cori's part) is provided for what-if studies and tests that
 need a second configuration.
+
+Both are thin wrappers over the declarative machine registry
+(:mod:`repro.machine.registry`): the specs registered there reproduce the
+historical hand-built presets bit-for-bit, which the KNL equivalence
+golden test pins.
 """
 
 from __future__ import annotations
 
-from repro.machine.caches import knl_l1d
-from repro.machine.mesh import ClusterMode, Mesh2D
-from repro.machine.tile import Tile
+import dataclasses
+
+from repro.machine import registry
+from repro.machine.mesh import ClusterMode
 from repro.machine.topology import KNLMachine
 
 
-def _build_machine(
-    name: str,
-    num_tiles: int,
-    rows: int,
-    cols: int,
-    frequency_ghz: float,
-    cluster_mode: ClusterMode,
-) -> KNLMachine:
-    tiles = tuple(
-        Tile.build(tile_id=t, first_core_id=2 * t, frequency_ghz=frequency_ghz)
-        for t in range(num_tiles)
-    )
-    mesh = Mesh2D(
-        rows=rows,
-        cols=cols,
-        tiles=tiles,
-        cluster_mode=cluster_mode,
-    )
-    return KNLMachine(name=name, mesh=mesh, l1d=knl_l1d())
+def _build_preset(key: str, cluster_mode: ClusterMode) -> KNLMachine:
+    spec = registry.get(key)
+    if cluster_mode.value != spec.mesh.cluster_mode:
+        spec = dataclasses.replace(
+            spec,
+            mesh=dataclasses.replace(spec.mesh, cluster_mode=cluster_mode.value),
+        )
+    return spec.build()
 
 
 def knl7210(cluster_mode: ClusterMode = ClusterMode.QUADRANT) -> KNLMachine:
     """Xeon Phi 7210: 64 cores (32 tiles) @ 1.3 GHz — the Archer testbed."""
-    return _build_machine(
-        name="Intel Xeon Phi 7210",
-        num_tiles=32,
-        rows=4,
-        cols=8,
-        frequency_ghz=1.3,
-        cluster_mode=cluster_mode,
-    )
+    return _build_preset("knl7210", cluster_mode)
 
 
 def knl7250(cluster_mode: ClusterMode = ClusterMode.QUADRANT) -> KNLMachine:
     """Xeon Phi 7250: 68 cores (34 tiles) @ 1.4 GHz — the Cori configuration."""
-    return _build_machine(
-        name="Intel Xeon Phi 7250",
-        num_tiles=34,
-        rows=5,
-        cols=7,
-        frequency_ghz=1.4,
-        cluster_mode=cluster_mode,
-    )
+    return _build_preset("knl7250", cluster_mode)

@@ -1,0 +1,336 @@
+"""The machine-spec registry.
+
+Every machine the toolkit can model is registered here as a declarative
+:class:`~repro.machine.spec.MachineSpec`.  The KNL presets
+(:func:`~repro.machine.presets.knl7210` / ``knl7250``) are data-driven
+entries whose built machines are bit-identical to the historical
+hand-constructed ones; two further entries extend the paper's analysis to
+later hybrid-memory systems:
+
+* ``xeonmax9480`` — an HBM-enabled Intel Xeon Max socket (64 GB HBM2e in
+  front of DDR5, flat/cache modes), the Aurora-class node studied by
+  arXiv:2504.03632.  Like KNL, the fast tier has *higher* idle latency
+  than DRAM, so the paper's random-access guideline carries over.
+* ``nvmsim`` — an emulated DRAM+NVM node in the style of the Quartz-like
+  emulators (arXiv:1808.00064): local DRAM is the near tier, NVM the
+  capacity tier with asymmetric read/write bandwidth.  Here the *near*
+  tier also has the lower latency, which flips the random-access
+  preference — exactly the cross-machine behaviour the conformance
+  suite exercises.
+
+Bandwidths are decimal GB/s and capacities binary GiB, following
+:mod:`repro.util.units`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any
+
+from repro.machine.spec import (
+    CacheLevelSpec,
+    CoreSpec,
+    MachineSpec,
+    MemoryTierSpec,
+    MeshSpec,
+)
+from repro.util.units import GB, GiB, KiB, MiB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.topology import Machine
+
+__all__ = [
+    "register",
+    "get",
+    "build",
+    "names",
+    "specs",
+    "fingerprint_extras",
+]
+
+_REGISTRY: dict[str, MachineSpec] = {}
+
+
+def register(spec: MachineSpec) -> MachineSpec:
+    """Add a spec to the registry; keys are unique."""
+    if spec.key in _REGISTRY:
+        raise ValueError(f"machine {spec.key!r} is already registered")
+    _REGISTRY[spec.key] = spec
+    return spec
+
+
+def names() -> tuple[str, ...]:
+    """Registered machine keys, in registration order (KNL entries first)."""
+    return tuple(_REGISTRY)
+
+
+def specs() -> tuple[MachineSpec, ...]:
+    return tuple(_REGISTRY.values())
+
+
+def get(key: str) -> MachineSpec:
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {key!r}; registered: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def build(key: str) -> "Machine":
+    """Construct the runnable machine model for a registered key."""
+    return get(key).build()
+
+
+# -- cache-key participation ------------------------------------------------
+
+# The historical content-addressed cache keys carry the compute-side
+# fingerprint only (name, cores, SMT, frequency, L2, cluster mode, peak
+# FLOPs) because every machine shared the Archer memory tiers.  Machines
+# whose tiers or mode support differ add them here; KNL entries return an
+# empty dict so their keys stay byte-identical to the pre-registry format.
+_KNL_TIER_PAIR: "tuple[MemoryTierSpec, MemoryTierSpec] | None" = None
+_KNL_MODES = ("flat", "cache", "hybrid")
+
+
+def fingerprint_extras(spec: MachineSpec) -> dict[str, Any]:
+    """Extra cache-key material for machines that differ from the Archer
+    memory configuration (empty for the KNL entries — see above)."""
+    extras: dict[str, Any] = {}
+    knl_near, knl_far = _KNL_TIER_PAIR  # type: ignore[misc]
+    if spec.near_tier != knl_near or spec.far_tier != knl_far:
+        extras["memory_tiers"] = {
+            "near": dataclasses.asdict(spec.near_tier),
+            "far": dataclasses.asdict(spec.far_tier),
+        }
+    if spec.supported_modes != _KNL_MODES:
+        extras["memory_modes"] = list(spec.supported_modes)
+    return extras
+
+
+# -- KNL (the paper's testbed family) ---------------------------------------
+
+# Literals below reproduce repro.memory.mcdram.mcdram_archer() /
+# repro.memory.dram.ddr4_archer() and the historical preset builders
+# exactly; the KNL equivalence golden test pins this.
+_MCDRAM_ARCHER = MemoryTierSpec(
+    name="MCDRAM",
+    capacity_bytes=int(16.0 * GiB),
+    channels=8,
+    idle_latency_ns=154.0,
+    peak_bandwidth=430.0 * GB,
+    stream_efficiency_1t=330.0 / 430.0,
+    smt_bandwidth_gain=1.27,
+    random_bandwidth_cap=30.3 * GB,
+    random_write_penalty=0.65,
+    cache_capable=True,
+)
+
+_DDR4_ARCHER = MemoryTierSpec(
+    name="DDR4",
+    capacity_bytes=int(96.0 * GiB),
+    channels=6,
+    idle_latency_ns=130.4,
+    peak_bandwidth=80.0 * GB,
+    stream_efficiency_1t=77.0 / 80.0,
+    smt_bandwidth_gain=80.0 / 77.0,
+    random_bandwidth_cap=20.7 * GB,
+    random_write_penalty=0.0,
+    cache_capable=False,
+)
+
+_KNL_TIER_PAIR = (_MCDRAM_ARCHER, _DDR4_ARCHER)
+
+_KNL_L1D = CacheLevelSpec(
+    name="L1D",
+    capacity_bytes=32 * KiB,
+    associativity=8,
+    load_to_use_ns=4 / 1.3,  # ~4 cycles at 1.3 GHz (shared by both presets)
+)
+
+_KNL_L2 = CacheLevelSpec(
+    name="L2",
+    capacity_bytes=1 * MiB,
+    associativity=16,
+    load_to_use_ns=10.0,
+)
+
+
+def _knl_core(frequency_ghz: float) -> CoreSpec:
+    return CoreSpec(
+        frequency_ghz=frequency_ghz,
+        smt_threads=4,
+        mlp_sequential=13.4,
+        mlp_random=2.0,
+        dp_flops_per_cycle=32.0,
+        issue_efficiency=(0.55, 0.85, 0.95, 0.92),
+        outstanding_line_cap=17.0,
+    )
+
+
+KNL7210 = register(
+    MachineSpec(
+        key="knl7210",
+        name="Intel Xeon Phi 7210",
+        core=_knl_core(1.3),
+        mesh=MeshSpec(rows=4, cols=8, num_tiles=32),
+        l1d=_KNL_L1D,
+        l2=_KNL_L2,
+        near_tier=_MCDRAM_ARCHER,
+        far_tier=_DDR4_ARCHER,
+        supported_modes=("flat", "cache", "hybrid"),
+    )
+)
+
+KNL7250 = register(
+    MachineSpec(
+        key="knl7250",
+        name="Intel Xeon Phi 7250",
+        core=_knl_core(1.4),
+        mesh=MeshSpec(rows=5, cols=7, num_tiles=34),
+        l1d=_KNL_L1D,
+        l2=_KNL_L2,
+        near_tier=_MCDRAM_ARCHER,
+        far_tier=_DDR4_ARCHER,
+        supported_modes=("flat", "cache", "hybrid"),
+    )
+)
+
+
+# -- Xeon Max (HBM + DDR5, arXiv:2504.03632) --------------------------------
+
+# One Xeon CPU Max 9480 socket: 56 P-cores (modelled as 28 two-core
+# tiles), 64 GB on-package HBM2e and 8-channel DDR5.  The published
+# microbenchmarks show HBM idle latency *above* DDR5 — the same
+# latency/bandwidth trade the paper measured on KNL — with sustained
+# HBM stream bandwidth around half the datasheet peak at one thread per
+# core.  SNC is left off, matching the flat-quadrant-like default.
+XEONMAX9480 = register(
+    MachineSpec(
+        key="xeonmax9480",
+        name="Intel Xeon Max 9480",
+        core=CoreSpec(
+            frequency_ghz=1.9,  # all-core AVX-512 clock
+            smt_threads=2,
+            mlp_sequential=16.0,
+            mlp_random=8.0,
+            dp_flops_per_cycle=32.0,  # 2 x 8-wide AVX-512 FMA
+            # A big out-of-order core saturates issue with one thread;
+            # the second SMT context adds nothing to peak compute.
+            issue_efficiency=(1.0, 1.0),
+            outstanding_line_cap=48.0,
+        ),
+        mesh=MeshSpec(rows=4, cols=7, num_tiles=28, hop_latency_ns=1.0),
+        l1d=CacheLevelSpec(
+            name="L1D",
+            capacity_bytes=48 * KiB,
+            associativity=12,
+            load_to_use_ns=5 / 1.9,
+        ),
+        l2=CacheLevelSpec(
+            name="L2",
+            capacity_bytes=4 * MiB,  # 2 MB per core, two cores per tile
+            associativity=16,
+            load_to_use_ns=7.0,
+        ),
+        near_tier=MemoryTierSpec(
+            name="HBM2e",
+            capacity_bytes=int(64.0 * GiB),
+            channels=32,
+            idle_latency_ns=185.0,
+            peak_bandwidth=1600.0 * GB,
+            stream_efficiency_1t=0.5,
+            smt_bandwidth_gain=1.25,
+            random_bandwidth_cap=55.0 * GB,
+            random_write_penalty=0.3,
+            cache_capable=True,
+        ),
+        far_tier=MemoryTierSpec(
+            name="DDR5",
+            capacity_bytes=int(256.0 * GiB),
+            channels=8,
+            idle_latency_ns=110.0,
+            peak_bandwidth=307.2 * GB,
+            stream_efficiency_1t=0.75,
+            smt_bandwidth_gain=1.1,
+            random_bandwidth_cap=35.0 * GB,
+            random_write_penalty=0.0,
+            cache_capable=False,
+        ),
+        # Xeon Max firmware offers HBM-only, flat and cache modes; the
+        # boot-time hybrid split is a KNL-only feature.
+        supported_modes=("flat", "cache"),
+    )
+)
+
+
+# -- Emulated DRAM + NVM node (arXiv:1808.00064) ----------------------------
+
+# A throttled-socket NVM emulation: local DRAM is the fast near tier,
+# NVM the large far tier with asymmetric read/write bandwidth (writes
+# stream at roughly half the read rate and scattered writes are heavily
+# serialized).  Unlike KNL/Xeon Max, the *near* tier here also has the
+# lower idle latency, so the random-access preference flips toward it —
+# the cross-machine case the conformance suite pins.
+NVMSIM = register(
+    MachineSpec(
+        key="nvmsim",
+        name="Emulated DRAM+NVM node",
+        core=CoreSpec(
+            frequency_ghz=2.2,
+            smt_threads=2,
+            mlp_sequential=10.0,
+            mlp_random=6.0,
+            dp_flops_per_cycle=16.0,  # 2 x 4-wide AVX2 FMA
+            issue_efficiency=(1.0, 1.0),
+            outstanding_line_cap=24.0,
+        ),
+        mesh=MeshSpec(
+            rows=2,
+            cols=4,
+            num_tiles=8,
+            hop_latency_ns=1.2,
+            cluster_mode="all-to-all",
+        ),
+        l1d=CacheLevelSpec(
+            name="L1D",
+            capacity_bytes=32 * KiB,
+            associativity=8,
+            load_to_use_ns=4 / 2.2,
+        ),
+        l2=CacheLevelSpec(
+            name="L2",
+            capacity_bytes=2 * MiB,
+            associativity=16,
+            load_to_use_ns=8.0,
+        ),
+        near_tier=MemoryTierSpec(
+            name="DRAM",
+            capacity_bytes=int(32.0 * GiB),
+            channels=4,
+            idle_latency_ns=95.0,
+            peak_bandwidth=76.8 * GB,
+            stream_efficiency_1t=60.0 / 76.8,
+            smt_bandwidth_gain=1.05,
+            random_bandwidth_cap=18.0 * GB,
+            random_write_penalty=0.0,
+            # The emulator can run DRAM as a hardware-managed cache in
+            # front of NVM (Memory Mode on real Optane systems).
+            cache_capable=True,
+        ),
+        far_tier=MemoryTierSpec(
+            name="NVM",
+            capacity_bytes=int(512.0 * GiB),
+            channels=6,
+            idle_latency_ns=300.0,
+            peak_bandwidth=40.0 * GB,
+            stream_efficiency_1t=0.8,
+            smt_bandwidth_gain=1.0,
+            random_bandwidth_cap=8.0 * GB,
+            random_write_penalty=0.8,
+            stream_write_penalty=0.55,
+            cache_capable=False,
+        ),
+        supported_modes=("flat", "cache"),
+    )
+)

@@ -1,0 +1,301 @@
+"""Declarative machine specifications.
+
+A :class:`MachineSpec` is a frozen, purely-declarative description of one
+hybrid-memory node: core microarchitecture, tile mesh, cache hierarchy,
+the two memory tiers (near/fast and far/capacity) and the memory modes
+the platform's BIOS offers.  Specs are plain data — they can round-trip
+through ``to_dict``/``from_dict`` losslessly, which is what the registry
+property tests pin — and :meth:`MachineSpec.build` turns one into the
+:class:`~repro.machine.topology.Machine` object the engine consumes.
+
+Tier-role convention: every machine exposes a **near** tier (fast,
+usually small: MCDRAM on KNL, HBM on Xeon Max, local DRAM on an NVM
+testbed) and a **far** tier (large capacity: DDR4/DDR5/NVM).  The far
+tier is NUMA node 0 and the near tier node 1, exactly the layout the
+paper's Table II shows for flat-mode KNL, so placement policies, the
+invariant checker and the figure generators work unchanged across
+machines.
+
+This module deliberately imports only the cache-geometry helper from the
+machine package; memory devices are constructed lazily so the wire-type
+layer can enumerate registered machines without dragging in the heavy
+model stack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.machine.caches import CacheGeometry
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.topology import Machine
+    from repro.memory.device import MemoryDevice
+
+#: The memory modes a spec may declare, in canonical order.
+MEMORY_MODES = ("flat", "cache", "hybrid")
+
+
+def _check_fraction(name: str, value: float, *, low_open: bool = False) -> None:
+    low_ok = value > 0.0 if low_open else value >= 0.0
+    if not (low_ok and value <= 1.0):
+        bound = "(0, 1]" if low_open else "[0, 1]"
+        raise ValueError(f"{name} must be in {bound}, got {value}")
+
+
+@dataclass(frozen=True)
+class MemoryTierSpec:
+    """One memory tier: the measured device characteristics plus its role.
+
+    Field semantics match :class:`~repro.memory.device.MemoryDevice`
+    one-for-one; ``cache_capable`` additionally records whether the
+    platform can run this tier as a memory-side cache in front of the
+    other one (MCDRAM and Xeon Max HBM can; a plain DRAM tier in front of
+    NVM is modelled the same way by the emulator).
+    """
+
+    name: str
+    capacity_bytes: int
+    channels: int
+    idle_latency_ns: float
+    peak_bandwidth: float
+    stream_efficiency_1t: float
+    smt_bandwidth_gain: float
+    random_bandwidth_cap: float
+    random_write_penalty: float = 0.0
+    stream_write_penalty: float = 0.0
+    cache_capable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("memory tier needs a name")
+        check_positive("capacity_bytes", self.capacity_bytes)
+        check_positive("channels", self.channels)
+        check_positive("idle_latency_ns", self.idle_latency_ns)
+        check_positive("peak_bandwidth", self.peak_bandwidth)
+        check_positive("random_bandwidth_cap", self.random_bandwidth_cap)
+        _check_fraction(
+            "stream_efficiency_1t", self.stream_efficiency_1t, low_open=True
+        )
+        if self.smt_bandwidth_gain < 1.0:
+            raise ValueError(
+                f"smt_bandwidth_gain must be >= 1, got {self.smt_bandwidth_gain}"
+            )
+        _check_fraction("random_write_penalty", self.random_write_penalty)
+        _check_fraction("stream_write_penalty", self.stream_write_penalty)
+
+    def device(self) -> "MemoryDevice":
+        """Materialize the device model (imported lazily; see module doc)."""
+        from repro.memory.device import MemoryDevice
+
+        return MemoryDevice(
+            name=self.name,
+            capacity_bytes=self.capacity_bytes,
+            channels=self.channels,
+            idle_latency_ns=self.idle_latency_ns,
+            peak_bandwidth=self.peak_bandwidth,
+            stream_efficiency_1t=self.stream_efficiency_1t,
+            smt_bandwidth_gain=self.smt_bandwidth_gain,
+            random_bandwidth_cap=self.random_bandwidth_cap,
+            random_write_penalty=self.random_write_penalty,
+            stream_write_penalty=self.stream_write_penalty,
+        )
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Per-core microarchitecture parameters (see :class:`~repro.machine.core.Core`)."""
+
+    frequency_ghz: float
+    smt_threads: int
+    mlp_sequential: float
+    mlp_random: float
+    dp_flops_per_cycle: float
+    issue_efficiency: tuple[float, ...]
+    outstanding_line_cap: float
+
+    def __post_init__(self) -> None:
+        check_positive("frequency_ghz", self.frequency_ghz)
+        check_positive("smt_threads", self.smt_threads)
+        check_positive("mlp_sequential", self.mlp_sequential)
+        check_positive("mlp_random", self.mlp_random)
+        check_positive("dp_flops_per_cycle", self.dp_flops_per_cycle)
+        check_positive("outstanding_line_cap", self.outstanding_line_cap)
+        object.__setattr__(
+            self, "issue_efficiency", tuple(self.issue_efficiency)
+        )
+        if len(self.issue_efficiency) < self.smt_threads:
+            raise ValueError(
+                f"issue_efficiency needs one factor per SMT level "
+                f"(got {len(self.issue_efficiency)} for {self.smt_threads} threads)"
+            )
+        for factor in self.issue_efficiency:
+            _check_fraction("issue_efficiency", factor, low_open=True)
+
+
+@dataclass(frozen=True)
+class CacheLevelSpec:
+    """One cache level; mirrors :class:`~repro.machine.caches.CacheGeometry`."""
+
+    name: str
+    capacity_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+    load_to_use_ns: float = 1.0
+
+    def __post_init__(self) -> None:
+        # CacheGeometry carries the full validation (divisibility etc.);
+        # building it here makes an invalid spec fail at construction.
+        self.geometry()
+
+    def geometry(self) -> CacheGeometry:
+        return CacheGeometry(
+            name=self.name,
+            capacity_bytes=self.capacity_bytes,
+            line_bytes=self.line_bytes,
+            associativity=self.associativity,
+            load_to_use_ns=self.load_to_use_ns,
+        )
+
+
+@dataclass(frozen=True)
+class MeshSpec:
+    """Tile-mesh shape and interconnect timing."""
+
+    rows: int
+    cols: int
+    num_tiles: int
+    hop_latency_ns: float = 1.6
+    cluster_mode: str = "quadrant"
+
+    def __post_init__(self) -> None:
+        check_positive("rows", self.rows)
+        check_positive("cols", self.cols)
+        check_positive("num_tiles", self.num_tiles)
+        check_positive("hop_latency_ns", self.hop_latency_ns)
+        if self.num_tiles > self.rows * self.cols:
+            raise ValueError(
+                f"{self.num_tiles} tiles do not fit a {self.rows}x{self.cols} mesh"
+            )
+        from repro.machine.mesh import ClusterMode
+
+        ClusterMode(self.cluster_mode)  # raises on unknown mode strings
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete declarative machine description.
+
+    ``key`` is the registry identifier ("knl7210", "xeonmax9480", ...);
+    ``name`` the human-readable model name used in exhibit output.
+    ``supported_modes`` lists the memory modes the platform's firmware
+    offers, as strings from :data:`MEMORY_MODES`.
+    """
+
+    key: str
+    name: str
+    core: CoreSpec
+    mesh: MeshSpec
+    l1d: CacheLevelSpec
+    l2: CacheLevelSpec
+    near_tier: MemoryTierSpec
+    far_tier: MemoryTierSpec
+    supported_modes: tuple[str, ...] = MEMORY_MODES
+
+    def __post_init__(self) -> None:
+        if not self.key or not self.key.replace("_", "").isalnum():
+            raise ValueError(f"spec key must be a simple identifier, got {self.key!r}")
+        if self.key != self.key.lower():
+            raise ValueError(f"spec key must be lowercase, got {self.key!r}")
+        if not self.name:
+            raise ValueError("machine spec needs a display name")
+        object.__setattr__(
+            self, "supported_modes", tuple(self.supported_modes)
+        )
+        if not self.supported_modes:
+            raise ValueError("a machine must support at least one memory mode")
+        unknown = [m for m in self.supported_modes if m not in MEMORY_MODES]
+        if unknown:
+            raise ValueError(
+                f"unknown memory modes {unknown}; expected a subset of {MEMORY_MODES}"
+            )
+        if len(set(self.supported_modes)) != len(self.supported_modes):
+            raise ValueError(f"duplicate memory modes in {self.supported_modes}")
+        needs_cache = {"cache", "hybrid"} & set(self.supported_modes)
+        if needs_cache and not self.near_tier.cache_capable:
+            raise ValueError(
+                f"{sorted(needs_cache)} modes require a cache-capable near "
+                f"tier, but {self.near_tier.name} is not"
+            )
+
+    # -- derived ------------------------------------------------------------
+    @property
+    def num_cores(self) -> int:
+        return 2 * self.mesh.num_tiles
+
+    # -- canonicalization ---------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible canonical form; exact inverse of :meth:`from_dict`."""
+        out = dataclasses.asdict(self)
+        out["supported_modes"] = list(self.supported_modes)
+        out["core"]["issue_efficiency"] = list(self.core.issue_efficiency)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MachineSpec":
+        data = dict(data)
+        return cls(
+            key=data["key"],
+            name=data["name"],
+            core=CoreSpec(
+                **{
+                    **data["core"],
+                    "issue_efficiency": tuple(data["core"]["issue_efficiency"]),
+                }
+            ),
+            mesh=MeshSpec(**data["mesh"]),
+            l1d=CacheLevelSpec(**data["l1d"]),
+            l2=CacheLevelSpec(**data["l2"]),
+            near_tier=MemoryTierSpec(**data["near_tier"]),
+            far_tier=MemoryTierSpec(**data["far_tier"]),
+            supported_modes=tuple(data["supported_modes"]),
+        )
+
+    # -- construction -------------------------------------------------------
+    def build(self) -> "Machine":
+        """Materialize the runnable machine model for this spec."""
+        from repro.machine.mesh import ClusterMode, Mesh2D
+        from repro.machine.tile import Tile
+        from repro.machine.topology import Machine
+
+        core_kwargs = dict(
+            frequency_ghz=self.core.frequency_ghz,
+            smt_threads=self.core.smt_threads,
+            mlp_sequential=self.core.mlp_sequential,
+            mlp_random=self.core.mlp_random,
+            dp_flops_per_cycle=self.core.dp_flops_per_cycle,
+            issue_efficiency=self.core.issue_efficiency,
+            outstanding_line_cap=self.core.outstanding_line_cap,
+        )
+        tiles = tuple(
+            Tile.build(
+                tile_id=t,
+                first_core_id=2 * t,
+                l2=self.l2.geometry(),
+                **core_kwargs,
+            )
+            for t in range(self.mesh.num_tiles)
+        )
+        mesh = Mesh2D(
+            rows=self.mesh.rows,
+            cols=self.mesh.cols,
+            tiles=tiles,
+            hop_latency_ns=self.mesh.hop_latency_ns,
+            cluster_mode=ClusterMode(self.mesh.cluster_mode),
+        )
+        return Machine(
+            name=self.name, mesh=mesh, l1d=self.l1d.geometry(), spec=self
+        )

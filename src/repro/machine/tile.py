@@ -27,13 +27,25 @@ class Tile:
             raise ValueError(f"a KNL tile has exactly 2 cores, got {len(self.cores)}")
 
     @classmethod
-    def build(cls, tile_id: int, first_core_id: int, **core_kwargs: object) -> "Tile":
-        """Construct a tile with consecutive core ids and the standard L2."""
+    def build(
+        cls,
+        tile_id: int,
+        first_core_id: int,
+        l2: CacheGeometry | None = None,
+        **core_kwargs: object,
+    ) -> "Tile":
+        """Construct a tile with consecutive core ids.
+
+        ``l2`` defaults to the standard KNL geometry; machine specs pass
+        their own.
+        """
         cores = (
             Core(core_id=first_core_id, **core_kwargs),  # type: ignore[arg-type]
             Core(core_id=first_core_id + 1, **core_kwargs),  # type: ignore[arg-type]
         )
-        return cls(tile_id=tile_id, cores=cores, l2=knl_l2())
+        return cls(
+            tile_id=tile_id, cores=cores, l2=l2 if l2 is not None else knl_l2()
+        )
 
     @property
     def l2_capacity_bytes(self) -> int:

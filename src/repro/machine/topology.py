@@ -3,11 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.machine.caches import CacheGeometry
 from repro.machine.core import Core
 from repro.machine.mesh import Mesh2D
 from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.spec import MachineSpec
+    from repro.memory.device import MemoryDevice
 
 
 @dataclass(frozen=True)
@@ -31,22 +36,54 @@ class ThreadPlacement:
 
 
 @dataclass(frozen=True)
-class KNLMachine:
-    """A single KNL node's compute side.
+class Machine:
+    """A single node's compute side.
 
     Combines the tile mesh with per-core L1 geometry and exposes the
     aggregates the performance engine consumes.  Memory devices and modes
     are configured separately (:mod:`repro.memory`) and paired with a
     machine inside :class:`repro.core.configs.SystemConfig`.
+
+    ``spec`` links back to the declarative
+    :class:`~repro.machine.spec.MachineSpec` when the machine was built
+    through the registry; hand-constructed machines (``spec=None``)
+    default to the paper's Archer KNL memory tiers, preserving the
+    historical behaviour.
     """
 
     name: str
     mesh: Mesh2D
     l1d: CacheGeometry
+    spec: "MachineSpec | None" = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("machine needs a name")
+
+    # -- memory tiers -------------------------------------------------------
+    def near_device(self) -> "MemoryDevice":
+        """The fast/near memory tier (MCDRAM on KNL; NUMA node 1 in flat
+        mode)."""
+        if self.spec is not None:
+            return self.spec.near_tier.device()
+        from repro.memory.mcdram import mcdram_archer
+
+        return mcdram_archer()
+
+    def far_device(self) -> "MemoryDevice":
+        """The capacity/far memory tier (DDR4 on KNL; NUMA node 0)."""
+        if self.spec is not None:
+            return self.spec.far_tier.device()
+        from repro.memory.dram import ddr4_archer
+
+        return ddr4_archer()
+
+    @property
+    def supported_memory_modes(self) -> tuple[str, ...]:
+        """Memory-mode names this platform's firmware offers."""
+        if self.spec is not None:
+            return self.spec.supported_modes
+        return ("flat", "cache", "hybrid")
 
     # -- counts ---------------------------------------------------------------
     @property
@@ -123,3 +160,8 @@ class KNLMachine:
             f"{self.mesh.cluster_mode.value} cluster mode, "
             f"peak {self.peak_dp_gflops:.0f} DP GFLOP/s"
         )
+
+
+#: Historical name, kept as an alias — the class long predates the
+#: machine registry and is referenced throughout the codebase.
+KNLMachine = Machine

@@ -56,6 +56,12 @@ class MemoryDevice:
         Scattered read-modify-writes are expensive on MCDRAM (the EDCs
         serialize partial-line updates), which is why GUPS never profits
         from HBM even though HBM's random *read* capacity is higher.
+    stream_write_penalty:
+        Fractional *sequential* bandwidth loss per unit write share.
+        Zero on DRAM-class devices (STREAM triad writes cost the same as
+        reads), substantial on NVM whose write path streams at a fraction
+        of the read rate (the asymmetric-bandwidth behaviour the NVM
+        emulation literature measures).
     """
 
     name: str
@@ -67,6 +73,7 @@ class MemoryDevice:
     smt_bandwidth_gain: float
     random_bandwidth_cap: float
     random_write_penalty: float = 0.0
+    stream_write_penalty: float = 0.0
 
     def __post_init__(self) -> None:
         check_positive("capacity_bytes", self.capacity_bytes)
@@ -88,22 +95,36 @@ class MemoryDevice:
                 f"random_write_penalty must be in [0, 1], got "
                 f"{self.random_write_penalty}"
             )
+        if not 0.0 <= self.stream_write_penalty <= 1.0:
+            raise ValueError(
+                f"stream_write_penalty must be in [0, 1], got "
+                f"{self.stream_write_penalty}"
+            )
 
     # -- bandwidth ------------------------------------------------------------
-    def stream_bandwidth(self, threads_per_core: int = 1) -> float:
+    def stream_bandwidth(
+        self, threads_per_core: int = 1, write_fraction: float = 0.0
+    ) -> float:
         """Sustained sequential bandwidth (bytes/s) at a threading level.
 
         One thread per core achieves ``peak * stream_efficiency_1t``; two or
         more threads per core recover the concurrency shortfall up to
         ``smt_bandwidth_gain`` (clamped to the device peak).  The gain ramps
         with the second thread and stays flat after (Fig. 5: ht=2..4 cluster
-        together on MCDRAM).
+        together on MCDRAM).  ``write_fraction`` applies the sequential
+        write-asymmetry penalty (zero on DRAM-class devices).
         """
         check_positive("threads_per_core", threads_per_core)
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError(
+                f"write_fraction must be in [0, 1], got {write_fraction}"
+            )
         base = self.peak_bandwidth * self.stream_efficiency_1t
-        if threads_per_core == 1:
-            return base
-        return min(self.peak_bandwidth, base * self.smt_bandwidth_gain)
+        if threads_per_core > 1:
+            base = min(self.peak_bandwidth, base * self.smt_bandwidth_gain)
+        if self.stream_write_penalty > 0.0:
+            base *= 1.0 - write_fraction * self.stream_write_penalty
+        return base
 
     def random_bandwidth(
         self, threads_per_core: int = 1, write_fraction: float = 0.0

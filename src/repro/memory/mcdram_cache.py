@@ -66,16 +66,20 @@ _STREAM_SURVIVAL_ANCHORS: tuple[tuple[float, float], ...] = (
 )
 
 
-@functools.lru_cache(maxsize=1)
-def _survival_interpolator() -> tuple[PchipInterpolator, float]:
-    """The survival spline, built once per process.
+@functools.lru_cache(maxsize=None)
+def _survival_interpolator(
+    anchors: tuple[tuple[float, float], ...] = _STREAM_SURVIVAL_ANCHORS,
+) -> tuple[PchipInterpolator, float]:
+    """The survival spline, built once per anchor set per process.
 
-    The anchors are module constants, so every cache model shares one
-    interpolator; rebuilding it per :class:`MCDRAMCacheModel` was the
-    single largest setup cost on the scalar run path.
+    Rebuilding the interpolator per :class:`MCDRAMCacheModel` was the
+    single largest setup cost on the scalar run path, so it is memoized.
+    The memo keys on the anchor tuple — not a single process-wide slot —
+    so machines that calibrate their own survival curve never share (or
+    clobber) another machine's interpolator.
     """
-    xs = np.array([a[0] for a in _STREAM_SURVIVAL_ANCHORS])
-    ys = np.array([a[1] for a in _STREAM_SURVIVAL_ANCHORS])
+    xs = np.array([a[0] for a in anchors])
+    ys = np.array([a[1] for a in anchors])
     return PchipInterpolator(xs, ys, extrapolate=False), float(xs[-1])
 
 
@@ -107,6 +111,11 @@ class MCDRAMCacheModel:
     tag_probe_fraction:
         Cost of the in-MCDRAM tag probe paid by misses, as a fraction of
         the MCDRAM idle latency.
+    survival_anchors:
+        The (footprint ratio, resident fraction) anchor points of the
+        streaming survival curve.  Defaults to the KNL calibration above;
+        a machine with a differently-organized memory-side cache may pass
+        its own.
     """
 
     def __init__(
@@ -118,6 +127,7 @@ class MCDRAMCacheModel:
         associativity: int = 1,
         protocol_efficiency: float = 0.80,
         tag_probe_fraction: float = 0.5,
+        survival_anchors: tuple[tuple[float, float], ...] = _STREAM_SURVIVAL_ANCHORS,
     ) -> None:
         self.mcdram = mcdram
         self.dram = dram
@@ -142,7 +152,9 @@ class MCDRAMCacheModel:
                 f"tag_probe_fraction must be in [0, 1], got {tag_probe_fraction}"
             )
         self.tag_probe_fraction = tag_probe_fraction
-        self._survival, self._survival_max_r = _survival_interpolator()
+        self._survival, self._survival_max_r = _survival_interpolator(
+            tuple(tuple(a) for a in survival_anchors)
+        )
 
     # -- geometry -------------------------------------------------------------
     def footprint_ratio(self, footprint_bytes: int) -> float:
@@ -235,7 +247,10 @@ class MCDRAMCacheModel:
         return CacheModeTraffic(hit_rate=h, mcdram_bytes=1.0, dram_bytes=1.0 - h)
 
     def streaming_bandwidth(
-        self, footprint_bytes: int, threads_per_core: int = 1
+        self,
+        footprint_bytes: int,
+        threads_per_core: int = 1,
+        write_fraction: float = 0.0,
     ) -> float:
         """Application-visible sequential bandwidth (bytes/s) in cache mode.
 
@@ -243,10 +258,15 @@ class MCDRAMCacheModel:
         protocol (``protocol_efficiency`` of flat-mode bandwidth); misses
         additionally serialize a DRAM transfer.  The additive form captures
         the observed below-DRAM regime for far-over-capacity footprints.
+        ``write_fraction`` reaches both devices' sequential write-asymmetry
+        penalties (a no-op for the KNL devices).
         """
         traffic = self.streaming_traffic(footprint_bytes)
-        mc_bw = self.mcdram.stream_bandwidth(threads_per_core) * self.protocol_efficiency
-        dr_bw = self.dram.stream_bandwidth(threads_per_core)
+        mc_bw = (
+            self.mcdram.stream_bandwidth(threads_per_core, write_fraction)
+            * self.protocol_efficiency
+        )
+        dr_bw = self.dram.stream_bandwidth(threads_per_core, write_fraction)
         time_per_byte = traffic.mcdram_bytes / mc_bw + traffic.dram_bytes / dr_bw
         return 1.0 / time_per_byte
 

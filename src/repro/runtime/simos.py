@@ -23,6 +23,33 @@ from repro.runtime.numactl import Numactl
 from repro.runtime.process import OpenMPEnvironment
 
 
+def ensure_mode_supported(machine: KNLMachine, config: MCDRAMConfig) -> None:
+    """Raise :class:`ValueError` when the machine's firmware does not offer
+    the requested memory mode (e.g. hybrid on Xeon Max)."""
+    mode = config.mode.value
+    if mode not in machine.supported_memory_modes:
+        raise ValueError(
+            f"{machine.name} does not support {mode} memory mode "
+            f"(supported: {', '.join(machine.supported_memory_modes)})"
+        )
+
+
+def memory_system_for(machine: KNLMachine, config: MCDRAMConfig) -> MemorySystem:
+    """Build the machine's memory subsystem under one mode configuration.
+
+    Machines built from a registry spec contribute their own near/far
+    tier devices; hand-constructed machines (``spec is None``) keep the
+    historical Archer DDR4/MCDRAM defaults.  The mode must be one the
+    machine's firmware offers.
+    """
+    ensure_mode_supported(machine, config)
+    if machine.spec is None:
+        return MemorySystem(config)
+    return MemorySystem(
+        config, dram=machine.far_device(), mcdram=machine.near_device()
+    )
+
+
 class SimulatedOS:
     """One booted node: a machine plus a memory-mode configuration.
 
@@ -43,7 +70,9 @@ class SimulatedOS:
         self.memory = (
             memory
             if memory is not None
-            else MemorySystem(memory_config or MCDRAMConfig.cache())
+            else memory_system_for(
+                self.machine, memory_config or MCDRAMConfig.cache()
+            )
         )
         self.allocator = HeapAllocator(self.memory.topology)
 

@@ -13,6 +13,7 @@ import pytest
 from repro.api.errors import SchemaVersionError, ValidationError
 from repro.api.types import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     ErrorInfo,
     PredictionResult,
     Query,
@@ -166,10 +167,16 @@ class TestSchemaNegotiation:
     def test_current_version_accepted(self):
         assert check_schema_version(SCHEMA_VERSION) == SCHEMA_VERSION
 
+    def test_every_supported_version_accepted(self):
+        for version in SUPPORTED_SCHEMA_VERSIONS:
+            assert check_schema_version(version) == version
+
     def test_other_version_rejected(self):
         with pytest.raises(SchemaVersionError) as excinfo:
             check_schema_version(SCHEMA_VERSION + 1)
-        assert excinfo.value.details["supported"] == [SCHEMA_VERSION]
+        assert excinfo.value.details["supported"] == list(
+            SUPPORTED_SCHEMA_VERSIONS
+        )
 
     @pytest.mark.parametrize("value", [True, "1", 1.0])
     def test_non_integer_version_rejected(self, value):

@@ -257,8 +257,10 @@ class TestFig6:
 
 
 class TestExhibitRegistry:
-    def test_all_fifteen_exhibits(self):
-        assert len(EXHIBITS) == 15
+    def test_all_exhibits_registered(self):
+        # The paper's 15 exhibits plus the cross-machine zoo.
+        assert len(EXHIBITS) == 16
+        assert "machines" in EXHIBITS
 
     def test_render_includes_expectation(self, runner):
         ex = fig5(runner)

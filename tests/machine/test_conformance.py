@@ -1,0 +1,159 @@
+"""Cross-machine conformance suite.
+
+Every machine in the registry must satisfy the full invariant catalogue
+(:mod:`repro.checks`) — the paper's laws are about hybrid-memory systems,
+not about KNL specifically.  The suite replays a smoke sweep (one
+bandwidth-bound and one latency-bound workload, the paper trio of
+configurations, three thread levels) per machine under a
+:class:`~repro.checks.CheckingRunner` in ``raise`` mode, then audits the
+collected batch with the sweep-scope invariants and the cross-machine
+exhibit with the exhibit-scope ones, asserting that *every* registered
+invariant actually ran somewhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checks import (
+    REGISTRY,
+    CheckingRunner,
+    Scope,
+    check_exhibit,
+    check_sweep,
+)
+from repro.core.configs import ConfigName, make_config
+from repro.core.runner import ExperimentRunner
+from repro.engine.batch import BatchEvaluator
+from repro.figures.machines import generate as generate_machines_exhibit
+from repro.machine import registry
+from repro.memory.modes import MCDRAMConfig
+from repro.runtime.simos import SimulatedOS
+from repro.workloads.gups import GUPS
+from repro.workloads.minife import MiniFE
+
+RUN_INVARIANTS = {n for n, i in REGISTRY.items() if i.scope is Scope.RUN}
+SWEEP_INVARIANTS = {n for n, i in REGISTRY.items() if i.scope is Scope.SWEEP}
+
+MACHINES = registry.names()
+
+
+def _smoke_cells(machine):
+    """The per-machine smoke grid: 2 workloads x trio x 3 thread levels."""
+    workloads = (MiniFE.from_matrix_gb(7.2), GUPS.from_table_gb(4.0))
+    threads = sorted({1, machine.num_cores, machine.max_threads})
+    return [
+        (workload, config, t)
+        for workload in workloads
+        for config in ConfigName.paper_trio()
+        for t in threads
+    ]
+
+
+@pytest.mark.parametrize("key", MACHINES)
+def test_run_invariants_hold_on_smoke_sweep(key):
+    """Every run-scope invariant holds for every cell on every machine."""
+    machine = registry.build(key)
+    checking = CheckingRunner(ExperimentRunner(machine), mode="raise")
+    entries = []
+    for workload, config, t in _smoke_cells(machine):
+        record = checking.run(workload, config, t)  # raises on violation
+        entries.append((workload, make_config(config), t, record))
+    assert checking.violation_count == 0
+    assert RUN_INVARIANTS <= checking.evaluated_names
+
+    report = check_sweep(entries, machine=machine, axis="threads")
+    assert report.ok, [v.describe() for v in report.violations]
+    assert SWEEP_INVARIANTS <= set(report.evaluated)
+
+
+@pytest.mark.parametrize("key", MACHINES)
+def test_batch_engine_agrees_with_scalar_runner(key):
+    """The columnar engine and the scalar runner are the same model."""
+    machine = registry.build(key)
+    runner = ExperimentRunner(machine)
+    cells = _smoke_cells(machine)
+    batch = BatchEvaluator(machine).evaluate(
+        [(w, c, t) for w, c, t in cells]
+    ).records()
+    for (workload, config, t), from_batch in zip(cells, batch):
+        scalar = runner.run(workload, config, t)
+        assert from_batch.metric == pytest.approx(
+            scalar.metric, rel=1e-12, abs=0.0
+        ) if scalar.metric is not None else from_batch.metric is None
+
+
+@pytest.mark.parametrize("key", MACHINES)
+def test_near_tier_capacity_enforced(key):
+    """Oversubscribing the near tier is infeasible under HBM binding but
+    still fits the (larger) far tier on every registered machine."""
+    machine = registry.build(key)
+    runner = ExperimentRunner(machine)
+    over_gb = 1.5 * machine.near_device().capacity_bytes / 1e9
+    workload = MiniFE.from_matrix_gb(over_gb)
+
+    bound_near = runner.run(workload, ConfigName.HBM, machine.num_cores)
+    assert bound_near.metric is None
+    assert "does not fit" in (bound_near.infeasible_reason or "")
+
+    bound_far = runner.run(workload, ConfigName.DRAM, machine.num_cores)
+    assert bound_far.metric is not None
+
+
+@pytest.mark.parametrize("key", ["xeonmax9480", "nvmsim"])
+def test_unsupported_mode_rejected(key):
+    """Hybrid mode is a KNL boot option; other machines must refuse it."""
+    machine = registry.build(key)
+    assert "hybrid" not in machine.supported_memory_modes
+    with pytest.raises(ValueError, match="does not support"):
+        SimulatedOS(MCDRAMConfig.hybrid(0.5), machine=machine)
+
+
+@pytest.mark.parametrize("key", MACHINES)
+def test_declared_modes_all_boot(key):
+    """Every mode a spec declares actually boots a memory system."""
+    machine = registry.build(key)
+    factories = {
+        "flat": MCDRAMConfig.flat,
+        "cache": MCDRAMConfig.cache,
+        "hybrid": lambda: MCDRAMConfig.hybrid(0.5),
+    }
+    for mode in machine.supported_memory_modes:
+        SimulatedOS(factories[mode](), machine=machine)
+
+
+def test_api_rejects_unsupported_mode_as_validation_error():
+    """The wire boundary surfaces an unsupported mode as a typed error,
+    not a poisoned batch (Query.machine routes to the right model)."""
+    from repro.api.errors import ValidationError
+    from repro.api.facade import Predictor
+    from repro.api.types import Query
+
+    predictor = Predictor()
+    with pytest.raises(ValidationError, match="does not support"):
+        predictor.predict(
+            Query(
+                workload="gups",
+                size_gb=4.0,
+                config="Hybrid",
+                num_threads=16,
+                machine="nvmsim",
+            )
+        )
+    # The same config stays valid where the firmware offers the mode.
+    ok = predictor.predict(
+        Query(
+            workload="gups",
+            size_gb=4.0,
+            config="Hybrid",
+            num_threads=16,
+            machine="knl7210",
+        )
+    )
+    assert ok.metric is not None
+
+
+def test_machines_exhibit_passes_exhibit_invariants():
+    report = check_exhibit(generate_machines_exhibit())
+    assert report.ok, [v.describe() for v in report.violations]
+    assert "exhibit-data-sanity" in report.evaluated

@@ -1,0 +1,92 @@
+"""Machine-isolation regression tests.
+
+Several layers memoize: ``make_config`` is a global ``lru_cache``, the
+MCDRAM-cache survival spline caches per anchor set, runners boot memory
+systems into thread-local state, and the batch engine memoizes bandwidth
+caps per (location, write-fraction).  None of those memos may leak one
+machine's numbers into another's — this suite interleaves machines
+through every layer and demands that the results match dedicated
+single-machine baselines exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configs import ConfigName
+from repro.core.runner import ExperimentRunner
+from repro.engine.batch import BatchEvaluator
+from repro.machine import registry
+from repro.workloads.gups import GUPS
+from repro.workloads.minife import MiniFE
+
+#: KNL against each non-KNL machine, plus the two non-KNL machines
+#: against each other.
+PAIRS = [
+    ("knl7210", "nvmsim"),
+    ("knl7210", "xeonmax9480"),
+    ("xeonmax9480", "nvmsim"),
+]
+
+
+def _cells(machine):
+    # CACHE exercises the survival-spline memo; HBM the flat near tier;
+    # two workloads with different write fractions hit the batch memos.
+    return [
+        (MiniFE.from_matrix_gb(7.2), ConfigName.CACHE, machine.num_cores),
+        (GUPS.from_table_gb(4.0), ConfigName.CACHE, machine.num_cores),
+        (MiniFE.from_matrix_gb(7.2), ConfigName.HBM, machine.max_threads),
+        (GUPS.from_table_gb(4.0), ConfigName.DRAM, 1),
+    ]
+
+
+def _baseline(key):
+    """Records from a dedicated runner that only ever saw this machine."""
+    machine = registry.build(key)
+    runner = ExperimentRunner(machine)
+    return [runner.run(w, c, t) for w, c, t in _cells(machine)]
+
+
+@pytest.mark.parametrize(("key_a", "key_b"), PAIRS)
+def test_interleaved_runners_match_dedicated_baselines(key_a, key_b):
+    expected_a, expected_b = _baseline(key_a), _baseline(key_b)
+    machine_a, machine_b = registry.build(key_a), registry.build(key_b)
+    runner_a, runner_b = ExperimentRunner(machine_a), ExperimentRunner(machine_b)
+    cells_a, cells_b = _cells(machine_a), _cells(machine_b)
+    # Strict alternation, twice over, so every memo is warm with the
+    # *other* machine's entries by the second pass.
+    for _ in range(2):
+        for (cell_a, want_a), (cell_b, want_b) in zip(
+            zip(cells_a, expected_a), zip(cells_b, expected_b)
+        ):
+            assert runner_a.run(*cell_a) == want_a
+            assert runner_b.run(*cell_b) == want_b
+
+
+@pytest.mark.parametrize(("key_a", "key_b"), PAIRS)
+def test_interleaved_batch_evaluators_match_dedicated_baselines(key_a, key_b):
+    machine_a, machine_b = registry.build(key_a), registry.build(key_b)
+    solo_a = BatchEvaluator(registry.build(key_a))
+    solo_b = BatchEvaluator(registry.build(key_b))
+    want_a = [r.metric for r in solo_a.evaluate(_cells(machine_a)).records()]
+    want_b = [r.metric for r in solo_b.evaluate(_cells(machine_b)).records()]
+
+    eval_a, eval_b = BatchEvaluator(machine_a), BatchEvaluator(machine_b)
+    for _ in range(2):
+        got_a = [r.metric for r in eval_a.evaluate(_cells(machine_a)).records()]
+        got_b = [r.metric for r in eval_b.evaluate(_cells(machine_b)).records()]
+        assert got_a == want_a
+        assert got_b == want_b
+
+
+def test_shared_config_objects_are_machine_independent():
+    """The global ``make_config`` lru_cache may hand the same frozen
+    object to every machine — it encodes mode + numactl only."""
+    from repro.core.configs import make_config
+
+    first = make_config(ConfigName.CACHE)
+    for key in registry.names():
+        runner = ExperimentRunner(registry.build(key))
+        record = runner.run(MiniFE.from_matrix_gb(7.2), ConfigName.CACHE, 16)
+        assert record.config is ConfigName.CACHE
+    assert make_config(ConfigName.CACHE) is first

@@ -1,0 +1,107 @@
+"""KNL equivalence golden test.
+
+Before the machine registry existed, the KNL presets were hand-built:
+``Tile.build`` with the KNL core parameters, the standard L1/L2
+geometries, and the Archer memory tiers implied by ``spec=None``.  The
+registry entries must reproduce those machines *bit-identically* — same
+fingerprint, same cache keys, same run records — so that every result
+ever produced (and every on-disk cache entry ever written) stays valid.
+
+This test pins data, not pixels: it rebuilds the historical machines by
+hand, runs a representative slice of the paper grid on both, and demands
+exact equality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configs import ConfigName, make_config
+from repro.core.executor import cache_key, machine_fingerprint
+from repro.core.runner import ExperimentRunner
+from repro.machine import registry
+from repro.machine.caches import knl_l1d, knl_l2
+from repro.machine.mesh import ClusterMode, Mesh2D
+from repro.machine.tile import Tile
+from repro.machine.topology import Machine
+from repro.workloads.gups import GUPS
+from repro.workloads.minife import MiniFE
+
+# The historical hand-built presets, reproduced verbatim (these literals
+# predate the registry; do not "refactor" them to read from it — the
+# whole point is an independent reconstruction).
+_KNL_CORE_KWARGS = dict(
+    smt_threads=4,
+    mlp_sequential=13.4,
+    mlp_random=2.0,
+    dp_flops_per_cycle=32.0,
+    issue_efficiency=(0.55, 0.85, 0.95, 0.92),
+    outstanding_line_cap=17.0,
+)
+
+_LEGACY = {
+    "knl7210": ("Intel Xeon Phi 7210", 1.3, 4, 8, 32),
+    "knl7250": ("Intel Xeon Phi 7250", 1.4, 5, 7, 34),
+}
+
+
+def _legacy_machine(key: str) -> Machine:
+    name, freq, rows, cols, num_tiles = _LEGACY[key]
+    tiles = tuple(
+        Tile.build(
+            tile_id=t,
+            first_core_id=2 * t,
+            l2=knl_l2(),
+            frequency_ghz=freq,
+            **_KNL_CORE_KWARGS,
+        )
+        for t in range(num_tiles)
+    )
+    mesh = Mesh2D(
+        rows=rows,
+        cols=cols,
+        tiles=tiles,
+        hop_latency_ns=1.6,
+        cluster_mode=ClusterMode.QUADRANT,
+    )
+    return Machine(name=name, mesh=mesh, l1d=knl_l1d(), spec=None)
+
+
+@pytest.mark.parametrize("key", ["knl7210", "knl7250"])
+def test_registry_knl_matches_legacy_construction(key):
+    legacy = _legacy_machine(key)
+    registered = registry.build(key)
+
+    # Identical compute-side aggregates...
+    assert registered.describe() == legacy.describe()
+    assert registered.peak_dp_gflops == legacy.peak_dp_gflops
+    # ...identical memory tiers (spec=None falls back to Archer devices)...
+    assert registered.near_device() == legacy.near_device()
+    assert registered.far_device() == legacy.far_device()
+    # ...and identical content-addressed identity.
+    assert machine_fingerprint(registered) == machine_fingerprint(legacy)
+
+
+@pytest.mark.parametrize("key", ["knl7210", "knl7250"])
+def test_registry_knl_runs_bit_identical(key):
+    """Every record of a representative grid slice is exactly equal."""
+    legacy_runner = ExperimentRunner(_legacy_machine(key))
+    registry_runner = ExperimentRunner(registry.build(key))
+    workloads = (MiniFE.from_matrix_gb(7.2), GUPS.from_table_gb(4.0))
+    for workload in workloads:
+        for config in ConfigName.paper_trio():
+            for threads in (1, 64, 128, 256):
+                legacy = legacy_runner.run(workload, config, threads)
+                registered = registry_runner.run(workload, config, threads)
+                assert registered == legacy
+                assert cache_key(
+                    registry_runner.machine,
+                    workload,
+                    make_config(config),
+                    threads,
+                ) == cache_key(
+                    legacy_runner.machine,
+                    workload,
+                    make_config(config),
+                    threads,
+                )

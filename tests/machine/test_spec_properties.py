@@ -1,0 +1,219 @@
+"""Property tests for the declarative machine-spec registry.
+
+Three contracts are pinned here:
+
+* ``MachineSpec`` -> ``to_dict`` -> ``from_dict`` is the identity, for
+  the registered specs and for hypothesis-perturbed variants (the
+  derandomized ``repro`` profile keeps runs reproducible);
+* invalid specs are rejected at construction — a zero-bandwidth tier,
+  cache/hybrid modes without a cache-capable near tier, unknown or
+  duplicate modes never produce a buildable machine;
+* content-addressed cache keys are stable: registry-built KNL presets
+  fingerprint byte-identically to the pre-registry hand-coded presets
+  (so historical on-disk caches stay addressable), while non-KNL
+  machines fingerprint their tiers and modes explicitly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.configs import ConfigName, make_config
+from repro.core.executor import cache_key, machine_fingerprint
+from repro.machine import registry
+from repro.machine.spec import MEMORY_MODES, MachineSpec, MemoryTierSpec
+from repro.workloads.minife import MiniFE
+
+KEYS = st.sampled_from(registry.names())
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("key", registry.names())
+    def test_registered_specs_round_trip(self, key):
+        spec = registry.get(key)
+        assert MachineSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("key", registry.names())
+    def test_to_dict_is_json_ready(self, key):
+        wire = registry.get(key).to_dict()
+        assert json.loads(json.dumps(wire)) == wire
+
+    @given(
+        key=KEYS,
+        frequency_ghz=st.floats(min_value=0.5, max_value=4.0),
+        idle_latency_ns=st.floats(min_value=10.0, max_value=500.0),
+        capacity_gib=st.integers(min_value=1, max_value=1024),
+        stream_write_penalty=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_perturbed_specs_round_trip(
+        self,
+        key,
+        frequency_ghz,
+        idle_latency_ns,
+        capacity_gib,
+        stream_write_penalty,
+    ):
+        base = registry.get(key)
+        spec = dataclasses.replace(
+            base,
+            core=dataclasses.replace(base.core, frequency_ghz=frequency_ghz),
+            far_tier=dataclasses.replace(
+                base.far_tier,
+                idle_latency_ns=idle_latency_ns,
+                capacity_bytes=capacity_gib << 30,
+                stream_write_penalty=stream_write_penalty,
+            ),
+        )
+        assert MachineSpec.from_dict(spec.to_dict()) == spec
+
+    @given(key=KEYS)
+    def test_round_trip_builds_identical_machines(self, key):
+        spec = registry.get(key)
+        rebuilt = MachineSpec.from_dict(spec.to_dict()).build()
+        original = spec.build()
+        assert machine_fingerprint(rebuilt) == machine_fingerprint(original)
+        assert rebuilt.describe() == original.describe()
+
+
+class TestRejection:
+    def _tier(self, **overrides) -> MemoryTierSpec:
+        fields = dict(
+            name="DRAM",
+            capacity_bytes=32 << 30,
+            channels=4,
+            idle_latency_ns=95.0,
+            peak_bandwidth=76.8e9,
+            stream_efficiency_1t=0.8,
+            smt_bandwidth_gain=1.05,
+            random_bandwidth_cap=18.0e9,
+        )
+        fields.update(overrides)
+        return MemoryTierSpec(**fields)
+
+    @pytest.mark.parametrize("bandwidth", [0.0, -1.0])
+    def test_zero_bandwidth_tier_rejected(self, bandwidth):
+        with pytest.raises(ValueError):
+            self._tier(peak_bandwidth=bandwidth)
+        with pytest.raises(ValueError):
+            self._tier(random_bandwidth_cap=bandwidth)
+
+    def test_zero_capacity_tier_rejected(self):
+        with pytest.raises(ValueError):
+            self._tier(capacity_bytes=0)
+
+    @pytest.mark.parametrize("penalty", [-0.1, 1.1])
+    def test_out_of_range_write_penalty_rejected(self, penalty):
+        with pytest.raises(ValueError):
+            self._tier(stream_write_penalty=penalty)
+        with pytest.raises(ValueError):
+            self._tier(random_write_penalty=penalty)
+
+    @pytest.mark.parametrize("mode", ["cache", "hybrid"])
+    def test_cache_mode_requires_cache_capable_near_tier(self, mode):
+        base = registry.get("nvmsim")
+        with pytest.raises(ValueError, match="cache-capable"):
+            dataclasses.replace(
+                base,
+                near_tier=dataclasses.replace(
+                    base.near_tier, cache_capable=False
+                ),
+                supported_modes=("flat", mode),
+            )
+
+    def test_unknown_and_duplicate_modes_rejected(self):
+        base = registry.get("knl7210")
+        with pytest.raises(ValueError, match="unknown memory modes"):
+            dataclasses.replace(base, supported_modes=("flat", "turbo"))
+        with pytest.raises(ValueError, match="duplicate"):
+            dataclasses.replace(base, supported_modes=("flat", "flat"))
+        with pytest.raises(ValueError, match="at least one"):
+            dataclasses.replace(base, supported_modes=())
+
+    def test_bad_keys_rejected(self):
+        base = registry.get("knl7210")
+        for bad in ("", "KNL7210", "knl 7210", "knl/7210"):
+            with pytest.raises(ValueError):
+                dataclasses.replace(base, key=bad)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(registry.get("knl7210"))
+
+    def test_unknown_machine_lists_registered(self):
+        with pytest.raises(KeyError, match="knl7210"):
+            registry.get("pdp11")
+
+
+class TestCacheKeyStability:
+    def test_knl_fingerprint_matches_pre_registry_format(self):
+        """The registry-built KNL presets must fingerprint with exactly
+        the seven historical keys — no tier/mode extras — so every cache
+        key ever written for them stays addressable."""
+        fingerprint = machine_fingerprint(registry.build("knl7210"))
+        assert fingerprint == {
+            "name": "Intel Xeon Phi 7210",
+            "num_cores": 64,
+            "smt_per_core": 4,
+            "frequency_ghz": 1.3,
+            "tile_l2_bytes": 1 << 20,
+            "cluster_mode": "quadrant",
+            "peak_dp_gflops": pytest.approx(2662.4),
+        }
+        assert set(machine_fingerprint(registry.build("knl7250"))) == set(
+            fingerprint
+        )
+
+    def test_knl_cache_key_pinned(self):
+        """Byte-for-byte key stability for a representative cell."""
+        key = cache_key(
+            registry.build("knl7210"),
+            MiniFE.from_matrix_gb(7.2),
+            make_config(ConfigName.HBM),
+            64,
+        )
+        assert key == (
+            "b48317b6d97bb5a954f4ac0c7e392f0c"
+            "301e76e282977f5f2d5987c7026e7254"
+        )
+
+    @pytest.mark.parametrize("key", ["xeonmax9480", "nvmsim"])
+    def test_non_knl_fingerprint_carries_tiers_and_modes(self, key):
+        fingerprint = machine_fingerprint(registry.build(key))
+        assert set(fingerprint["memory_tiers"]) == {"near", "far"}
+        assert fingerprint["memory_modes"] == ["flat", "cache"]
+
+    def test_distinct_machines_get_distinct_cache_keys(self):
+        workload = MiniFE.from_matrix_gb(7.2)
+        config = make_config(ConfigName.DRAM)
+        keys = {
+            cache_key(registry.build(name), workload, config, 16)
+            for name in registry.names()
+        }
+        assert len(keys) == len(registry.names())
+
+    @given(key=KEYS)
+    def test_fingerprint_is_deterministic(self, key):
+        assert machine_fingerprint(registry.build(key)) == machine_fingerprint(
+            registry.build(key)
+        )
+
+
+class TestRegistrySurface:
+    def test_names_order_and_minimum_size(self):
+        names = registry.names()
+        assert names[:2] == ("knl7210", "knl7250")
+        assert len(names) >= 3  # the zoo: KNL presets plus non-KNL machines
+
+    def test_specs_align_with_names(self):
+        assert tuple(s.key for s in registry.specs()) == registry.names()
+
+    @pytest.mark.parametrize("key", registry.names())
+    def test_supported_modes_are_canonical_subset(self, key):
+        modes = registry.get(key).supported_modes
+        assert set(modes) <= set(MEMORY_MODES)
+        assert "flat" in modes  # every machine can run flat

@@ -19,7 +19,7 @@ from repro.api import (
     SchemaVersionError,
     ValidationError,
 )
-from repro.api.types import SCHEMA_VERSION
+from repro.api.types import SCHEMA_VERSION, SUPPORTED_SCHEMA_VERSIONS
 from repro.serve.client import ServeClient
 from repro.serve.service import ServiceConfig
 from repro.serve.threadserver import ServerThread
@@ -104,7 +104,9 @@ class TestErrorEnvelopes:
         )
         assert status == 400
         assert body["error"]["code"] == "unsupported_schema"
-        assert body["error"]["details"]["supported"] == [SCHEMA_VERSION]
+        assert body["error"]["details"]["supported"] == list(
+            SUPPORTED_SCHEMA_VERSIONS
+        )
 
     def test_unknown_workload_is_404(self, client):
         status, body = client.request(
