@@ -6,7 +6,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 export PYTHONPATH
 
-.PHONY: install test test-fast bench bench-serve serve-smoke machine-zoo report examples docs-check check clean
+.PHONY: install test test-fast bench bench-engine bench-serve serve-smoke machine-zoo report examples docs-check check clean
 
 install:
 	pip install -e .
@@ -33,6 +33,13 @@ test-fast:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Engine perf trajectory: scalar vs columnar batch across the caching
+# hierarchy (cold/warm/hot); regenerates BENCH_engine.json at the repo
+# root.  Run after changes to repro.engine.batch or the table cache
+# (docs/ENGINE.md) and commit the refreshed file.
+bench-engine:
+	pytest benchmarks/bench_perf_engine.py --benchmark-only
 
 # Serving-layer throughput: coalesced vs naive one-request-one-eval
 # (regenerates BENCH_serve.json; see docs/SERVING.md).

@@ -8,10 +8,12 @@ on a sample before any speedup is recorded.  Results are written to
 ``BENCH_engine.json`` at the repo root (the perf trajectory CI tracks)
 in addition to the usual ``benchmarks/output/`` text dump.
 
-The 10x floor asserted here is deliberately conservative (steady-state
-measures ~100x on an idle machine) so CI noise cannot fail the build
-while a real regression — e.g. the batch path silently falling back to
-per-point evaluation — still does.
+The floors asserted here are deliberately conservative (steady-state
+measures ~150x and cache-warmed first touch ~130x on an idle machine) so
+CI noise cannot fail the build while a real regression — e.g. the batch
+path silently falling back to per-point evaluation, or the warm path
+rebuilding tables it should have loaded from the persistent cache —
+still does.
 """
 
 import pathlib
@@ -22,6 +24,10 @@ from repro.machine import registry
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 SPEEDUP_FLOOR = 10.0
+#: First evaluation of a fresh evaluator against a *populated* table
+#: cache must stay well ahead of the scalar loop: table loading, not
+#: rebuilding, is what a restarted service pays (docs/ENGINE.md).
+WARM_SPEEDUP_FLOOR = 30.0
 
 
 def test_engine_throughput(benchmark, record_text):
@@ -33,9 +39,11 @@ def test_engine_throughput(benchmark, record_text):
     assert result.grid_points >= 10_000
     assert result.identity_checked_points > 0
     # Conservative floors: the batch engine must stay an order of
-    # magnitude ahead of the scalar loop, and the optimized event loop
-    # must not regress to (or below) its reference implementation.
+    # magnitude ahead of the scalar loop (steady state and cache-warmed
+    # first touch alike), and the optimized event loop must not regress
+    # to (or below) its reference implementation.
     assert result.speedup_hot >= SPEEDUP_FLOOR, result.describe()
+    assert result.speedup_warm >= WARM_SPEEDUP_FLOOR, result.describe()
     assert result.eventsim_speedup >= 1.0, result.describe()
 
 

@@ -124,6 +124,7 @@ class Predictor:
         machine: str = "knl7210",
         cache_size: int = 4096,
         cache_dir: Any = None,
+        table_cache_dir: Any = None,
     ) -> None:
         if machine.lower() not in MACHINE_NAMES:
             raise ValidationError(
@@ -133,6 +134,7 @@ class Predictor:
         self.default_machine = machine.lower()
         self.cache_size = cache_size
         self.cache_dir = cache_dir
+        self.table_cache_dir = table_cache_dir
         self._executors: dict[str, "SweepExecutor"] = {}
         self._tables: dict[str, "ModelTables"] = {}
         if runner is not None:
@@ -153,6 +155,7 @@ class Predictor:
                 ExperimentRunner(machine_preset(name)),
                 cache_size=self.cache_size,
                 cache_dir=self.cache_dir,
+                table_cache_dir=self.table_cache_dir,
             )
             self._executors[name] = executor
         return executor
@@ -263,6 +266,9 @@ class Predictor:
             executed=sum(s.executed for s in totals),
             batches=sum(s.batches for s in totals),
             batched_cells=sum(s.batched_cells for s in totals),
+            table_cache_hits=sum(s.table_cache_hits for s in totals),
+            table_cache_misses=sum(s.table_cache_misses for s in totals),
+            table_cache_stores=sum(s.table_cache_stores for s in totals),
         )
 
     def close(self) -> None:

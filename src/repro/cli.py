@@ -67,6 +67,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persist run records as JSON under DIR and reuse them",
     )
     parser.add_argument(
+        "--table-cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist built batch-engine model tables under DIR and warm "
+            "from them (defaults to CACHE_DIR/tables when --cache-dir is "
+            "set; the REPRO_TABLE_CACHE environment variable does the "
+            "same; see docs/ENGINE.md)"
+        ),
+    )
+    parser.add_argument(
         "--machine",
         choices=list(registry.names()),
         default="knl7210",
@@ -286,6 +297,7 @@ def _build_executor(args: argparse.Namespace) -> SweepExecutor:
         jobs=args.jobs,
         strategy=args.executor,
         cache_dir=args.cache_dir,
+        table_cache_dir=args.table_cache,
         profile_hooks=getattr(args, "profile_hooks", ()),
         check=_check_mode(args),
     )
@@ -372,6 +384,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     try:
         config = ServiceConfig(
             machine=args.machine,
+            table_cache_dir=args.table_cache,
             max_batch=args.max_batch,
             max_queue=args.max_queue,
             batch_window_s=args.batch_window_ms / 1e3,

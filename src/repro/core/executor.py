@@ -43,6 +43,7 @@ from repro.checks.checker import CheckingRunner, CheckMode, check_mode_from_env
 from repro.core.configs import ConfigName, SystemConfig, make_config
 from repro.core.runner import ExperimentRunner, RunRecord
 from repro.engine.batch import BatchEvaluator
+from repro.engine.table_cache import TableCache
 from repro.engine.perfmodel import PhaseResult, RunResult
 from repro.engine.placement import Location, PlacementMix
 from repro.machine.topology import KNLMachine
@@ -114,6 +115,14 @@ class ExecutorStats:
     #: batch-eligible while multi-job thread/process pools are not.
     batches: int = field(default=0, compare=False)
     batched_cells: int = field(default=0, compare=False)
+    #: Persistent-table-cache traffic (loads answered from disk, misses
+    #: that rebuilt, snapshots written), populated only when a table
+    #: cache is configured.  Excluded from equality for the same reason
+    #: as the batch counters: only batch-eligible strategies touch the
+    #: table cache.
+    table_cache_hits: int = field(default=0, compare=False)
+    table_cache_misses: int = field(default=0, compare=False)
+    table_cache_stores: int = field(default=0, compare=False)
 
     @property
     def lookups(self) -> int:
@@ -394,6 +403,7 @@ class SweepExecutor:
         strategy: ExecutionStrategy | str | None = None,
         cache_size: int = 4096,
         cache_dir: str | os.PathLike[str] | None = None,
+        table_cache_dir: str | os.PathLike[str] | None = None,
         profile_hooks: Sequence[ProfileHook] = (),
         check: "CheckMode | str | None" = None,
     ) -> None:
@@ -409,6 +419,14 @@ class SweepExecutor:
             )
         self.strategy = ExecutionStrategy.parse(strategy)
         self.cache = RunCache(cache_size, cache_dir)
+        # Built ModelTables persist beside run results: with an on-disk
+        # run cache at <cache_dir>, tables default to <cache_dir>/tables
+        # (docs/ENGINE.md); pass table_cache_dir to split them.
+        if table_cache_dir is None and cache_dir is not None:
+            table_cache_dir = pathlib.Path(cache_dir) / "tables"
+        self.table_cache = (
+            TableCache(table_cache_dir) if table_cache_dir is not None else None
+        )
         self.profile_hooks: list[ProfileHook] = list(profile_hooks)
         self._pool: Executor | None = None
         self._batch_evaluator: BatchEvaluator | None = None
@@ -611,7 +629,9 @@ class SweepExecutor:
         self, cells: Sequence[SweepCell]
     ) -> list[tuple[RunRecord, int]]:
         if self._batch_evaluator is None:
-            self._batch_evaluator = BatchEvaluator(self.runner.machine)
+            self._batch_evaluator = BatchEvaluator(
+                self.runner.machine, table_cache=self.table_cache
+            )
         start = time.perf_counter_ns()
         result = self._batch_evaluator.evaluate(
             [(c.workload, c.config, c.num_threads) for c in cells]
@@ -639,6 +659,7 @@ class SweepExecutor:
         """One aggregate over everything this executor ran, whatever the
         strategy (see :class:`ExecutorStats` for the exact semantics)."""
         with self._stats_lock:
+            tables = self.table_cache
             return ExecutorStats(
                 hits=self._hits,
                 misses=self._misses,
@@ -646,6 +667,9 @@ class SweepExecutor:
                 executed=self._executed,
                 batches=self._batches,
                 batched_cells=self._batched_cells,
+                table_cache_hits=tables.hits if tables is not None else 0,
+                table_cache_misses=tables.misses if tables is not None else 0,
+                table_cache_stores=tables.stores if tables is not None else 0,
             )
 
     def reset_stats(self) -> None:
@@ -653,6 +677,10 @@ class SweepExecutor:
             self._hits = self._misses = self._executed = 0
             self._batches = self._batched_cells = 0
             self.cache.disk_hits = 0
+            if self.table_cache is not None:
+                self.table_cache.hits = 0
+                self.table_cache.misses = 0
+                self.table_cache.stores = 0
 
     def close(self) -> None:
         if self._pool is not None:
@@ -680,8 +708,8 @@ def executor_from_env(
     env: Mapping[str, str] | None = None,
 ) -> "ExperimentRunner | SweepExecutor":
     """Wrap ``runner`` per the ``REPRO_JOBS`` / ``REPRO_EXECUTOR`` /
-    ``REPRO_CACHE_DIR`` / ``REPRO_CHECK`` environment variables;
-    unchanged when none are set.
+    ``REPRO_CACHE_DIR`` / ``REPRO_TABLE_CACHE`` / ``REPRO_CHECK``
+    environment variables; unchanged when none are set.
 
     This is how the test and benchmark harnesses opt whole suites into
     parallel execution (e.g. ``make test-fast``) or invariant checking
@@ -691,15 +719,17 @@ def executor_from_env(
     jobs = env.get("REPRO_JOBS", "").strip()
     strategy = env.get("REPRO_EXECUTOR", "").strip()
     cache_dir = env.get("REPRO_CACHE_DIR", "").strip()
+    table_cache_dir = env.get("REPRO_TABLE_CACHE", "").strip()
     check = check_mode_from_env(env)
     base = runner if runner is not None else ExperimentRunner()
-    if not (jobs or strategy or cache_dir or check):
+    if not (jobs or strategy or cache_dir or table_cache_dir or check):
         return base
     return SweepExecutor(
         base,
         jobs=int(jobs) if jobs else 1,
         strategy=strategy or None,
         cache_dir=cache_dir or None,
+        table_cache_dir=table_cache_dir or None,
         check=check,
     )
 

@@ -55,9 +55,12 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.engine.table_cache import TableCache
 
 from repro.core.configs import ConfigName, SystemConfig, make_config
 from repro.core.runner import RunRecord
@@ -74,6 +77,13 @@ from repro.runtime.process import OpenMPEnvironment
 from repro.runtime.simos import SimulatedOS
 from repro.util.units import CACHE_LINE, NS_PER_S
 from repro.workloads.base import Workload
+
+#: Version of the ModelTables numbers/serialization.  Part of the
+#: persistent table cache's content address
+#: (:mod:`repro.engine.table_cache`): bump on ANY change to the model
+#: arithmetic, the memo-key packing or the snapshot schema, so stale
+#: on-disk tables can never be loaded into a newer engine.
+TABLES_VERSION = 1
 
 #: Row-block column order (one row per (point, phase)).
 _TEMPLATE_COLUMNS = (
@@ -106,6 +116,40 @@ def _gather(
     return values[inverse]
 
 
+def _gather_bulk(
+    memo: dict[int, float],
+    keys: np.ndarray,
+    compute_many: Callable[[np.ndarray], np.ndarray],
+) -> np.ndarray:
+    """Memoized elementwise lookup: one *columnar* ``compute_many`` call
+    covering every unique key not already in the memo.
+
+    The vectorized twin of :func:`_gather`: same memo dicts (plain-int
+    keys, plain-float values, so entries survive a JSON round trip
+    bit-identically), but the misses are computed in a single bulk call
+    instead of a Python loop — this is what moves table *construction*
+    off the warm path's critical section.
+    """
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    uniq_list = [int(k) for k in uniq.tolist()]
+    missing = [k for k in uniq_list if k not in memo]
+    if missing:
+        computed = compute_many(np.asarray(missing, dtype=np.int64))
+        for key, value in zip(missing, computed.tolist()):
+            memo[key] = value
+    values = np.array([memo[k] for k in uniq_list])
+    return values[inverse]
+
+
+def _capacity_hit_many(cache: Any, footprints: np.ndarray) -> np.ndarray:
+    """Columnar capacity-bound hit rate min(1, C/F) (observe-path twin)."""
+    r = footprints / cache.capacity_bytes
+    out = np.ones(len(r))
+    over = r > 1.0
+    out[over] = 1.0 / r[over]
+    return out
+
+
 class ModelTables:
     """Vectorized twin of :class:`PerformanceModel` for one memory system.
 
@@ -116,8 +160,20 @@ class ModelTables:
     the numbers are the scalar engine's own.
     """
 
-    def __init__(self, machine: KNLMachine, memory: MemorySystem) -> None:
+    def __init__(
+        self,
+        machine: KNLMachine,
+        memory: MemorySystem,
+        *,
+        vectorized: bool = True,
+    ) -> None:
         self.model = PerformanceModel(machine, memory)
+        # vectorized=True (the default) fills memo misses through the
+        # columnar *_many model twins in one bulk call per lookup;
+        # vectorized=False is the retained scalar reference path (one
+        # scalar model call per unique key).  Both paths populate the
+        # same memo dicts with identical bits (equivalence-tested).
+        self._vectorized = vectorized
         core = machine.reference_core
         self._mlp_sequential = core.mlp_sequential
         self._mlp_random = core.mlp_random
@@ -152,7 +208,25 @@ class ModelTables:
     # -- memoized scalar-model lookups --------------------------------------
     def _sequential_latency(self, loc: Location, fps: np.ndarray) -> np.ndarray:
         memo = self._seq_lat.setdefault(loc, {})
+        if self._vectorized:
+            return _gather_bulk(
+                memo, fps, lambda f: self.model.sequential_latency_ns_many(loc, f)
+            )
         return _gather(memo, fps, lambda f: self.model.sequential_latency_ns(loc, f))
+
+    def _sequential_cap_many(
+        self, loc: Location, keys: np.ndarray, wf: float
+    ) -> np.ndarray:
+        """Bulk filler for packed (footprint << 3 | tpc) sequential-cap keys."""
+        fps = keys >> 3
+        tpcs = keys & 7
+        values = np.empty(len(keys))
+        for tpc in np.unique(tpcs):
+            mask = tpcs == tpc
+            values[mask] = self.model.sequential_bandwidth_many(
+                loc, fps[mask], int(tpc), wf
+            )
+        return values
 
     def _sequential_cap(
         self, loc: Location, fps: np.ndarray, tpcs: np.ndarray, wfs: np.ndarray
@@ -165,15 +239,28 @@ class ModelTables:
             mask = wfs == wf
             wf = float(wf)
             memo = self._seq_cap.setdefault((loc, wf), {})
-            out[mask] = _gather(
-                memo,
-                keys[mask],
-                lambda k: self.model.sequential_bandwidth(loc, k >> 3, k & 7, wf),
-            )
+            if self._vectorized:
+                out[mask] = _gather_bulk(
+                    memo,
+                    keys[mask],
+                    lambda k, wf=wf: self._sequential_cap_many(loc, k, wf),
+                )
+            else:
+                out[mask] = _gather(
+                    memo,
+                    keys[mask],
+                    lambda k, wf=wf: self.model.sequential_bandwidth(
+                        loc, k >> 3, k & 7, wf
+                    ),
+                )
         return out
 
     def _random_latency(self, loc: Location, fps: np.ndarray) -> np.ndarray:
         memo = self._rand_lat.setdefault(loc, {})
+        if self._vectorized:
+            return _gather_bulk(
+                memo, fps, lambda f: self.model.random_latency_ns_many(loc, f)
+            )
         return _gather(memo, fps, lambda f: self.model.random_latency_ns(loc, f))
 
     def _random_cap(
@@ -184,11 +271,20 @@ class ModelTables:
             mask = wfs == wf
             wf = float(wf)
             memo = self._rand_cap.setdefault((loc, wf), {})
-            out[mask] = _gather(
-                memo,
-                fps[mask],
-                lambda f: self.model.random_capacity_lines(loc, f, wf),
-            )
+            if self._vectorized:
+                out[mask] = _gather_bulk(
+                    memo,
+                    fps[mask],
+                    lambda f, wf=wf: self.model.random_capacity_lines_many(
+                        loc, f, wf
+                    ),
+                )
+            else:
+                out[mask] = _gather(
+                    memo,
+                    fps[mask],
+                    lambda f, wf=wf: self.model.random_capacity_lines(loc, f, wf),
+                )
         return out
 
     # -- the kernel ---------------------------------------------------------
@@ -347,8 +443,12 @@ class ModelTables:
             if busy.any():
                 fpr = fp[rand][busy]
                 tlb = self.model.tlb
-                l1 = _gather(self._tlb_l1, fpr, tlb.l1_miss_rate)
-                l2 = _gather(self._tlb_l2, fpr, tlb.l2_miss_rate)
+                if self._vectorized:
+                    l1 = _gather_bulk(self._tlb_l1, fpr, tlb.l1_miss_rate_many)
+                    l2 = _gather_bulk(self._tlb_l2, fpr, tlb.l2_miss_rate_many)
+                else:
+                    l1 = _gather(self._tlb_l1, fpr, tlb.l1_miss_rate)
+                    l2 = _gather(self._tlb_l2, fpr, tlb.l2_miss_rate)
                 obs_metrics.add("tlb.l1_misses", float((l1 * lines[busy]).sum()))
                 obs_metrics.add("tlb.walks", float((l2 * lines[busy]).sum()))
                 obs_metrics.set_gauge(
@@ -371,19 +471,35 @@ class ModelTables:
             if not pmask.any():
                 continue
             memo = self._hit_rate.setdefault(pattern.value, {})
-            h = _gather(memo, fps[pmask], lambda f: cache.hit_rate(f, pattern.value))
+            if self._vectorized:
+                h = _gather_bulk(
+                    memo,
+                    fps[pmask],
+                    lambda f: cache.hit_rate_many(f, pattern.value),
+                )
+            else:
+                h = _gather(
+                    memo, fps[pmask], lambda f: cache.hit_rate(f, pattern.value)
+                )
             hits[pmask] = h
             busy = lines[pmask] > 0.0
             if not busy.any():
                 continue
             line_count = lines[pmask][busy]
             hit_rate = h[busy]
-            capacity_hit = _gather(
-                self._cap_hit,
-                fps[pmask][busy],
-                lambda f: 1.0 if cache.footprint_ratio(f) <= 1.0
-                else 1.0 / cache.footprint_ratio(f),
-            )
+            if self._vectorized:
+                capacity_hit = _gather_bulk(
+                    self._cap_hit,
+                    fps[pmask][busy],
+                    lambda f: _capacity_hit_many(cache, f),
+                )
+            else:
+                capacity_hit = _gather(
+                    self._cap_hit,
+                    fps[pmask][busy],
+                    lambda f: 1.0 if cache.footprint_ratio(f) <= 1.0
+                    else 1.0 / cache.footprint_ratio(f),
+                )
             labels = {"pattern": pattern.value}
             obs_metrics.add("mcdram_cache.accesses", float(line_count.sum()), labels)
             obs_metrics.add(
@@ -409,6 +525,120 @@ class ModelTables:
             float((moved * (1.0 - hits)).sum()),
             {"device": "dram"},
         )
+
+    # -- persistence ---------------------------------------------------------
+    # The memo dicts hold plain ints/floats only, so a JSON round trip of
+    # the snapshot reproduces every entry bit-identically (Python's float
+    # repr/parse is exact).  Float write-fraction keys are serialized via
+    # repr() for the same reason.  The schema is versioned by
+    # :data:`TABLES_VERSION` through the table cache's content address.
+
+    def entry_count(self) -> int:
+        """Total memoized entries across every table (dirty tracking)."""
+        count = 0
+        for keyed in (self._seq_lat, self._rand_lat):
+            for memo in keyed.values():
+                count += len(memo)
+        for keyed_wf in (self._seq_cap, self._rand_cap):
+            for memo in keyed_wf.values():
+                count += len(memo)
+        for pattern_memo in self._hit_rate.values():
+            count += len(pattern_memo)
+        count += len(self._cap_hit)
+        count += len(self._tlb_l1)
+        count += len(self._tlb_l2)
+        count += len(self._tlb_depth)
+        return count
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serializable image of every populated memo table."""
+
+        def plain(memo: dict[int, float]) -> dict[str, float]:
+            return {str(key): value for key, value in memo.items()}
+
+        def by_loc(
+            keyed: dict[Location, dict[int, float]],
+        ) -> dict[str, dict[str, float]]:
+            return {loc.value: plain(memo) for loc, memo in keyed.items() if memo}
+
+        def by_loc_wf(
+            keyed: dict[tuple[Location, float], dict[int, float]],
+        ) -> dict[str, dict[str, dict[str, float]]]:
+            out: dict[str, dict[str, dict[str, float]]] = {}
+            for (loc, wf), memo in keyed.items():
+                if memo:
+                    out.setdefault(loc.value, {})[repr(wf)] = plain(memo)
+            return out
+
+        return {
+            "seq_lat": by_loc(self._seq_lat),
+            "seq_cap": by_loc_wf(self._seq_cap),
+            "rand_lat": by_loc(self._rand_lat),
+            "rand_cap": by_loc_wf(self._rand_cap),
+            "hit_rate": {
+                pattern: plain(memo)
+                for pattern, memo in self._hit_rate.items()
+                if memo
+            },
+            "cap_hit": plain(self._cap_hit),
+            "tlb_l1": plain(self._tlb_l1),
+            "tlb_l2": plain(self._tlb_l2),
+            "tlb_depth": plain(self._tlb_depth),
+        }
+
+    def prefill(self, payload: dict[str, Any]) -> None:
+        """Merge a :meth:`snapshot` payload into the memo tables.
+
+        Entries already memoized in-process win (they are bit-identical
+        by construction anyway).  A structurally malformed payload raises
+        (``KeyError``/``ValueError``/``TypeError``/``AttributeError``);
+        the table cache treats that as a corrupt file and falls back to
+        building from scratch.
+        """
+
+        def parse(entries: dict[str, Any]) -> dict[int, float]:
+            return {int(key): float(value) for key, value in entries.items()}
+
+        for loc_name, entries in payload.get("seq_lat", {}).items():
+            memo = self._seq_lat.setdefault(Location(loc_name), {})
+            memo.update({k: v for k, v in parse(entries).items() if k not in memo})
+        for loc_name, by_wf in payload.get("seq_cap", {}).items():
+            for wf_repr, entries in by_wf.items():
+                memo = self._seq_cap.setdefault(
+                    (Location(loc_name), float(wf_repr)), {}
+                )
+                memo.update(
+                    {k: v for k, v in parse(entries).items() if k not in memo}
+                )
+        for loc_name, entries in payload.get("rand_lat", {}).items():
+            memo = self._rand_lat.setdefault(Location(loc_name), {})
+            memo.update({k: v for k, v in parse(entries).items() if k not in memo})
+        for loc_name, by_wf in payload.get("rand_cap", {}).items():
+            for wf_repr, entries in by_wf.items():
+                memo = self._rand_cap.setdefault(
+                    (Location(loc_name), float(wf_repr)), {}
+                )
+                memo.update(
+                    {k: v for k, v in parse(entries).items() if k not in memo}
+                )
+        for pattern, entries in payload.get("hit_rate", {}).items():
+            if not isinstance(pattern, str):
+                raise TypeError(f"hit_rate pattern key must be str, got {pattern!r}")
+            memo = self._hit_rate.setdefault(pattern, {})
+            memo.update({k: v for k, v in parse(entries).items() if k not in memo})
+        for name, memo in (
+            ("cap_hit", self._cap_hit),
+            ("tlb_l1", self._tlb_l1),
+            ("tlb_l2", self._tlb_l2),
+            ("tlb_depth", self._tlb_depth),
+        ):
+            memo.update(
+                {
+                    k: v
+                    for k, v in parse(payload.get(name, {})).items()
+                    if k not in memo
+                }
+            )
 
     # -- model.evaluate twin -------------------------------------------------
     def run_batch(
@@ -594,6 +824,48 @@ class _ConfigState:
         self._placements[footprint_bytes] = outcome
         return outcome
 
+    # -- persistence ---------------------------------------------------------
+    def entry_count(self) -> int:
+        """Memoized entries (tables + placements) for dirty tracking."""
+        return self.tables.entry_count() + len(self._placements)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serializable image of the tables and placement memo."""
+        placements: dict[str, Any] = {}
+        for footprint, (mix, reason) in self._placements.items():
+            placements[str(footprint)] = {
+                "mix": (
+                    None
+                    if mix is None
+                    else [[loc.value, frac] for loc, frac in mix.fractions]
+                ),
+                "reason": reason,
+            }
+        return {"tables": self.tables.snapshot(), "placements": placements}
+
+    def prefill(self, payload: dict[str, Any]) -> None:
+        """Merge a :meth:`snapshot` payload (in-process entries win)."""
+        self.tables.prefill(payload.get("tables", {}))
+        for footprint_str, entry in payload.get("placements", {}).items():
+            footprint = int(footprint_str)
+            if footprint in self._placements:
+                continue
+            mix_data = entry["mix"]
+            mix = (
+                None
+                if mix_data is None
+                else PlacementMix(
+                    tuple(
+                        (Location(loc_name), float(frac))
+                        for loc_name, frac in mix_data
+                    )
+                )
+            )
+            reason = entry["reason"]
+            if reason is not None and not isinstance(reason, str):
+                raise TypeError(f"placement reason must be str, got {reason!r}")
+            self._placements[footprint] = (mix, reason)
+
 
 @dataclass
 class _Block:
@@ -687,19 +959,65 @@ class BatchEvaluator:
     calls; placements are memoized per (config, footprint).
     """
 
-    def __init__(self, machine: KNLMachine | None = None) -> None:
+    def __init__(
+        self,
+        machine: KNLMachine | None = None,
+        *,
+        table_cache: "TableCache | None" = None,
+    ) -> None:
         self.machine = machine if machine is not None else knl7210()
+        self.table_cache = table_cache
         self._states: dict[SystemConfig, _ConfigState] = {}
         self._thread_shapes: dict[int, tuple[int, int]] = {}
+        # Per-state persistence bookkeeping: the content-address key and
+        # the entry count at the last load/store (id(state)-keyed).
+        self._table_keys: dict[int, str] = {}
+        self._persisted_counts: dict[int, int] = {}
 
     def state(self, config: "SystemConfig | ConfigName") -> _ConfigState:
         if isinstance(config, ConfigName):
             config = make_config(config)
         state = self._states.get(config)
         if state is None:
-            state = _ConfigState(self.machine, config)
+            with obs_trace.span(
+                "tables.build",
+                tags=(
+                    {"config": config.name.value} if obs_trace.enabled() else None
+                ),
+            ):
+                state = _ConfigState(self.machine, config)
             self._states[config] = state
+            if self.table_cache is not None:
+                from repro.engine.table_cache import table_key
+
+                key = table_key(self.machine, state.config)
+                self._table_keys[id(state)] = key
+                payload = self.table_cache.load(key)
+                if payload is not None:
+                    try:
+                        state.prefill(payload)
+                    except (KeyError, ValueError, TypeError, AttributeError):
+                        # Structurally corrupt payload: drop whatever
+                        # partial entries merged (rebuilding from the
+                        # scalar model would produce identical bits, but
+                        # a malformed file must never half-poison state).
+                        self._states[config] = state = _ConfigState(
+                            self.machine, config
+                        )
+                        self._table_keys[id(state)] = key
+                        self.table_cache.mark_corrupt(key)
+                self._persisted_counts[id(state)] = state.entry_count()
         return state
+
+    def _flush_tables(self) -> None:
+        """Persist any state whose memo tables grew since the last flush."""
+        if self.table_cache is None:
+            return
+        for state in self._states.values():
+            count = state.entry_count()
+            if count != self._persisted_counts.get(id(state)):
+                self.table_cache.store(self._table_keys[id(state)], state.snapshot())
+                self._persisted_counts[id(state)] = count
 
     def _thread_shape(self, num_threads: int) -> tuple[int, int]:
         shape = self._thread_shapes.get(num_threads)
@@ -722,8 +1040,11 @@ class BatchEvaluator:
         """
         if obs_trace.enabled() or obs_metrics.enabled():
             with obs_trace.span("batch.evaluate", tags={"points": len(cells)}):
-                return self._evaluate(cells, observe=True)
-        return self._evaluate(cells, observe=False)
+                result = self._evaluate(cells, observe=True)
+        else:
+            result = self._evaluate(cells, observe=False)
+        self._flush_tables()
+        return result
 
     def _evaluate(
         self,

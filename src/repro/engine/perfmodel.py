@@ -27,6 +27,8 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.engine.littles_law import littles_law_bandwidth
 from repro.engine.placement import Location, PlacementMix
 from repro.engine.profilephase import AccessPattern, MemoryProfile, Phase
@@ -224,6 +226,103 @@ class PerformanceModel:
             assert self.memory.cache_model is not None
             cap = self.memory.cache_model.random_bandwidth_cap(
                 footprint_bytes, write_fraction
+            )
+        return cap / CACHE_LINE
+
+    # -- columnar twins ---------------------------------------------------------
+    # Bulk (per-footprint-column) twins of the location primitives above,
+    # used by the batch engine's table construction
+    # (:class:`repro.engine.batch.ModelTables`).  Bit-identical per element
+    # to the scalar methods: same expression order, same scalar device
+    # constants broadcast over the column, transcendental-free at this
+    # layer (the memory models keep those on :mod:`math`).
+
+    def sequential_bandwidth_many(
+        self,
+        location: Location,
+        footprints: np.ndarray,
+        threads_per_core: int,
+        write_fraction: float = 0.0,
+    ) -> np.ndarray:
+        """Columnar twin of :meth:`sequential_bandwidth`."""
+        self._check_location(location)
+        if location is Location.DRAM:
+            return np.full(
+                len(footprints),
+                self.memory.dram.stream_bandwidth(threads_per_core, write_fraction),
+            )
+        if location is Location.HBM:
+            return np.full(
+                len(footprints),
+                self.memory.mcdram.stream_bandwidth(threads_per_core, write_fraction),
+            )
+        assert self.memory.cache_model is not None
+        return self.memory.cache_model.streaming_bandwidth_many(
+            footprints, threads_per_core, write_fraction
+        )
+
+    def sequential_latency_ns_many(
+        self, location: Location, footprints: np.ndarray
+    ) -> np.ndarray:
+        """Columnar twin of :meth:`sequential_latency_ns`."""
+        self._check_location(location)
+        directory = self.machine.mesh.directory_lookup_ns()
+        if location is Location.DRAM:
+            return np.full(
+                len(footprints), self.memory.dram.idle_latency_ns + directory
+            )
+        if location is Location.HBM:
+            return np.full(
+                len(footprints), self.memory.mcdram.idle_latency_ns + directory
+            )
+        assert self.memory.cache_model is not None
+        cache = self.memory.cache_model
+        h = cache.streaming_hit_rate_many(footprints)
+        miss = (
+            cache.tag_probe_fraction * self.memory.mcdram.idle_latency_ns
+            + self.memory.dram.idle_latency_ns
+        )
+        return h * self.memory.mcdram.idle_latency_ns + (1 - h) * miss + directory
+
+    def random_latency_ns_many(
+        self, location: Location, footprints: np.ndarray
+    ) -> np.ndarray:
+        """Columnar twin of :meth:`random_latency_ns`."""
+        self._check_location(location)
+        directory = self.machine.mesh.directory_lookup_ns()
+        base: float | np.ndarray
+        if location is Location.DRAM:
+            base = self.memory.dram.idle_latency_ns
+        elif location is Location.HBM:
+            base = self.memory.mcdram.idle_latency_ns
+        else:
+            assert self.memory.cache_model is not None
+            base = self.memory.cache_model.random_latency_ns_many(footprints)
+        translation = self.tlb.translation_overhead_ns_many(footprints, base)
+        return base + directory + translation
+
+    def random_capacity_lines_many(
+        self,
+        location: Location,
+        footprints: np.ndarray,
+        write_fraction: float = 0.0,
+    ) -> np.ndarray:
+        """Columnar twin of :meth:`random_capacity_lines`."""
+        self._check_location(location)
+        if location is Location.DRAM:
+            cap = np.full(
+                len(footprints),
+                self.memory.dram.random_bandwidth(write_fraction=write_fraction),
+            )
+        elif location is Location.HBM:
+            cap = np.full(
+                len(footprints),
+                self.memory.mcdram.random_bandwidth(write_fraction=write_fraction),
+            )
+        else:
+            assert self.memory.cache_model is not None
+            cap = self.memory.cache_model.random_bandwidth_cap_many(
+                footprints, write_fraction
             )
         return cap / CACHE_LINE
 

@@ -203,6 +203,101 @@ class MCDRAMCacheModel:
             return self.random_hit_rate(footprint_bytes)
         raise ValueError(f"pattern must be 'sequential' or 'random', got {pattern!r}")
 
+    # -- columnar twins ---------------------------------------------------------
+    # Each *_many method answers a whole footprint column at once and is
+    # bit-identical per element to its scalar twin above: the arithmetic
+    # replicates the scalar expression order with exact IEEE ops
+    # (multiply, divide, min, max), the survival spline is evaluated
+    # through the same PchipInterpolator (whose vectorized evaluation is
+    # per-point identical to scalar calls), and transcendentals stay on
+    # :mod:`math` per element — ``np.exp`` is not bit-identical to
+    # ``math.exp``.  ``tests/memory/test_mcdram_cache.py`` pins exact
+    # elementwise equality over a dense footprint grid.
+
+    def streaming_hit_rate_many(self, footprints: np.ndarray) -> np.ndarray:
+        """Columnar twin of :meth:`streaming_hit_rate`."""
+        r = footprints / self.capacity_bytes
+        if self.associativity >= 8:
+            out = np.ones(len(r))
+            over = r > 1.0
+            out[over] = np.minimum(1.0, 0.95 / r[over])
+            return out
+        out = np.zeros(len(r))
+        live = r < self._survival_max_r
+        if live.any():
+            rl = r[live]
+            h = np.asarray(self._survival(rl), dtype=np.float64)
+            over = rl > 1.0
+            h[over] = np.minimum(h[over], 1.0 / rl[over])
+            out[live] = np.maximum(0.0, np.minimum(1.0, h))
+        return out
+
+    def random_hit_rate_many(self, footprints: np.ndarray) -> np.ndarray:
+        """Columnar twin of :meth:`random_hit_rate`."""
+        r = footprints / self.capacity_bytes
+        out = np.ones(len(r))
+        busy = r != 0.0
+        if not busy.any():
+            return out
+        rb = r[busy]
+        if self.associativity >= 8:
+            out[busy] = np.minimum(1.0, 1.0 / rb)
+            return out
+        decay = np.array([math.exp(-x) for x in rb.tolist()])
+        out[busy] = np.minimum(1.0, (1.0 / rb) * (1.0 - decay))
+        return out
+
+    def hit_rate_many(self, footprints: np.ndarray, pattern: str) -> np.ndarray:
+        """Columnar twin of :meth:`hit_rate`."""
+        if pattern == "sequential":
+            return self.streaming_hit_rate_many(footprints)
+        if pattern == "random":
+            return self.random_hit_rate_many(footprints)
+        raise ValueError(f"pattern must be 'sequential' or 'random', got {pattern!r}")
+
+    def streaming_bandwidth_many(
+        self,
+        footprints: np.ndarray,
+        threads_per_core: int = 1,
+        write_fraction: float = 0.0,
+    ) -> np.ndarray:
+        """Columnar twin of :meth:`streaming_bandwidth`."""
+        h = self.streaming_hit_rate_many(footprints)
+        mc_bw = (
+            self.mcdram.stream_bandwidth(threads_per_core, write_fraction)
+            * self.protocol_efficiency
+        )
+        dr_bw = self.dram.stream_bandwidth(threads_per_core, write_fraction)
+        # streaming_traffic: MCDRAM sees every byte, DRAM the miss share.
+        time_per_byte = 1.0 / mc_bw + (1.0 - h) / dr_bw
+        return 1.0 / time_per_byte
+
+    def random_bandwidth_cap_many(
+        self, footprints: np.ndarray, write_fraction: float = 0.0
+    ) -> np.ndarray:
+        """Columnar twin of :meth:`random_bandwidth_cap`."""
+        h = self.random_hit_rate_many(footprints)
+        mc = (
+            self.mcdram.random_bandwidth(write_fraction=write_fraction)
+            * self.protocol_efficiency
+        )
+        dr = self.dram.random_bandwidth(write_fraction=write_fraction)
+        miss = 1.0 - h
+        out = np.full(len(h), mc)
+        limited = miss > 0.0
+        out[limited] = np.minimum(mc, dr / miss[limited])
+        return out
+
+    def random_latency_ns_many(self, footprints: np.ndarray) -> np.ndarray:
+        """Columnar twin of :meth:`random_latency_ns`."""
+        h = self.random_hit_rate_many(footprints)
+        hit_ns = self.mcdram.idle_latency_ns
+        miss_ns = (
+            self.tag_probe_fraction * self.mcdram.idle_latency_ns
+            + self.dram.idle_latency_ns
+        )
+        return h * hit_ns + (1.0 - h) * miss_ns
+
     # -- observability -----------------------------------------------------------
     def record_accesses(
         self, footprint_bytes: int, pattern: str, lines: float

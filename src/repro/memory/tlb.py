@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.obs import metrics as obs_metrics
 from repro.util.units import KiB, MiB
 from repro.util.validation import check_non_negative, check_positive
@@ -123,6 +125,60 @@ class TLBModel:
         l1_miss = self.l1_miss_rate(footprint_bytes)
         l2_miss = self.l2_miss_rate(footprint_bytes)
         depth = self.walk_depth(footprint_bytes)
+        stlb_term = (l1_miss - l2_miss) * self.l2_tlb_hit_ns
+        cached_walk_term = l2_miss * cached_walk_ns
+        memory_walk_term = l2_miss * depth * memory_latency_ns * self.walk_overlap
+        return stlb_term + cached_walk_term + memory_walk_term
+
+    # -- columnar twins ---------------------------------------------------------
+    # Bit-identical per element to the scalar methods above: divisions and
+    # the fused sum replicate the scalar expression order, and ``log2``
+    # stays on :mod:`math` per element (``np.log2`` is not bit-identical).
+    # Footprints are exact in float64 for every modelled size, so the
+    # float division matches Python's exact-int true division.
+
+    def l1_miss_rate_many(self, footprints: np.ndarray) -> np.ndarray:
+        """Columnar twin of :meth:`l1_miss_rate`."""
+        out = np.zeros(len(footprints))
+        over = footprints > self.l1_coverage_bytes
+        out[over] = 1.0 - self.l1_coverage_bytes / footprints[over]
+        return out
+
+    def l2_miss_rate_many(self, footprints: np.ndarray) -> np.ndarray:
+        """Columnar twin of :meth:`l2_miss_rate`."""
+        out = np.zeros(len(footprints))
+        over = footprints > self.l2_coverage_bytes
+        out[over] = 1.0 - self.l2_coverage_bytes / footprints[over]
+        return out
+
+    def walk_depth_many(self, footprints: np.ndarray) -> np.ndarray:
+        """Columnar twin of :meth:`walk_depth`."""
+        out = np.zeros(len(footprints))
+        over = footprints > self.walk_cache_coverage_bytes
+        if over.any():
+            cov = self.walk_cache_coverage_bytes
+            doublings = np.array(
+                [math.log2(fp / cov) for fp in footprints[over].tolist()]
+            )
+            out[over] = np.minimum(float(self.walk_levels), 0.5 * doublings)
+        return out
+
+    def translation_overhead_ns_many(
+        self,
+        footprints: np.ndarray,
+        memory_latency_ns: float | np.ndarray,
+        cached_walk_ns: float = 40.0,
+    ) -> np.ndarray:
+        """Columnar twin of :meth:`translation_overhead_ns`.
+
+        ``memory_latency_ns`` may be a scalar or a per-element column
+        (DRAM-cached locations price the walk at a footprint-dependent
+        latency).
+        """
+        check_non_negative("cached_walk_ns", cached_walk_ns)
+        l1_miss = self.l1_miss_rate_many(footprints)
+        l2_miss = self.l2_miss_rate_many(footprints)
+        depth = self.walk_depth_many(footprints)
         stlb_term = (l1_miss - l2_miss) * self.l2_tlb_hit_ns
         cached_walk_term = l2_miss * cached_walk_ns
         memory_walk_term = l2_miss * depth * memory_latency_ns * self.walk_overlap

@@ -67,6 +67,12 @@ class ServiceConfig:
     """
 
     machine: str = "knl7210"
+    #: Directory of the persistent ModelTables cache
+    #: (:mod:`repro.engine.table_cache`).  When set, every worker
+    #: predictor loads prebuilt tables on first touch, so a restarted
+    #: service answers its first queries at steady-state speed instead of
+    #: paying table construction (docs/SERVING.md, "warm starts").
+    table_cache_dir: str | None = None
     max_batch: int = 256
     max_queue: int = 1024
     batch_window_s: float = 0.002
@@ -187,7 +193,10 @@ class PredictionService:
         """This thread's predictor (created and tracked on first use)."""
         predictor = getattr(self._tls, "predictor", None)
         if predictor is None:
-            predictor = Predictor(machine=self.config.machine)
+            predictor = Predictor(
+                machine=self.config.machine,
+                table_cache_dir=self.config.table_cache_dir,
+            )
             self._tls.predictor = predictor
             with self._predictors_lock:
                 self._predictors.append(predictor)
@@ -372,6 +381,9 @@ class PredictionService:
             "executed": sum(s.executed for s in stats),
             "batches": sum(s.batches for s in stats),
             "batched_cells": sum(s.batched_cells for s in stats),
+            "table_cache_hits": sum(s.table_cache_hits for s in stats),
+            "table_cache_misses": sum(s.table_cache_misses for s in stats),
+            "table_cache_stores": sum(s.table_cache_stores for s in stats),
         }
         lookups = total["hits"] + total["misses"]
         total["hit_rate"] = total["hits"] / lookups if lookups else 0.0

@@ -332,3 +332,63 @@ class TestObserveMany:
 
     def test_module_level_noop_when_disabled(self):
         obs_metrics.observe_many("x", np.array([1.0]))  # must not raise
+
+
+class TestScalarReferenceFill:
+    """``vectorized=False`` retains the scalar fill path as a live twin.
+
+    Both fill modes populate the same memo dictionaries; the vectorized
+    bulk fills must leave *identical* table contents (the exact floats
+    ``snapshot()`` would persist) and answer every request with the same
+    records.  This is the in-repo proof that the columnar construction
+    is a pure perf change, independent of the end-to-end identity tests
+    above.
+    """
+
+    @pytest.mark.parametrize(
+        "mcdram",
+        [MCDRAMConfig.flat(), MCDRAMConfig.cache()],
+        ids=["flat", "cache"],
+    )
+    def test_memos_and_outputs_identical(self, mcdram):
+        machine = knl7210()
+        memory = MemorySystem(mcdram)
+        vectorized = ModelTables(machine, memory, vectorized=True)
+        reference = ModelTables(machine, memory, vectorized=False)
+        profiles = [
+            FROM_GB[name](size).profile()
+            for name in ("minife", "gups")
+            for size in (0.5, 7.2, 12.0)
+        ]
+        if memory.dram_fronted_by_cache:
+            locations = [Location.DRAM_CACHED]
+        else:
+            locations = [Location.DRAM, Location.HBM]
+        requests = [
+            (profile, PlacementMix.pure(location), threads)
+            for profile in profiles
+            for location in locations
+            for threads in (1, 64, 256)
+        ]
+        assert vectorized.run_batch(requests) == reference.run_batch(requests)
+        assert vectorized.entry_count() == reference.entry_count()
+        assert vectorized.snapshot() == reference.snapshot()
+
+    def test_snapshot_prefill_round_trip_is_exact(self):
+        machine = knl7210()
+        memory = MemorySystem(MCDRAMConfig.cache())
+        built = ModelTables(machine, memory)
+        profile = FROM_GB["minife"](7.2).profile()
+        requests = [
+            (profile, PlacementMix.pure(Location.DRAM_CACHED), threads)
+            for threads in (1, 64, 256)
+        ]
+        expected = built.run_batch(requests)
+        # Through the JSON wire format, like the persistent cache does.
+        import json
+
+        payload = json.loads(json.dumps(built.snapshot()))
+        loaded = ModelTables(machine, memory)
+        loaded.prefill(payload)
+        assert loaded.snapshot() == built.snapshot()
+        assert loaded.run_batch(requests) == expected

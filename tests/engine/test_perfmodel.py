@@ -215,3 +215,77 @@ class TestRunDescribe:
         assert "memory-bound" in text
         assert "GB/s" in text
         assert "sync x" in text  # vector-ops carries dot-product sync
+
+
+class TestColumnarTwins:
+    """The model-level ``*_many`` methods equal their scalar twins exactly.
+
+    These are the paths :class:`repro.engine.batch.ModelTables` uses to
+    fill its memo tables in bulk, so the bar is bit identity per element
+    — per location kind (flat DRAM/HBM and the DRAM-fronted cache mode)
+    across footprints straddling MCDRAM capacity.
+    """
+
+    FOOTPRINTS = [4096, 1 * GB, 8 * GB, 16 * GiB, 24 * GB, 200 * GB]
+
+    def column(self):
+        import numpy as np
+
+        return np.array(self.FOOTPRINTS, dtype=np.int64)
+
+    def locations(self, model):
+        if model.memory.dram_fronted_by_cache:
+            return [Location.DRAM_CACHED]
+        return [Location.DRAM, Location.HBM]
+
+    def models(self, flat_model, cache_model_pm):
+        return [flat_model, cache_model_pm]
+
+    def test_sequential_bandwidth_many(self, flat_model, cache_model_pm):
+        for model in self.models(flat_model, cache_model_pm):
+            for loc in self.locations(model):
+                for tpc in (1, 2, 4):
+                    many = model.sequential_bandwidth_many(
+                        loc, self.column(), tpc, 0.33
+                    )
+                    for fp, got in zip(self.FOOTPRINTS, many.tolist()):
+                        assert got == model.sequential_bandwidth(
+                            loc, fp, tpc, 0.33
+                        ), (loc, tpc, fp)
+
+    def test_sequential_latency_ns_many(self, flat_model, cache_model_pm):
+        for model in self.models(flat_model, cache_model_pm):
+            for loc in self.locations(model):
+                many = model.sequential_latency_ns_many(loc, self.column())
+                for fp, got in zip(self.FOOTPRINTS, many.tolist()):
+                    assert got == model.sequential_latency_ns(loc, fp), (
+                        loc,
+                        fp,
+                    )
+
+    def test_random_latency_ns_many(self, flat_model, cache_model_pm):
+        for model in self.models(flat_model, cache_model_pm):
+            for loc in self.locations(model):
+                many = model.random_latency_ns_many(loc, self.column())
+                for fp, got in zip(self.FOOTPRINTS, many.tolist()):
+                    assert got == model.random_latency_ns(loc, fp), (loc, fp)
+
+    def test_random_capacity_lines_many(self, flat_model, cache_model_pm):
+        for model in self.models(flat_model, cache_model_pm):
+            for loc in self.locations(model):
+                for wf in (0.0, 0.5):
+                    many = model.random_capacity_lines_many(
+                        loc, self.column(), wf
+                    )
+                    for fp, got in zip(self.FOOTPRINTS, many.tolist()):
+                        assert got == model.random_capacity_lines(
+                            loc, fp, wf
+                        ), (loc, wf, fp)
+
+    def test_unavailable_location_rejected(self, flat_model, cache_model_pm):
+        for model, loc in (
+            (flat_model, Location.DRAM_CACHED),
+            (cache_model_pm, Location.HBM),
+        ):
+            with pytest.raises(ValueError):
+                model.sequential_bandwidth_many(loc, self.column(), 1)

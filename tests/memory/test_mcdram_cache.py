@@ -175,3 +175,66 @@ class TestTraffic:
     def test_negative_footprint_rejected(self, cache):
         with pytest.raises(ValueError):
             cache.footprint_ratio(-1)
+
+
+class TestColumnarTwins:
+    """Every ``*_many`` method equals its scalar twin bit-for-bit.
+
+    The batch engine (repro.engine.batch) fills its memo tables through
+    these columnar paths, so approximate equality is not enough: the
+    identity contract demands the exact IEEE bits over a footprint grid
+    that exercises every branch (empty, fitting, exactly-at-capacity,
+    survival-spline region, modulo-mapping bound, far-beyond-capacity).
+    """
+
+    FOOTPRINTS = [
+        0,
+        4096,
+        1 * GB,
+        8 * GB,
+        16 * GiB - 64,
+        16 * GiB,
+        16 * GiB + 64,
+        24 * GB,
+        40 * GB,
+        200 * GB,
+    ]
+
+    @pytest.fixture(params=[1, 8], ids=["direct", "assoc8"])
+    def any_cache(self, request):
+        return MCDRAMCacheModel(
+            mcdram_archer(), ddr4_archer(), associativity=request.param
+        )
+
+    def column(self):
+        import numpy as np
+
+        return np.array(self.FOOTPRINTS, dtype=np.int64)
+
+    @pytest.mark.parametrize("pattern", ["sequential", "random"])
+    def test_hit_rate_many(self, any_cache, pattern):
+        many = any_cache.hit_rate_many(self.column(), pattern)
+        for fp, got in zip(self.FOOTPRINTS, many.tolist()):
+            assert got == any_cache.hit_rate(fp, pattern), fp
+
+    def test_hit_rate_many_rejects_unknown_pattern(self, any_cache):
+        with pytest.raises(ValueError):
+            any_cache.hit_rate_many(self.column(), "strided")
+
+    @pytest.mark.parametrize("tpc", [1, 2, 4])
+    @pytest.mark.parametrize("wf", [0.0, 0.5])
+    def test_streaming_bandwidth_many(self, any_cache, tpc, wf):
+        many = any_cache.streaming_bandwidth_many(self.column(), tpc, wf)
+        for fp, got in zip(self.FOOTPRINTS, many.tolist()):
+            assert got == any_cache.streaming_bandwidth(fp, tpc, wf), fp
+
+    @pytest.mark.parametrize("wf", [0.0, 0.5])
+    def test_random_bandwidth_cap_many(self, any_cache, wf):
+        many = any_cache.random_bandwidth_cap_many(self.column(), wf)
+        for fp, got in zip(self.FOOTPRINTS, many.tolist()):
+            assert got == any_cache.random_bandwidth_cap(fp, wf), fp
+
+    def test_random_latency_ns_many(self, any_cache):
+        many = any_cache.random_latency_ns_many(self.column())
+        for fp, got in zip(self.FOOTPRINTS, many.tolist()):
+            assert got == any_cache.random_latency_ns(fp), fp

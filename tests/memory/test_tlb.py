@@ -103,3 +103,60 @@ class TestOverhead:
             TLBModel(l1_entries=0)
         with pytest.raises(ValueError):
             TLBModel(walk_overlap=1.5)
+
+
+class TestColumnarTwins:
+    """Every ``*_many`` method equals its scalar twin bit-for-bit.
+
+    The batch engine fills its TLB memo tables through these columnar
+    paths (repro.engine.batch), so the comparison is exact equality —
+    not approx — over footprints spanning both TLB coverages, the walk
+    cache, and the deep-walk saturation tail.
+    """
+
+    FOOTPRINTS = [
+        0,
+        4 * KiB,
+        1 * MiB,
+        64 * MiB,
+        GiB,
+        16 * GiB,
+        1024 * GiB,
+    ]
+
+    def column(self):
+        import numpy as np
+
+        return np.array(self.FOOTPRINTS, dtype=np.int64)
+
+    def test_miss_rates_and_walk_depth_many(self, tlb):
+        import numpy as np
+
+        fps = self.column()
+        for many, scalar in (
+            (tlb.l1_miss_rate_many, tlb.l1_miss_rate),
+            (tlb.l2_miss_rate_many, tlb.l2_miss_rate),
+            (tlb.walk_depth_many, tlb.walk_depth),
+        ):
+            got = many(fps)
+            assert isinstance(got, np.ndarray)
+            for fp, value in zip(self.FOOTPRINTS, got.tolist()):
+                assert value == scalar(fp), (many.__name__, fp)
+
+    def test_translation_overhead_many_scalar_latency(self, tlb):
+        many = tlb.translation_overhead_ns_many(self.column(), 130.4)
+        for fp, got in zip(self.FOOTPRINTS, many.tolist()):
+            assert got == tlb.translation_overhead_ns(fp, 130.4), fp
+
+    def test_translation_overhead_many_columnar_latency(self, tlb):
+        """DRAM-cached phases price walks at per-element latencies."""
+        import numpy as np
+
+        latencies = np.array(
+            [130.4 + 7.5 * i for i in range(len(self.FOOTPRINTS))]
+        )
+        many = tlb.translation_overhead_ns_many(self.column(), latencies)
+        for fp, lat, got in zip(
+            self.FOOTPRINTS, latencies.tolist(), many.tolist()
+        ):
+            assert got == tlb.translation_overhead_ns(fp, lat), fp
