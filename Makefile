@@ -6,7 +6,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 export PYTHONPATH
 
-.PHONY: install test test-fast bench bench-engine bench-serve serve-smoke machine-zoo report examples docs-check check clean
+.PHONY: install test test-fast bench bench-engine bench-serve bench-serve-shard serve-shard serve-smoke machine-zoo report examples docs-check check clean
 
 install:
 	pip install -e .
@@ -45,6 +45,20 @@ bench-engine:
 # (regenerates BENCH_serve.json; see docs/SERVING.md).
 bench-serve:
 	python -m repro bench serve
+
+# Sharded-deployment scaling curve: 1 -> 2 -> 4 process replicas under
+# 1024-client closed-loop overload; merges a `sharded` section into
+# BENCH_serve.json (goodput / p99 / retry curves + identity audit); see
+# docs/SERVING.md, "The sharded benchmark".
+bench-serve-shard:
+	python -m repro bench serve --replicas 4
+
+# The sharding verification layer: hash-ring properties, router/cache
+# behaviour, fault injection (kill/stall/slow/drain), loadgen error
+# paths.  Includes quarantined timing-sensitive tests (marker `flaky`),
+# which plain `make test` excludes.
+serve-shard:
+	pytest tests/serve/ -q -m "flaky or not flaky"
 
 # CI smoke for the prediction service: 200 concurrent queries, p99
 # bound, bit-identity and invariant audit (tools/serve_smoke.py).

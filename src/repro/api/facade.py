@@ -135,6 +135,13 @@ class Predictor:
         self.cache_size = cache_size
         self.cache_dir = cache_dir
         self.table_cache_dir = table_cache_dir
+        # Guards the executor table only.  Evaluation stays single-thread
+        # by contract, but stats()/close() legitimately read the table
+        # from *other* threads (the service's /metrics path aggregates
+        # worker predictors), and an unguarded dict being grown by
+        # executor() mid-iteration raises "dictionary changed size
+        # during iteration".
+        self._executors_lock = threading.Lock()
         self._executors: dict[str, "SweepExecutor"] = {}
         self._tables: dict[str, "ModelTables"] = {}
         if runner is not None:
@@ -146,7 +153,8 @@ class Predictor:
     def executor(self, machine: str | None = None) -> "SweepExecutor":
         """The (lazily created) executor for a machine preset."""
         name = (machine or self.default_machine).lower()
-        executor = self._executors.get(name)
+        with self._executors_lock:
+            executor = self._executors.get(name)
         if executor is None:
             from repro.core.executor import SweepExecutor
             from repro.core.runner import ExperimentRunner
@@ -157,8 +165,15 @@ class Predictor:
                 cache_dir=self.cache_dir,
                 table_cache_dir=self.table_cache_dir,
             )
-            self._executors[name] = executor
+            with self._executors_lock:
+                # Another caller may have built the same preset while we
+                # did; keep the first one so stats stay on one object.
+                executor = self._executors.setdefault(name, executor)
         return executor
+
+    def _executor_snapshot(self) -> list["SweepExecutor"]:
+        with self._executors_lock:
+            return list(self._executors.values())
 
     def machine(self, name: str | None = None) -> "KNLMachine":
         """The machine model behind a preset name."""
@@ -255,10 +270,14 @@ class Predictor:
 
     # -- bookkeeping ----------------------------------------------------------
     def stats(self) -> "ExecutorStats":
-        """One aggregate over every machine preset's executor."""
+        """One aggregate over every machine preset's executor.
+
+        Safe to call from any thread (the /metrics aggregation path
+        does) — the executor table is snapshotted under its lock.
+        """
         from repro.core.executor import ExecutorStats
 
-        totals = [ex.stats() for ex in self._executors.values()]
+        totals = [ex.stats() for ex in self._executor_snapshot()]
         return ExecutorStats(
             hits=sum(s.hits for s in totals),
             misses=sum(s.misses for s in totals),
@@ -272,7 +291,7 @@ class Predictor:
         )
 
     def close(self) -> None:
-        for executor in self._executors.values():
+        for executor in self._executor_snapshot():
             executor.close()
 
 

@@ -26,6 +26,7 @@ import json
 import os
 import sys
 from collections.abc import Sequence
+from typing import Any
 
 from repro import obs
 from repro.checks.checker import InvariantViolation, check_mode_from_env
@@ -177,8 +178,17 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--clients",
         type=int,
-        default=64,
-        help="serve: concurrent closed-loop clients (default: 64)",
+        default=None,
+        help="serve: concurrent closed-loop clients (default: 64, or "
+        "1024 for the sharded bench)",
+    )
+    bench.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="serve: benchmark a sharded deployment, scaling the replica "
+        "count up to N and reporting goodput under overload (default: 1 "
+        "= the classic coalesced-vs-naive bench)",
     )
     bench.add_argument(
         "--requests-per-client",
@@ -275,6 +285,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-coalesce",
         action="store_true",
         help="serve one-evaluation-per-request (the naive baseline)",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="run a sharded deployment: N service subprocesses behind a "
+        "consistent-hash router (default: 1 = single service)",
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="FILE",
+        help="after binding, write 'host port' to FILE (for ephemeral "
+        "--port 0 supervision; the shard deployment uses this)",
+    )
+    serve.add_argument(
+        "--replica-id",
+        default="",
+        help="identity of this instance inside a sharded deployment "
+        "(surfaces on /healthz and /version)",
     )
     return parser
 
@@ -373,6 +403,17 @@ def _dispatch_checked(args: argparse.Namespace) -> int:
         return 1
 
 
+def _write_port_file(path: str, host: str, port: int) -> None:
+    """Atomically publish the bound address (write-then-rename; readers
+    treat a trailing newline as the completeness marker)."""
+    import os
+
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(f"{host} {port}\n")
+    os.replace(tmp, path)
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """Run the prediction service in the foreground until interrupted."""
     import asyncio
@@ -384,6 +425,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     try:
         config = ServiceConfig(
             machine=args.machine,
+            replica_id=args.replica_id,
             table_cache_dir=args.table_cache,
             max_batch=args.max_batch,
             max_queue=args.max_queue,
@@ -397,15 +439,20 @@ def _run_serve(args: argparse.Namespace) -> int:
     except ValidationError as exc:
         print(f"[serve] {exc}", file=sys.stderr)
         return 2
+    if args.replicas > 1:
+        return _run_serve_sharded(args, config)
 
     async def _serve() -> None:
         service = PredictionService(config)
         server = HttpServer(service, host=args.host, port=args.port)
         await service.start()
         host, port = await server.start()
+        if args.port_file:
+            _write_port_file(args.port_file, host, port)
         mode = "coalescing" if config.coalesce else "naive (no coalescing)"
+        name = f" {config.replica_id}" if config.replica_id else ""
         print(
-            f"[serve] listening on http://{host}:{port} "
+            f"[serve{name}] listening on http://{host}:{port} "
             f"({config.machine}, {mode}, {config.workers} workers) — "
             f"Ctrl-C drains and exits",
             file=sys.stderr,
@@ -415,15 +462,109 @@ def _run_serve(args: argparse.Namespace) -> int:
         except asyncio.CancelledError:
             pass
         finally:
-            print("[serve] draining...", file=sys.stderr)
+            print(f"[serve{name}] draining...", file=sys.stderr)
             await server.stop()
             await service.stop()
-            print("[serve] stopped", file=sys.stderr)
+            print(f"[serve{name}] stopped", file=sys.stderr)
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _run_serve_sharded(args: argparse.Namespace, service_config: Any) -> int:
+    """Run N service subprocesses behind the shard router (foreground)."""
+    import time as _time
+
+    from repro.api.errors import ValidationError
+    from repro.serve.shard import ShardConfig, ShardDeployment
+
+    try:
+        config = ShardConfig(
+            replicas=args.replicas,
+            backend="process",
+            service=service_config,
+            host=args.host,
+            port=args.port,
+        )
+    except ValidationError as exc:
+        print(f"[serve] {exc}", file=sys.stderr)
+        return 2
+    deployment = ShardDeployment(config)
+    try:
+        host, port = deployment.start()
+        if args.port_file:
+            _write_port_file(args.port_file, host, port)
+        replicas = ", ".join(
+            f"{rid}@{h}:{p}" for rid, (h, p) in deployment.addresses().items()
+        )
+        print(
+            f"[serve] router listening on http://{host}:{port} "
+            f"({service_config.machine}, {args.replicas} replicas: "
+            f"{replicas}) — Ctrl-C stops the fleet",
+            file=sys.stderr,
+        )
+        while True:
+            _time.sleep(3600.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("[serve] stopping fleet...", file=sys.stderr)
+        deployment.stop()
+        print("[serve] stopped", file=sys.stderr)
+    return 0
+
+
+def _bench_serve_sharded(args: argparse.Namespace) -> int:
+    """Benchmark the sharded deployment and merge a ``sharded`` section
+    into the serve benchmark document (baseline sections are kept)."""
+    from repro.serve.loadgen import measure_serve_sharded, write_bench_json
+
+    counts = [1]
+    while counts[-1] * 2 < args.replicas:
+        counts.append(counts[-1] * 2)
+    if counts[-1] != args.replicas:
+        counts.append(args.replicas)
+    clients = args.clients if args.clients is not None else 1024
+    sharded = measure_serve_sharded(
+        replica_counts=tuple(counts),
+        concurrency=clients,
+        requests_per_client=args.requests_per_client,
+        workers=args.serve_workers,
+        machine=getattr(args, "machine", "knl7210"),
+    )
+    path = args.out or "BENCH_serve.json"
+    document: dict[str, Any] = {}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    document["sharded"] = sharded
+    path = write_bench_json(document, path)
+    scaling = sharded["scaling"]
+    for n in counts:
+        phase = sharded["overload"][str(n)]
+        print(
+            f"replicas {n:>2}  goodput {phase['goodput_rps']:8.1f} rps  "
+            f"ok {phase['succeeded']}/{phase['offered']}  "
+            f"retries {phase['retries']}  "
+            f"p99 {phase['p99_ms']:.1f} ms  "
+            f"goodput x{scaling['speedup_vs_min'][str(n)]:.2f}  "
+            f"tail x{scaling['tail_p99_speedup_vs_min'][str(n)]:.2f}"
+        )
+    print(
+        f"host cores: {sharded['host_cpu_count']} "
+        "(goodput pins at the shared compute ceiling once replicas "
+        "outnumber cores; the host-independent signal is admission — "
+        "429 retries collapse to zero)"
+    )
+    identity = sharded["identity"]
+    print(
+        f"identity audit: {identity['checked']} responses checked, "
+        f"{identity['mismatches']} mismatches"
+    )
+    print(f"[bench] wrote {path}", file=sys.stderr)
     return 0
 
 
@@ -491,11 +632,13 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"  {best.describe()}")
         return 0
     if command == "bench":
+        if args.target == "serve" and args.replicas > 1:
+            return _bench_serve_sharded(args)
         if args.target == "serve":
             from repro.serve.loadgen import measure_serve, write_bench_json
 
             document = measure_serve(
-                clients=args.clients,
+                clients=args.clients if args.clients is not None else 64,
                 requests_per_client=args.requests_per_client,
                 workers=args.serve_workers,
                 repeats=args.repeats,

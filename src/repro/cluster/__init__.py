@@ -17,6 +17,7 @@ from repro.cluster.multinode import (
     CommunicationProfile,
     MultiNodeModel,
     MultiNodeResult,
+    scaling_efficiency,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "CommunicationProfile",
     "MultiNodeModel",
     "MultiNodeResult",
+    "scaling_efficiency",
 ]

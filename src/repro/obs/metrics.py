@@ -42,6 +42,7 @@ __all__ = [
     "install",
     "uninstall",
     "active_registry",
+    "merge_exports",
 ]
 
 LabelValue = "str | int | float | bool"
@@ -259,6 +260,47 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+
+def merge_exports(exports: "Any") -> dict[str, Any]:
+    """Fold several :meth:`MetricsRegistry.as_dict` exports into one.
+
+    The shard router uses this to aggregate per-replica ``/metrics``
+    snapshots: **counters are summed** (each replica counted its own
+    events exactly once, so the fleet total is the sum — never a
+    last-writer-wins read of one replica, which was the latent bug this
+    helper exists to prevent), **histograms are merged** exactly
+    (count/sum add, min/max extremize — mean is recomputed from the
+    merged sums), and **gauges are summed**, which is meaningful for
+    depth-like gauges (queue depths, in-flight counts); rate-like gauges
+    should be recomputed by the caller from merged counters instead.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    merged_hist: dict[str, Histogram] = {}
+    for export in exports:
+        if not isinstance(export, Mapping):
+            continue
+        for key, value in export.get("counters", {}).items():
+            counters[key] = counters.get(key, 0.0) + value
+        for key, value in export.get("gauges", {}).items():
+            gauges[key] = gauges.get(key, 0.0) + value
+        for key, summary in export.get("histograms", {}).items():
+            histogram = merged_hist.setdefault(key, Histogram())
+            histogram.merge(
+                int(summary.get("count", 0)),
+                float(summary.get("sum", 0.0)),
+                float(summary.get("min", float("inf"))),
+                float(summary.get("max", float("-inf"))),
+            )
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": {
+            key: histogram.as_dict()
+            for key, histogram in sorted(merged_hist.items())
+        },
+    }
 
 
 # -- global switch (mirrors repro.obs.trace) -----------------------------------

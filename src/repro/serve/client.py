@@ -62,6 +62,14 @@ class ServeClient:
             self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._reader = self._sock.makefile("rb")
 
+    def set_timeout(self, timeout: float) -> None:
+        """Adjust the socket timeout, including on a live connection —
+        the shard router re-budgets each failover attempt from the
+        request's remaining deadline."""
+        self.timeout = timeout
+        if self._sock is not None:
+            self._sock.settimeout(timeout)
+
     def close(self) -> None:
         if self._reader is not None:
             self._reader.close()
@@ -129,7 +137,13 @@ class ServeClient:
             try:
                 status, raw = self._round_trip(request)
                 break
-            except (ConnectionError, socket.timeout, OSError):
+            except socket.timeout:
+                # A timeout is the server being slow, not the socket
+                # being stale — retrying would double the wait against a
+                # stalled replica; let the caller's failover policy act.
+                self.close()
+                raise
+            except (ConnectionError, OSError):
                 self.close()
                 if attempt:
                     raise

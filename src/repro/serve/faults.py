@@ -1,0 +1,154 @@
+"""Deterministic fault injection for the sharded prediction service.
+
+The [test]-archetype contract of the sharding PR: the router's failure
+behaviour is *proved*, not assumed.  :class:`FaultInjector` gives the
+test harness (and ``tests/serve/test_faults.py``) precise, repeatable
+control over replica misbehaviour — no randomness, no timing dice:
+
+* **kill** — handled at the deployment layer
+  (:meth:`repro.serve.shard.ShardDeployment.kill_replica`): the
+  replica's listener and every open connection are aborted mid-flight,
+  exactly what a SIGKILL'd process looks like to its peers;
+* **stall** — the replica's evaluation threads block on an event until
+  :meth:`clear`/:meth:`release_all`; the replica still *accepts* work
+  and answers ``/healthz`` (a sick-but-alive replica), so only
+  per-request deadlines and failover protect callers;
+* **slow** — every evaluation pays a fixed extra delay first (a
+  degraded replica: correct answers, late);
+* **fail** — every evaluation raises (a poisoned replica: connections
+  live, answers broken).
+
+Faults key on the **replica id** and reach the service through the
+evaluation hook (:attr:`repro.serve.service.PredictionService.fault_hook`),
+which runs on the worker pool threads — the event loop, and with it
+``/healthz`` and cache hits, stay responsive, matching how a wedged
+evaluation path behaves in production.
+
+Always :meth:`release_all` in teardown: a stalled worker thread would
+otherwise block interpreter exit (thread-pool threads are joined at
+shutdown).  The deployment's ``stop()`` does this automatically for the
+injector it was given.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["FaultInjector", "FaultError"]
+
+
+class FaultError(RuntimeError):
+    """Raised inside a replica whose evaluation was poisoned with
+    :meth:`FaultInjector.fail` (surfaces to callers as an ``internal``
+    error envelope — *not* a valid prediction)."""
+
+
+@dataclass
+class _Fault:
+    """Active fault state for one replica."""
+
+    kind: str  # "stall" | "slow" | "fail"
+    delay_s: float = 0.0
+    release: threading.Event = field(default_factory=threading.Event)
+    #: How many evaluations hit this fault (test observability).
+    triggered: int = 0
+
+
+class FaultInjector:
+    """Shared, thread-safe fault table consulted by replica eval hooks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._faults: dict[str, _Fault] = {}
+        #: Threads currently blocked in a stall (gauge, test hook).
+        self.stalled_now = 0
+
+    # -- fault control (test side) ---------------------------------------------
+    def stall(self, replica_id: str) -> None:
+        """Block every evaluation on ``replica_id`` until cleared."""
+        self._set(replica_id, _Fault("stall"))
+
+    def slow(self, replica_id: str, delay_s: float) -> None:
+        """Delay every evaluation on ``replica_id`` by ``delay_s``."""
+        if delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {delay_s}")
+        self._set(replica_id, _Fault("slow", delay_s=delay_s))
+
+    def fail(self, replica_id: str) -> None:
+        """Make every evaluation on ``replica_id`` raise
+        :class:`FaultError`."""
+        self._set(replica_id, _Fault("fail"))
+
+    def _set(self, replica_id: str, fault: _Fault) -> None:
+        with self._lock:
+            old = self._faults.get(replica_id)
+            if old is not None:
+                old.release.set()
+            self._faults[replica_id] = fault
+
+    def clear(self, replica_id: str) -> None:
+        """Remove ``replica_id``'s fault, releasing stalled threads."""
+        with self._lock:
+            fault = self._faults.pop(replica_id, None)
+        if fault is not None:
+            fault.release.set()
+
+    def release_all(self) -> None:
+        """Clear every fault (mandatory in teardown paths)."""
+        with self._lock:
+            faults = list(self._faults.values())
+            self._faults.clear()
+        for fault in faults:
+            fault.release.set()
+
+    def triggered(self, replica_id: str) -> int:
+        """How many evaluations hit ``replica_id``'s current fault."""
+        with self._lock:
+            fault = self._faults.get(replica_id)
+            return fault.triggered if fault is not None else 0
+
+    def active(self) -> dict[str, str]:
+        """``replica_id -> fault kind`` snapshot."""
+        with self._lock:
+            return {rid: f.kind for rid, f in self._faults.items()}
+
+    # -- service side -----------------------------------------------------------
+    def hook_for(self, replica_id: str) -> Callable[[], None]:
+        """The evaluation hook to install on ``replica_id``'s service
+        (:attr:`~repro.serve.service.PredictionService.fault_hook`)."""
+
+        def hook() -> None:
+            self._apply(replica_id)
+
+        return hook
+
+    def _apply(self, replica_id: str) -> None:
+        with self._lock:
+            fault = self._faults.get(replica_id)
+            if fault is None:
+                return
+            fault.triggered += 1
+        if fault.kind == "slow":
+            time.sleep(fault.delay_s)
+        elif fault.kind == "fail":
+            raise FaultError(
+                f"injected evaluation failure on replica {replica_id!r}"
+            )
+        elif fault.kind == "stall":
+            with self._lock:
+                self.stalled_now += 1
+            try:
+                fault.release.wait()
+            finally:
+                with self._lock:
+                    self.stalled_now -= 1
+
+    def as_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "active": {rid: f.kind for rid, f in self._faults.items()},
+                "stalled_now": self.stalled_now,
+            }

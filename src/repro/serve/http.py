@@ -19,6 +19,7 @@ is timed into the service registry's per-endpoint latency histogram
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import time
 from typing import Any
@@ -53,6 +54,9 @@ class HttpServer:
         self.host = host
         self.port = port
         self._server: asyncio.base_events.Server | None = None
+        # Live connection writers, tracked so abort() can reset them —
+        # the fault harness's "SIGKILL as seen by peers" primitive.
+        self._writers: set[asyncio.StreamWriter] = set()
 
     # -- lifecycle ------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
@@ -77,10 +81,28 @@ class HttpServer:
             await self._server.wait_closed()
             self._server = None
 
+    async def abort(self) -> None:
+        """Crash-stop: close the listener and reset every connection.
+
+        In-flight requests are cut mid-body — peers see exactly what a
+        killed process produces (``ECONNRESET`` / truncated reads), which
+        is what the fault-injection suite (:mod:`repro.serve.faults`)
+        needs to prove failover behaviour.  No draining, no goodbye.
+        """
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        for writer in list(self._writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        self._writers.clear()
+
     # -- connection handling ----------------------------------------------------
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._writers.add(writer)
         try:
             while True:
                 try:
@@ -113,6 +135,7 @@ class HttpServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
         finally:
+            self._writers.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -196,7 +219,13 @@ class HttpServer:
         if endpoint == "/metrics":
             if method != "GET":
                 return 405, _error_envelope("validation", "use GET /metrics")
-            return 200, self.service.metrics_snapshot()
+            snapshot = self.service.metrics_snapshot()
+            # The shard router's snapshot scatters to its replicas off
+            # the event loop, so it is a coroutine; the plain service
+            # answers synchronously.
+            if inspect.isawaitable(snapshot):
+                snapshot = await snapshot
+            return 200, snapshot
         if endpoint == "/version":
             if method != "GET":
                 return 405, _error_envelope("validation", "use GET /version")

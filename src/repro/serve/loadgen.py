@@ -48,9 +48,13 @@ from repro.serve.threadserver import ServerThread
 
 __all__ = [
     "LoadPhase",
+    "ShardPhase",
     "build_query_pool",
+    "build_keyed_pool",
     "run_phase",
+    "run_shard_phase",
     "measure_serve",
+    "measure_serve_sharded",
     "run_smoke",
     "write_bench_json",
 ]
@@ -113,10 +117,11 @@ def _percentile(sorted_values: Sequence[float], q: float) -> float:
     return sorted_values[rank]
 
 
-def build_query_pool(
+def build_keyed_pool(
     count: int, *, predictor: Predictor | None = None
-) -> list[Query]:
-    """``count`` queries with pairwise-distinct content-addressed keys.
+) -> list[tuple[Query, str]]:
+    """``count`` ``(query, run_key)`` pairs with pairwise-distinct
+    content-addressed keys.
 
     The sweep walks the profile basis fastest, then configs, then thread
     counts, then (past one full cycle) shifts the size axis — so a
@@ -124,12 +129,16 @@ def build_query_pool(
     is what warmup slicing relies on.  Candidates whose size quantizes
     onto an already-used key (MiniFE rounds to a mesh dimension, XSBench
     to a gridpoint count) are skipped.
+
+    The keys are what the dedup already computes; carrying them out lets
+    the sharded loadgen route client-side without building a keying
+    predictor per client thread.
     """
     predictor = predictor if predictor is not None else Predictor()
-    queries: list[Query] = []
+    pairs: list[tuple[Query, str]] = []
     seen: set[str] = set()
     index = 0
-    while len(queries) < count:
+    while len(pairs) < count:
         workload, base_size = _POOL_BASIS[index % len(_POOL_BASIS)]
         config = _POOL_CONFIGS[(index // len(_POOL_BASIS)) % len(_POOL_CONFIGS)]
         threads = _POOL_THREADS[
@@ -148,8 +157,16 @@ def build_query_pool(
         if key in seen:
             continue
         seen.add(key)
-        queries.append(query)
-    return queries
+        pairs.append((query, key))
+    return pairs
+
+
+def build_query_pool(
+    count: int, *, predictor: Predictor | None = None
+) -> list[Query]:
+    """``count`` queries with pairwise-distinct content-addressed keys
+    (see :func:`build_keyed_pool`)."""
+    return [query for query, _ in build_keyed_pool(count, predictor=predictor)]
 
 
 def _partition(queries: Sequence[Query], clients: int) -> list[list[Query]]:
@@ -412,6 +429,327 @@ def run_smoke(
         "invariant_audited": audited,
         "checked_runs": checker.runs_checked,
         "violations": checker.violation_count,
+    }
+
+
+# -- sharded deployment benchmark ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardPhase:
+    """Measured outcome of one sharded closed-loop phase.
+
+    The headline number is **goodput** — successfully answered requests
+    per second of wall clock — because the sharded benchmark runs the
+    fleet *into overload*: clients that draw a 429 back off and retry
+    until their request deadline, so a deployment whose admission
+    capacity is below the offered concurrency spends wall clock in
+    reject/backoff churn that goodput (unlike raw request throughput)
+    refuses to count.
+    """
+
+    name: str
+    replicas: int
+    concurrency: int
+    offered: int
+    succeeded: int
+    failed: int
+    #: 429-driven re-submissions (each is one extra round trip).
+    retries: int
+    seconds: float
+    goodput_rps: float
+    p50_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.succeeded / self.offered if self.offered else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "replicas": self.replicas,
+            "concurrency": self.concurrency,
+            "offered": self.offered,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "retries": self.retries,
+            "seconds": self.seconds,
+            "goodput_rps": self.goodput_rps,
+            "success_rate": self.success_rate,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} x{self.replicas}: {self.succeeded}/{self.offered} "
+            f"ok (+{self.retries} retries) in {self.seconds:.2f}s = "
+            f"{self.goodput_rps:.0f} rps goodput "
+            f"(p50 {self.p50_ms:.1f} ms, p99 {self.p99_ms:.1f} ms)"
+        )
+
+
+def run_shard_phase(
+    name: str,
+    replicas: "Any",
+    partitions: Sequence[Sequence[tuple[Query, str]]],
+    *,
+    deadline_s: float = 60.0,
+    request_deadline_s: float = 120.0,
+    backoff_base_s: float = 0.05,
+    backoff_cap_s: float = 0.8,
+    max_attempts: int = 4,
+    timeout_s: float = 90.0,
+) -> tuple[ShardPhase, list[PredictionResult]]:
+    """One sharded closed loop: each client thread routes its keyed
+    queries client-side (:class:`~repro.serve.shard.ShardClient` over a
+    shared :class:`~repro.serve.registry.ReplicaSet`), retrying 429s
+    with jittered exponential backoff until success or
+    ``request_deadline_s``.
+
+    ``replicas`` is the deployment's live replica set, so routing and
+    failover see health transitions mid-phase.  Latency is measured per
+    *request* including retries — the closed-loop cost a caller pays.
+    """
+    import random
+
+    from repro.api.errors import ApiError, CapacityError
+    from repro.serve.shard import ShardClient
+
+    barrier = threading.Barrier(len(partitions) + 1)
+    latencies_ms: list[list[float]] = [[] for _ in partitions]
+    responses: list[list[PredictionResult]] = [[] for _ in partitions]
+    succeeded = [0] * len(partitions)
+    failed = [0] * len(partitions)
+    retries = [0] * len(partitions)
+
+    def client_loop(slot: int, pairs: Sequence[tuple[Query, str]]) -> None:
+        rng = random.Random(0xC0FFEE + slot)  # deterministic jitter
+        with ShardClient(
+            replicas, timeout=timeout_s, max_attempts=max_attempts
+        ) as client:
+            barrier.wait()
+            for query, key in pairs:
+                started = time.perf_counter()
+                give_up_at = time.monotonic() + request_deadline_s
+                attempt = 0
+                while True:
+                    try:
+                        result = client.predict(
+                            query, key=key, deadline_s=deadline_s
+                        )
+                    except CapacityError:
+                        if time.monotonic() >= give_up_at:
+                            failed[slot] += 1
+                            break
+                        retries[slot] += 1
+                        pause = min(
+                            backoff_cap_s, backoff_base_s * (2.0 ** attempt)
+                        ) * (0.5 + rng.random())
+                        attempt += 1
+                        time.sleep(pause)
+                        continue
+                    except (ApiError, OSError):
+                        failed[slot] += 1
+                        break
+                    succeeded[slot] += 1
+                    latencies_ms[slot].append(
+                        (time.perf_counter() - started) * 1e3
+                    )
+                    responses[slot].append(result)
+                    break
+
+    threads = [
+        threading.Thread(
+            target=client_loop, args=(i, pairs), name=f"shardgen-{i}"
+        )
+        for i, pairs in enumerate(partitions)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - started
+    flat = sorted(lat for bucket in latencies_ms for lat in bucket)
+    offered = sum(len(p) for p in partitions)
+    ok = sum(succeeded)
+    phase = ShardPhase(
+        name=name,
+        replicas=len(replicas.routable_ids()),
+        concurrency=len(partitions),
+        offered=offered,
+        succeeded=ok,
+        failed=sum(failed),
+        retries=sum(retries),
+        seconds=seconds,
+        goodput_rps=ok / seconds if seconds else 0.0,
+        p50_ms=_percentile(flat, 0.50),
+        p99_ms=_percentile(flat, 0.99),
+        max_ms=flat[-1] if flat else 0.0,
+    )
+    return phase, [r for bucket in responses for r in bucket]
+
+
+def measure_serve_sharded(
+    *,
+    replica_counts: Sequence[int] = (1, 2, 4),
+    concurrency: int = 1024,
+    requests_per_client: int = 4,
+    workers: int = 1,
+    max_queue: int = 256,
+    backend: str = "process",
+    machine: str = "knl7210",
+    identity_sample: int = 64,
+    backoff_base_s: float = 0.05,
+    backoff_cap_s: float = 0.8,
+    request_deadline_s: float = 120.0,
+) -> dict[str, Any]:
+    """The sharded-deployment benchmark: the replica scaling curve under
+    overload, plus the hot cache-affinity phase.
+
+    Measurement framing (documented because it is the honest part): the
+    replicas share the host's cores, so aggregate *goodput* scales with
+    N only up to ``os.cpu_count()`` — beyond that the closed-loop
+    clients self-stabilize at the shared compute ceiling and the curve
+    goes flat.  What sharding buys at high concurrency regardless of
+    core count is **admission capacity**: each replica carries a fixed
+    bounded queue (``max_queue``), so a fleet whose aggregate queue
+    covers the offered concurrency admits every request outright, while
+    a single replica bounces the excess into 429/backoff churn.  The
+    recorded curve therefore carries three metrics per replica count —
+    goodput, p99 latency, and 429 retries — and the scaling section
+    reports both the goodput ratio and the tail-latency ratio.  On a
+    host with fewer cores than replicas the admission curve (retries
+    collapsing to zero once the aggregate queue covers the offered
+    concurrency) is the signal that survives: goodput pins at the
+    compute ceiling and p99 is scheduler-noise dominated, which is why
+    ``host_cpu_count`` is recorded alongside.  The ``hot_cache`` phase
+    replays the same keys to show key-affinity turning the per-replica
+    caches into one fleet-wide cache (every replica serves only its
+    ring share).
+
+    Every replica count replays the *same* keyed pool against a fresh
+    deployment (cold caches each time); all deployments share one
+    persistent table-cache directory, so model-table construction is
+    paid once by the first fleet, not per replica.  Results from the
+    largest fleet are audited bit-identical against direct scalar
+    evaluation.
+    """
+    import os
+    import tempfile
+
+    from repro.cluster.multinode import scaling_efficiency
+    from repro.serve.shard import ShardConfig, ShardDeployment
+
+    if not replica_counts:
+        raise ValueError("replica_counts must be non-empty")
+    total = concurrency * requests_per_client
+    predictor = Predictor(machine=machine)
+    pool = build_keyed_pool(total, predictor=predictor)
+    partitions: list[list[tuple[Query, str]]] = [
+        [] for _ in range(concurrency)
+    ]
+    for i, pair in enumerate(pool):
+        partitions[i % concurrency].append(pair)
+    partitions = [p for p in partitions if p]
+
+    overload: dict[int, ShardPhase] = {}
+    hot: dict[int, ShardPhase] = {}
+    identity: dict[str, Any] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-tables-") as tables:
+        service = ServiceConfig(
+            machine=machine,
+            workers=workers,
+            max_queue=max_queue,
+            cache_entries=2 * total,
+            cache_ttl_s=None,
+            default_deadline_s=max(60.0, request_deadline_s),
+            table_cache_dir=tables,
+        )
+        for count in replica_counts:
+            config = ShardConfig(
+                replicas=count,
+                backend=backend,
+                service=service,
+                probe_interval_s=1.0,
+                fail_after=3,
+            )
+            deployment = ShardDeployment(config)
+            with deployment:
+                phase, responses = run_shard_phase(
+                    "overload",
+                    deployment.replicas,
+                    partitions,
+                    backoff_base_s=backoff_base_s,
+                    backoff_cap_s=backoff_cap_s,
+                    request_deadline_s=request_deadline_s,
+                )
+                overload[count] = phase
+                hot_phase, _ = run_shard_phase(
+                    "hot_cache",
+                    deployment.replicas,
+                    partitions,
+                    backoff_base_s=backoff_base_s,
+                    backoff_cap_s=backoff_cap_s,
+                    request_deadline_s=request_deadline_s,
+                )
+                hot[count] = hot_phase
+                if count == max(replica_counts):
+                    identity = _verify_identity(responses, identity_sample)
+
+    goodput = {n: p.goodput_rps for n, p in overload.items()}
+    base_n = min(goodput)
+    speedup = {
+        n: (goodput[n] / goodput[base_n] if goodput[base_n] else 0.0)
+        for n in sorted(goodput)
+    }
+    base_p99 = overload[base_n].p99_ms
+    tail_speedup = {
+        n: (base_p99 / overload[n].p99_ms if overload[n].p99_ms else 0.0)
+        for n in sorted(overload)
+    }
+    return {
+        "backend": backend,
+        "concurrency": concurrency,
+        "requests_per_client": requests_per_client,
+        "unique_queries": total,
+        "workers_per_replica": workers,
+        "max_queue_per_replica": max_queue,
+        "host_cpu_count": os.cpu_count(),
+        "replica_counts": sorted(overload),
+        "overload": {str(n): overload[n].as_dict() for n in sorted(overload)},
+        "hot_cache": {str(n): hot[n].as_dict() for n in sorted(hot)},
+        "scaling": {
+            "metric": "overload goodput_rps / p99_ms / retries",
+            "goodput_rps": {str(n): round(goodput[n], 1) for n in sorted(goodput)},
+            "speedup_vs_min": {str(n): round(s, 3) for n, s in speedup.items()},
+            "p99_ms": {
+                str(n): round(overload[n].p99_ms, 1) for n in sorted(overload)
+            },
+            "tail_p99_speedup_vs_min": {
+                str(n): round(s, 3) for n, s in tail_speedup.items()
+            },
+            "retries": {str(n): overload[n].retries for n in sorted(overload)},
+            "parallel_efficiency": {
+                str(n): round(e, 3)
+                for n, e in scaling_efficiency(goodput).items()
+            },
+        },
+        "identity": identity,
+        "note": (
+            "Replicas share the host's cores (host_cpu_count above): "
+            "goodput scales with N only up to the core count, then pins at "
+            "the shared compute ceiling, and p99 turns scheduler-noisy.  "
+            "The host-independent scaling signal is admission: 429 retries "
+            "collapse to zero once the fleet's aggregate queue covers the "
+            "offered concurrency.  See docs/SERVING.md, 'The sharded "
+            "benchmark'."
+        ),
     }
 
 

@@ -1,0 +1,231 @@
+"""Replica membership, health tracking and routing state.
+
+:class:`ReplicaSet` is the control-plane table of one sharded
+deployment: every replica's address, lifecycle state and failure
+accounting, plus the consistent-hash ring (:mod:`repro.serve.ring`)
+rebuilt atomically from the replicas that are currently **routable**.
+
+Health is tracked two ways, both deterministic:
+
+* **passively** — every forwarding failure calls :meth:`mark_failure`;
+  ``fail_after`` consecutive failures transition the replica to
+  ``down`` and drop it from the ring (its keyspace share moves to the
+  ring successors, nothing else remaps — the minimal-remapping
+  property).  Any success resets the streak and revives the replica.
+* **actively** — the router's probe loop calls :meth:`mark_probe` with
+  the replica's ``/healthz`` verdict, so a replica that was killed
+  outright (nobody routing to it, hence no passive signal) is still
+  discovered, and a recovered or restarted one rejoins the ring.
+
+Draining is an explicit administrative state: a ``draining`` replica
+leaves the ring immediately (no new work) while its in-flight requests
+finish on the replica itself — the service's own graceful ``stop()``
+handles that side (:mod:`repro.serve.service`).
+
+All methods are thread-safe; routing reads take a snapshot of the
+current ring, so a rebuild never tears an in-progress preference walk.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.serve.ring import DEFAULT_VNODES, HashRing
+
+__all__ = ["ReplicaInfo", "ReplicaSet", "ReplicaState"]
+
+
+class ReplicaState:
+    """Replica lifecycle states (plain strings on the wire)."""
+
+    UP = "up"
+    DRAINING = "draining"
+    DOWN = "down"
+
+
+@dataclass
+class ReplicaInfo:
+    """One replica's control-plane entry."""
+
+    replica_id: str
+    host: str
+    port: int
+    state: str = ReplicaState.UP
+    consecutive_failures: int = 0
+    #: Total forwarding failures ever charged to this replica.
+    failures: int = 0
+    #: Bumped on every (re)registration, so connection pools keyed on
+    #: ``(replica_id, generation)`` never reuse a socket to a dead twin.
+    generation: int = 0
+    last_transition: float = field(default_factory=time.monotonic)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    @property
+    def routable(self) -> bool:
+        return self.state == ReplicaState.UP
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "state": self.state,
+            "host": self.host,
+            "port": self.port,
+            "consecutive_failures": self.consecutive_failures,
+            "failures": self.failures,
+            "generation": self.generation,
+        }
+
+
+class ReplicaSet:
+    """Thread-safe replica table + the ring over its routable members."""
+
+    def __init__(
+        self, *, fail_after: int = 3, vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if fail_after < 1:
+            raise ValueError(f"fail_after must be >= 1, got {fail_after}")
+        self.fail_after = fail_after
+        self.vnodes = vnodes
+        self._lock = threading.Lock()
+        self._replicas: dict[str, ReplicaInfo] = {}
+        self._ring = HashRing(vnodes=vnodes)
+        self.transitions = 0
+
+    # -- membership -----------------------------------------------------------
+    def register(self, replica_id: str, host: str, port: int) -> ReplicaInfo:
+        """Add a replica (or re-register a restarted one) as ``up``."""
+        with self._lock:
+            existing = self._replicas.get(replica_id)
+            generation = existing.generation + 1 if existing is not None else 0
+            info = ReplicaInfo(
+                replica_id=replica_id,
+                host=host,
+                port=port,
+                generation=generation,
+            )
+            self._replicas[replica_id] = info
+            self._rebuild_ring()
+            return info
+
+    def deregister(self, replica_id: str) -> None:
+        with self._lock:
+            if self._replicas.pop(replica_id, None) is not None:
+                self._rebuild_ring()
+
+    def _rebuild_ring(self) -> None:
+        """Swap in a fresh ring over the routable replicas (lock held)."""
+        self._ring = HashRing(
+            (r.replica_id for r in self._replicas.values() if r.routable),
+            vnodes=self.vnodes,
+        )
+
+    # -- health transitions ------------------------------------------------------
+    def _transition(self, info: ReplicaInfo, state: str) -> None:
+        if info.state == state:
+            return
+        info.state = state
+        info.last_transition = time.monotonic()
+        self.transitions += 1
+        self._rebuild_ring()
+
+    def mark_failure(self, replica_id: str) -> None:
+        """Charge one forwarding failure; ``fail_after`` in a row downs
+        the replica."""
+        with self._lock:
+            info = self._replicas.get(replica_id)
+            if info is None:
+                return
+            info.failures += 1
+            info.consecutive_failures += 1
+            if (
+                info.state == ReplicaState.UP
+                and info.consecutive_failures >= self.fail_after
+            ):
+                self._transition(info, ReplicaState.DOWN)
+
+    def mark_success(self, replica_id: str) -> None:
+        """A successful round trip: reset the streak, revive if down."""
+        with self._lock:
+            info = self._replicas.get(replica_id)
+            if info is None:
+                return
+            info.consecutive_failures = 0
+            if info.state == ReplicaState.DOWN:
+                self._transition(info, ReplicaState.UP)
+
+    def mark_probe(self, replica_id: str, healthy: bool) -> None:
+        """Fold one active ``/healthz`` probe into the health state.
+
+        A probe is authoritative in both directions: a healthy answer
+        revives a ``down`` replica, an unhealthy one (connection refused
+        or a non-``ok`` status, e.g. ``draining``) downs an ``up`` one
+        immediately — probes are deliberate, so they skip the
+        ``fail_after`` streak that guards against one-off socket drops.
+        """
+        with self._lock:
+            info = self._replicas.get(replica_id)
+            if info is None:
+                return
+            if healthy:
+                info.consecutive_failures = 0
+                if info.state == ReplicaState.DOWN:
+                    self._transition(info, ReplicaState.UP)
+            elif info.state == ReplicaState.UP:
+                self._transition(info, ReplicaState.DOWN)
+
+    def start_drain(self, replica_id: str) -> ReplicaInfo:
+        """Administratively drain: leave the ring now, finish in-flight
+        work on the replica."""
+        with self._lock:
+            info = self._replicas[replica_id]
+            self._transition(info, ReplicaState.DRAINING)
+            return info
+
+    # -- routing reads ---------------------------------------------------------
+    def ring(self) -> HashRing:
+        """The current ring snapshot (immutable once handed out)."""
+        with self._lock:
+            return self._ring
+
+    def preferences(self, key: str, limit: int | None = None) -> list[str]:
+        """Failover-ordered routable replicas for ``key``."""
+        return self.ring().preferences(key, limit)
+
+    def info(self, replica_id: str) -> ReplicaInfo:
+        with self._lock:
+            return self._replicas[replica_id]
+
+    def address(self, replica_id: str) -> tuple[str, int]:
+        with self._lock:
+            return self._replicas[replica_id].address
+
+    def generation(self, replica_id: str) -> int:
+        with self._lock:
+            return self._replicas[replica_id].generation
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._replicas)
+
+    def routable_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                r.replica_id for r in self._replicas.values() if r.routable
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready control-plane snapshot for ``/healthz``."""
+        with self._lock:
+            return {
+                "replicas": {
+                    rid: info.as_dict()
+                    for rid, info in sorted(self._replicas.items())
+                },
+                "ring": self._ring.describe(),
+                "transitions": self.transitions,
+            }

@@ -32,7 +32,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import repro
 from repro.api.errors import (
@@ -67,6 +67,11 @@ class ServiceConfig:
     """
 
     machine: str = "knl7210"
+    #: Identity of this instance inside a sharded deployment
+    #: (:mod:`repro.serve.shard`); surfaces on ``/healthz`` and
+    #: ``/version`` so operators can tell replicas apart.  Empty for a
+    #: standalone service.
+    replica_id: str = ""
     #: Directory of the persistent ModelTables cache
     #: (:mod:`repro.engine.table_cache`).  When set, every worker
     #: predictor loads prebuilt tables on first touch, so a restarted
@@ -129,6 +134,11 @@ class PredictionService:
         self._coalescer: Coalescer | None = None
         self._state = "created"
         self._started_monotonic: float | None = None
+        #: Test seam for deterministic fault injection
+        #: (:mod:`repro.serve.faults`): called on the worker thread
+        #: before every evaluation.  ``None`` (production) costs one
+        #: attribute read per batch.
+        self.fault_hook: "Callable[[], None] | None" = None
 
     # -- lifecycle ------------------------------------------------------------
     @property
@@ -208,10 +218,16 @@ class PredictionService:
 
     def _evaluate_batch(self, queries: list[Query]) -> list[PredictionResult]:
         """One dense batch through this pool thread's predictor."""
+        hook = self.fault_hook
+        if hook is not None:
+            hook()
         return self._worker_predictor().predict_many(queries)
 
     def _evaluate_one(self, query: Query) -> PredictionResult:
         """The naive baseline: one scalar evaluation per call."""
+        hook = self.fault_hook
+        if hook is not None:
+            hook()
         return self._worker_predictor().predict(query)
 
     # -- request handling (event loop) ----------------------------------------
@@ -350,7 +366,7 @@ class PredictionService:
 
     # -- introspection endpoints ------------------------------------------------
     def healthz(self) -> dict[str, Any]:
-        return {
+        health = {
             "status": "ok" if self.running else self._state,
             "state": self._state,
             "uptime_s": self.uptime_s(),
@@ -358,15 +374,21 @@ class PredictionService:
                 0 if self._coalescer is None else self._coalescer.queue_depth
             ),
         }
+        if self.config.replica_id:
+            health["replica_id"] = self.config.replica_id
+        return health
 
     def version(self) -> dict[str, Any]:
-        return {
+        document = {
             "schema_version": SCHEMA_VERSION,
             "service": "repro.serve",
             "version": repro.__version__,
             "machine": self.config.machine,
             "coalesce": self.config.coalesce,
         }
+        if self.config.replica_id:
+            document["replica_id"] = self.config.replica_id
+        return document
 
     def executor_stats(self) -> dict[str, Any]:
         """Aggregated sweep-executor counters across every predictor the

@@ -25,11 +25,20 @@ class ServerThread:
         self,
         config: ServiceConfig | None = None,
         *,
+        service: Any = None,
         host: str = "127.0.0.1",
         port: int = 0,
         startup_timeout_s: float = 30.0,
     ) -> None:
-        self.service = PredictionService(config)
+        # Any object with the PredictionService protocol surface (async
+        # start/stop, healthz/metrics/version/handle_predict, a
+        # ``metrics`` registry) can be hosted — the shard router
+        # (:mod:`repro.serve.shard`) rides the same harness.
+        if service is not None and config is not None:
+            raise ValueError("pass either a config or a prebuilt service")
+        self.service = (
+            service if service is not None else PredictionService(config)
+        )
         self.server = HttpServer(self.service, host=host, port=port)
         self.startup_timeout_s = startup_timeout_s
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -76,6 +85,17 @@ class ServerThread:
         try:
             loop.run_forever()
         finally:
+            # After a graceful stop there is nothing left; after kill()
+            # the coalescer dispatchers are still pending — cancel them
+            # locally (the crash already happened as far as peers are
+            # concerned) so loop.close() does not warn.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.wait(pending, timeout=5.0)
+                )
             loop.close()
 
     async def _boot(self) -> None:
@@ -93,6 +113,24 @@ class ServerThread:
         future.result(timeout=60.0)
         loop.call_soon_threadsafe(loop.stop)
         thread.join(timeout=30.0)
+        self._loop = None
+        self._thread = None
+
+    def kill(self) -> None:
+        """Crash-stop from any thread: abort the listener and every live
+        connection, then stop the loop — **no** drain, no service
+        shutdown, exactly the wreckage a SIGKILL leaves behind.  The
+        fault-injection harness uses this to prove failover; production
+        code wants :meth:`stop`.
+        """
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+        asyncio.run_coroutine_threadsafe(self.server.abort(), loop).result(
+            timeout=10.0
+        )
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10.0)
         self._loop = None
         self._thread = None
 

@@ -7,6 +7,8 @@ tests pin the facade itself against the historical entry points first.
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.api import (
@@ -157,3 +159,70 @@ class TestCompareConfigs:
         for record, config in zip(records, trio):
             oracle = ExperimentRunner().run(workload, make_config(config), 64)
             assert record.metric == oracle.metric
+
+
+class TestExecutorTableThreadSafety:
+    """The cross-thread stats contract: ``stats()`` (the /metrics
+    executor section) must be callable while other threads grow the
+    executor table — the regression behind the sharded /metrics
+    aggregation (a concurrently-grown dict being iterated raises
+    "dictionary changed size during iteration")."""
+
+    def test_stats_is_safe_during_executor_growth(self):
+        from repro.machine import registry
+
+        names = [n for n in registry.names()]
+        errors: list[Exception] = []
+        predictor = Predictor()
+        barrier = threading.Barrier(3)
+
+        def reader() -> None:
+            try:
+                barrier.wait()
+                for _ in range(200):
+                    predictor.stats()
+            except Exception as exc:
+                errors.append(exc)
+
+        def grower() -> None:
+            try:
+                barrier.wait()
+                for name in names:
+                    predictor.executor(name)
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader),
+            threading.Thread(target=reader),
+            threading.Thread(target=grower),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+        assert errors == []
+        assert len(predictor._executor_snapshot()) == len(names)
+        predictor.close()
+
+    def test_concurrent_executor_creation_yields_one_instance(self):
+        predictor = Predictor()
+        barrier = threading.Barrier(4)
+        seen: list[object] = []
+        lock = threading.Lock()
+
+        def create() -> None:
+            barrier.wait()
+            executor = predictor.executor("knl7250")
+            with lock:
+                seen.append(executor)
+
+        threads = [threading.Thread(target=create) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert len(seen) == 4
+        assert all(executor is seen[0] for executor in seen)
+        predictor.close()

@@ -112,3 +112,64 @@ class TestModuleLevelSwitch:
         assert registry.counter_value("runs") == 2
         assert registry.gauge_value("rate") == 0.5
         assert registry.histogram_summary("lat").count == 1
+
+
+class TestMergeExports:
+    """merge_exports: the cross-replica /metrics aggregation contract."""
+
+    @staticmethod
+    def _export(requests: float, latencies: "list[float]", depth: float):
+        registry = metrics.MetricsRegistry()
+        registry.add("serve.requests", requests)
+        registry.set_gauge("queue.depth", depth)
+        for value in latencies:
+            registry.observe("request_ms", value)
+        return registry.as_dict()
+
+    def test_counters_sum_never_last_writer_wins(self):
+        merged = metrics.merge_exports(
+            [self._export(4.0, [], 0.0), self._export(2.0, [], 0.0)]
+        )
+        # The latent bug this helper prevents: reading one replica's
+        # registry would report 4.0 or 2.0; the fleet saw 6 requests.
+        assert merged["counters"]["serve.requests"] == 6.0
+
+    def test_histograms_merge_exactly(self):
+        merged = metrics.merge_exports(
+            [
+                self._export(0.0, [1.0, 5.0], 0.0),
+                self._export(0.0, [3.0, 11.0, 2.0], 0.0),
+            ]
+        )
+        summary = merged["histograms"]["request_ms"]
+        assert summary["count"] == 5
+        assert summary["sum"] == pytest.approx(22.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 11.0
+        assert summary["mean"] == pytest.approx(22.0 / 5)
+
+    def test_gauges_sum_depth_like(self):
+        merged = metrics.merge_exports(
+            [self._export(0.0, [], 3.0), self._export(0.0, [], 5.0)]
+        )
+        assert merged["gauges"]["queue.depth"] == 8.0
+
+    def test_tolerates_empty_and_non_mapping_entries(self):
+        merged = metrics.merge_exports([{}, None, self._export(1.0, [], 0.0)])
+        assert merged["counters"]["serve.requests"] == 1.0
+        assert metrics.merge_exports([]) == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_disjoint_series_pass_through(self):
+        left = metrics.MetricsRegistry()
+        left.add("router.forwards", 2.0, {"replica": "r0"})
+        right = metrics.MetricsRegistry()
+        right.add("router.forwards", 3.0, {"replica": "r1"})
+        merged = metrics.merge_exports([left.as_dict(), right.as_dict()])
+        assert merged["counters"] == {
+            "router.forwards{replica=r0}": 2.0,
+            "router.forwards{replica=r1}": 3.0,
+        }
