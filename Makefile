@@ -6,7 +6,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 export PYTHONPATH
 
-.PHONY: install test test-fast bench bench-engine bench-serve bench-serve-shard serve-shard serve-smoke machine-zoo report examples docs-check check clean
+.PHONY: install test test-fast bench bench-engine bench-serve bench-serve-shard serve-shard serve-smoke warmup machine-zoo report examples docs-check check clean
 
 install:
 	pip install -e .
@@ -64,6 +64,17 @@ serve-shard:
 # bound, bit-identity and invariant audit (tools/serve_smoke.py).
 serve-smoke:
 	python tools/serve_smoke.py
+
+# Deploy-time table prewarm: build the batch-engine model tables for
+# every registered machine x the paper config trio into the shared
+# persistent table cache (TABLE_CACHE, default .cache/tables), so fresh
+# services and CLI runs load tables instead of rebuilding them
+# (docs/ENGINE.md, "Prewarming").  `repro serve --prewarm` does the
+# same inline at boot; tools/serve_shard_smoke.py exercises the same
+# prewarm path before its replicas come up.
+TABLE_CACHE ?= .cache/tables
+warmup:
+	python -m repro warmup --table-cache $(TABLE_CACHE)
 
 # Cross-machine conformance: the full invariant catalogue on every
 # registered machine, spec round-trip/rejection properties, KNL

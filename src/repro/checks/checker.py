@@ -157,7 +157,9 @@ def check_run(
         config=resolved,
         num_threads=num_threads,
         record=record,
-        profile=workload.profile() if record.run_result is not None else None,
+        profile=(
+            workload.profile_cached() if record.run_result is not None else None
+        ),
         window=window,
     )
     return _evaluate(Scope.RUN, ctx)

@@ -217,6 +217,37 @@ def _build_parser() -> argparse.ArgumentParser:
             "BENCH_engine.json or BENCH_serve.json by target)"
         ),
     )
+    warmup = sub.add_parser(
+        "warmup",
+        help=(
+            "prewarm the persistent model-table cache: build and store "
+            "ModelTables for registered machines x the paper config trio "
+            "(see docs/ENGINE.md, 'Prewarming')"
+        ),
+    )
+    warmup.add_argument(
+        "--machines",
+        nargs="+",
+        choices=list(registry.names()),
+        default=None,
+        metavar="KEY",
+        help="machines to prewarm (default: every registered machine)",
+    )
+    warmup.add_argument(
+        "--points",
+        type=int,
+        default=2_520,
+        help="minimum grid cells per machine (default: 2520)",
+    )
+    # Accept the global --table-cache after the verb too (`repro warmup
+    # --table-cache DIR`); SUPPRESS keeps the subparser from clobbering
+    # a value given in the global position.
+    warmup.add_argument(
+        "--table-cache",
+        default=argparse.SUPPRESS,
+        metavar="DIR",
+        help="table-cache directory to prewarm (same as the global flag)",
+    )
     serve = sub.add_parser(
         "serve",
         help="run the coalescing prediction service (see docs/SERVING.md)",
@@ -306,6 +337,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="identity of this instance inside a sharded deployment "
         "(surfaces on /healthz and /version)",
     )
+    serve.add_argument(
+        "--prewarm",
+        action="store_true",
+        help="before accepting traffic, prewarm the shared model-table "
+        "cache for every registered machine (requires a table cache "
+        "directory: --table-cache, --cache-dir or REPRO_TABLE_CACHE; "
+        "sharded deployments prewarm once at the router, replicas warm "
+        "from disk)",
+    )
+    serve.add_argument(
+        "--table-cache",
+        default=argparse.SUPPRESS,
+        metavar="DIR",
+        help="table-cache directory (same as the global flag, accepted "
+        "after the verb for convenience)",
+    )
     return parser
 
 
@@ -319,6 +366,42 @@ def _check_mode(args: argparse.Namespace) -> "str | None":
 def _machine(args: argparse.Namespace) -> "object":
     """Build the registry machine the global ``--machine`` flag names."""
     return registry.build(getattr(args, "machine", "knl7210"))
+
+
+def _table_cache_dir(args: argparse.Namespace) -> "str | None":
+    """The effective table-cache directory, mirroring the executor's
+    resolution: ``--table-cache`` wins, then ``REPRO_TABLE_CACHE``, then
+    ``CACHE_DIR/tables`` when ``--cache-dir`` is set."""
+    if args.table_cache:
+        return str(args.table_cache)
+    env = os.environ.get("REPRO_TABLE_CACHE", "").strip()
+    if env:
+        return env
+    if args.cache_dir:
+        return os.path.join(args.cache_dir, "tables")
+    return None
+
+
+def _run_warmup(args: argparse.Namespace, *, machines=None) -> int:
+    """Prewarm the shared table cache; exit 2 without a directory."""
+    from repro.engine.warmup import prewarm_tables
+
+    directory = _table_cache_dir(args)
+    if directory is None:
+        print(
+            "[warmup] no table cache directory to prewarm: pass "
+            "--table-cache DIR (or --cache-dir DIR, or set "
+            "REPRO_TABLE_CACHE)",
+            file=sys.stderr,
+        )
+        return 2
+    if machines is None:
+        machines = getattr(args, "machines", None)
+    report = prewarm_tables(
+        directory, machines=machines, points=getattr(args, "points", 2_520)
+    )
+    print(report.describe())
+    return 0
 
 
 def _build_executor(args: argparse.Namespace) -> SweepExecutor:
@@ -422,11 +505,26 @@ def _run_serve(args: argparse.Namespace) -> int:
     from repro.serve.http import HttpServer
     from repro.serve.service import PredictionService, ServiceConfig
 
+    table_cache_dir = _table_cache_dir(args)
+    if args.prewarm:
+        if table_cache_dir is None:
+            print(
+                "[serve] --prewarm needs a table cache directory: pass "
+                "--table-cache DIR (or --cache-dir DIR, or set "
+                "REPRO_TABLE_CACHE)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.engine.warmup import prewarm_tables
+
+        report = prewarm_tables(table_cache_dir)
+        for line in report.describe().splitlines():
+            print(f"[serve] {line}", file=sys.stderr)
     try:
         config = ServiceConfig(
             machine=args.machine,
             replica_id=args.replica_id,
-            table_cache_dir=args.table_cache,
+            table_cache_dir=table_cache_dir,
             max_batch=args.max_batch,
             max_queue=args.max_queue,
             batch_window_s=args.batch_window_ms / 1e3,
@@ -667,6 +765,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(result.describe())
         print(f"[bench] wrote {path}", file=sys.stderr)
         return 0
+    if command == "warmup":
+        return _run_warmup(args)
     if command == "serve":
         return _run_serve(args)
     if command == "check":

@@ -84,6 +84,9 @@ class EngineBenchResult:
     eventsim_requests: int
     eventsim_reference_seconds: float
     eventsim_optimized_seconds: float
+    eventsim_vector_requests: int
+    eventsim_vector_reference_seconds: float
+    eventsim_vector_optimized_seconds: float
 
     @property
     def scalar_us_per_point(self) -> float:
@@ -116,6 +119,14 @@ class EngineBenchResult:
     def eventsim_speedup(self) -> float:
         return self.eventsim_reference_seconds / self.eventsim_optimized_seconds
 
+    @property
+    def eventsim_vector_speedup(self) -> float:
+        """Speedup at the high-occupancy point served by the batched core."""
+        return (
+            self.eventsim_vector_reference_seconds
+            / self.eventsim_vector_optimized_seconds
+        )
+
     def as_dict(self) -> dict:
         return {
             "grid_points": self.grid_points,
@@ -143,6 +154,12 @@ class EngineBenchResult:
                 "optimized_seconds": self.eventsim_optimized_seconds,
                 "speedup": self.eventsim_speedup,
             },
+            "eventsim_vector": {
+                "requests": self.eventsim_vector_requests,
+                "reference_seconds": self.eventsim_vector_reference_seconds,
+                "optimized_seconds": self.eventsim_vector_optimized_seconds,
+                "speedup": self.eventsim_vector_speedup,
+            },
         }
 
     def describe(self) -> str:
@@ -152,7 +169,9 @@ class EngineBenchResult:
             f"{self.batch_hot_us_per_point:.2f} us/pt -> "
             f"{self.speedup_hot:.1f}x (warm {self.speedup_warm:.1f}x with "
             f"table cache, cold {self.speedup_cold:.1f}x); "
-            f"eventsim {self.eventsim_speedup:.1f}x over reference"
+            f"eventsim {self.eventsim_speedup:.1f}x over reference "
+            f"({self.eventsim_vector_speedup:.1f}x at the high-occupancy "
+            f"vector point)"
         )
 
 
@@ -185,22 +204,39 @@ def build_grid(
     ]
 
 
-def _bench_eventsim() -> tuple[int, float, float]:
-    """Time the optimized event loop against the retained reference."""
+#: The two measured event-simulator operating points.  The first is the
+#: historical 512-in-flight point (below the batched core's dispatch
+#: threshold, so it times the scalar core); the second saturates the
+#: channels with 2048 outstanding requests and is served by the
+#: vectorized batched core.
+_EVENTSIM_POINT = dict(threads=64, mlp=8.0, requests_per_thread=200, seed=1)
+_EVENTSIM_VECTOR_POINT = dict(
+    threads=128, mlp=16.0, requests_per_thread=200, seed=1
+)
+
+
+def _bench_eventsim(params: dict, repeats: int = 3) -> tuple[int, float, float]:
+    """Time the optimized event loop against the retained reference.
+
+    Best-of-``repeats`` per side: the runs are deterministic (same seed,
+    same bits every time), so the minimum is the measurement least
+    disturbed by scheduler noise.  Every repeat re-verifies equality.
+    """
     simulator = MemoryEventSimulator(ddr4_archer(), sequential=False)
-    params = dict(threads=64, mlp=8.0, requests_per_thread=200, seed=1)
     requests = params["threads"] * params["requests_per_thread"]
-    start = time.perf_counter()
-    reference = simulator._simulate_reference(**params)
-    reference_s = time.perf_counter() - start
-    start = time.perf_counter()
-    optimized = simulator._simulate(**params)
-    optimized_s = time.perf_counter() - start
-    if reference != optimized:
-        raise AssertionError(
-            "optimized event loop diverged from reference: "
-            f"{optimized} != {reference}"
-        )
+    reference_s = optimized_s = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        reference = simulator._simulate_reference(**params)
+        reference_s = min(reference_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        optimized = simulator._simulate(**params)
+        optimized_s = min(optimized_s, time.perf_counter() - start)
+        if reference != optimized:
+            raise AssertionError(
+                "optimized event loop diverged from reference: "
+                f"{optimized} != {reference}"
+            )
     return requests, reference_s, optimized_s
 
 
@@ -264,7 +300,10 @@ def measure_engine(
                 f"{result.record(i)} != {scalar_records[i]}"
             )
 
-    requests, reference_s, optimized_s = _bench_eventsim()
+    requests, reference_s, optimized_s = _bench_eventsim(_EVENTSIM_POINT)
+    vec_requests, vec_reference_s, vec_optimized_s = _bench_eventsim(
+        _EVENTSIM_VECTOR_POINT
+    )
     return EngineBenchResult(
         grid_points=len(grid),
         scalar_sample_points=len(sample),
@@ -276,14 +315,81 @@ def measure_engine(
         eventsim_requests=requests,
         eventsim_reference_seconds=reference_s,
         eventsim_optimized_seconds=optimized_s,
+        eventsim_vector_requests=vec_requests,
+        eventsim_vector_reference_seconds=vec_reference_s,
+        eventsim_vector_optimized_seconds=vec_optimized_s,
     )
+
+
+#: Recalibration record for the 2026-08 scalar hot-path overhaul.  The
+#: scalar per-point baseline dropped ~12x (closed-form mesh coherence
+#: timing, memoized machine/placement/profile/hit-rate chains), which
+#: *compresses* every batch-over-scalar ratio: the batch engine did not
+#: get slower — the yardstick got faster.  The note rides along in
+#: ``BENCH_engine.json`` so the trajectory stays comparable across the
+#: break; regenerations preserve any note already present in the file.
+RECALIBRATION_NOTE = {
+    "date": "2026-08-08",
+    "reason": (
+        "scalar hot path overhauled (closed-form mesh hop distance, "
+        "memoized machine properties, thread placements, numactl parses, "
+        "workload profiles and MCDRAM hit rates); batch speedup ratios "
+        "compress because the scalar denominator improved, not because "
+        "the batch engine regressed"
+    ),
+    "previous_baseline": {
+        "scalar_us_per_point": 690.33,
+        "speedup_cold": 67.9,
+        "speedup_warm": 128.6,
+        "speedup_hot": 156.6,
+        "eventsim_speedup": 4.238,
+    },
+}
+
+
+def _history_entry(result: EngineBenchResult) -> dict:
+    """Compact trajectory row appended to the ``history`` list."""
+    return {
+        "at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scalar_us_per_point": round(result.scalar_us_per_point, 3),
+        "batch_hot_us_per_point": round(result.batch_hot_us_per_point, 4),
+        "speedup_cold": round(result.speedup_cold, 2),
+        "speedup_warm": round(result.speedup_warm, 2),
+        "speedup_hot": round(result.speedup_hot, 2),
+        "eventsim_speedup": round(result.eventsim_speedup, 2),
+        "eventsim_vector_speedup": round(result.eventsim_vector_speedup, 2),
+    }
 
 
 def write_bench_json(
     result: EngineBenchResult,
     path: "str | pathlib.Path" = "BENCH_engine.json",
 ) -> pathlib.Path:
-    """Serialize one measurement to the perf-trajectory file."""
+    """Serialize one measurement to the perf-trajectory file.
+
+    The headline numbers are replaced each run, but two keys accumulate
+    across regenerations instead of being overwritten: ``history`` (one
+    compact timestamped row per ``make bench``) and ``recalibration``
+    (the note explaining the 2026-08 scalar-baseline break, carried over
+    from the existing file when present).
+    """
     out = pathlib.Path(path)
-    out.write_text(json.dumps(result.as_dict(), indent=2) + "\n")
+    history: list = []
+    recalibration = RECALIBRATION_NOTE
+    if out.exists():
+        try:
+            previous = json.loads(out.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        carried = previous.get("history")
+        if isinstance(carried, list):
+            history = carried
+        noted = previous.get("recalibration")
+        if isinstance(noted, dict):
+            recalibration = noted
+    history.append(_history_entry(result))
+    payload = result.as_dict()
+    payload["recalibration"] = recalibration
+    payload["history"] = history
+    out.write_text(json.dumps(payload, indent=2) + "\n")
     return out

@@ -162,7 +162,9 @@ class ExperimentRunner:
                     allocation.split,
                     dram_cached=sim_os.memory.dram_fronted_by_cache,
                 )
-                result = model.evaluate(workload.profile(), mix, num_threads)
+                result = model.evaluate(
+                    workload.profile_cached(), mix, num_threads
+                )
         except OutOfNodeMemory as exc:
             return self._infeasible(
                 workload,

@@ -1,0 +1,146 @@
+"""Deploy-time prewarming of the persistent ModelTables cache.
+
+A fresh service replica (or a fresh CLI process) answers its first
+queries at *cold* speed: every (machine, config) table set is built from
+the scalar model before the batch engine can answer from memos.  The
+:mod:`repro.engine.table_cache` closes that gap across restarts — but
+only after something has paid the cold build once.  This module is that
+something, run at deploy time instead of on the first unlucky request:
+
+* :func:`prewarm_tables` builds the tables for every registered machine
+  (or a chosen subset) crossed with the paper's configuration trio over
+  the standard bench grid, and persists them into a shared
+  :class:`~repro.engine.table_cache.TableCache` directory;
+* ``knl-hybridmem warmup`` and ``knl-hybridmem serve --prewarm`` are the
+  CLI faces (see docs/ENGINE.md, "Prewarming").
+
+A prewarmed directory means a subsequent
+:class:`~repro.api.facade.Predictor` or
+:class:`~repro.engine.batch.BatchEvaluator` against the same machines
+and grid reports **zero** table builds: loads hit, nothing is stored
+(``tests/engine/test_warmup.py`` pins this).
+
+Observability: each machine's build runs inside a ``tables.prewarm``
+span tagged with the machine key, and the run counts
+``tables.prewarm_machines`` / ``tables.prewarm_points`` /
+``tables.prewarm_stores`` alongside the cache's own
+``tables.cache_*`` counters (docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+__all__ = ["MachinePrewarm", "PrewarmReport", "prewarm_tables"]
+
+
+@dataclass(frozen=True)
+class MachinePrewarm:
+    """Outcome of prewarming one machine's tables."""
+
+    machine: str
+    grid_points: int
+    cache_hits: int
+    cache_misses: int
+    stores: int
+    seconds: float
+
+    @property
+    def already_warm(self) -> bool:
+        """True when every table loaded and nothing had to be stored."""
+        return self.stores == 0 and self.cache_misses == 0
+
+    def describe(self) -> str:
+        state = "already warm" if self.already_warm else (
+            f"{self.stores} table set(s) stored"
+        )
+        return (
+            f"{self.machine}: {self.grid_points} grid points in "
+            f"{self.seconds:.2f}s ({state}; "
+            f"{self.cache_hits} hit(s), {self.cache_misses} miss(es))"
+        )
+
+
+@dataclass(frozen=True)
+class PrewarmReport:
+    """Outcome of one :func:`prewarm_tables` run."""
+
+    directory: str
+    entries: tuple[MachinePrewarm, ...]
+
+    @property
+    def total_points(self) -> int:
+        return sum(e.grid_points for e in self.entries)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(e.seconds for e in self.entries)
+
+    @property
+    def total_stores(self) -> int:
+        return sum(e.stores for e in self.entries)
+
+    def describe(self) -> str:
+        lines = [
+            f"prewarmed {len(self.entries)} machine(s) into {self.directory} "
+            f"({self.total_points} grid points, {self.total_seconds:.2f}s, "
+            f"{self.total_stores} table store(s)):"
+        ]
+        lines += [f"  {entry.describe()}" for entry in self.entries]
+        return "\n".join(lines)
+
+
+def prewarm_tables(
+    directory: "str | pathlib.Path",
+    *,
+    machines: "Sequence[str] | None" = None,
+    points: int = 2_520,
+) -> PrewarmReport:
+    """Build and persist ModelTables for ``machines`` into ``directory``.
+
+    ``machines`` defaults to every key in the machine registry; each is
+    crossed with the paper configuration trio over the standard bench
+    grid (:func:`repro.core.perfbench.build_grid`, ``points`` cells with
+    the thread ladder clamped to the machine), which covers the
+    footprint x thread x write-fraction slices real sweeps and serve
+    traffic touch.  Idempotent: a second run against the same directory
+    loads every table and stores nothing.
+    """
+    # Imported here: repro.core.perfbench imports the batch engine, and
+    # keeping this module import-light lets the CLI load it cheaply.
+    from repro.core.perfbench import build_grid
+    from repro.engine.batch import BatchEvaluator
+    from repro.engine.table_cache import TableCache
+    from repro.machine import registry
+
+    keys = tuple(machines) if machines is not None else registry.names()
+    entries: list[MachinePrewarm] = []
+    for key in keys:
+        machine = registry.build(key)
+        cache = TableCache(directory)
+        evaluator = BatchEvaluator(machine, table_cache=cache)
+        grid = build_grid(points, machine=machine)
+        with obs_trace.span("tables.prewarm", tags={"machine": key}):
+            start = time.perf_counter()
+            evaluator.evaluate(grid)
+            seconds = time.perf_counter() - start
+        entries.append(
+            MachinePrewarm(
+                machine=key,
+                grid_points=len(grid),
+                cache_hits=cache.hits,
+                cache_misses=cache.misses,
+                stores=cache.stores,
+                seconds=seconds,
+            )
+        )
+        obs_metrics.add("tables.prewarm_machines")
+        obs_metrics.add("tables.prewarm_points", float(len(grid)))
+        obs_metrics.add("tables.prewarm_stores", float(cache.stores))
+    return PrewarmReport(directory=str(directory), entries=entries)

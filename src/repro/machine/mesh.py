@@ -19,9 +19,27 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.machine.tile import Tile
 from repro.util.validation import check_positive
+
+
+def _axis_pair_distance_sum(counts: list[int]) -> int:
+    """Σ |i - j| · counts[i] · counts[j] over ordered index pairs.
+
+    One prefix-sum pass; exact integer arithmetic.  For position i with
+    weight n_i, the pairs against all j < i contribute
+    n_i · (i·Σn_j - Σj·n_j), and ordered pairs double the one-sided sum.
+    """
+    total = 0
+    cum_count = 0
+    cum_weighted = 0
+    for i, n in enumerate(counts):
+        total += n * (i * cum_count - cum_weighted)
+        cum_count += n
+        cum_weighted += i * n
+    return 2 * total
 
 
 class ClusterMode(enum.Enum):
@@ -96,7 +114,37 @@ class Mesh2D:
         return abs(ra - rb) + abs(ca - cb)
 
     def average_hop_distance(self) -> float:
-        """Mean hop distance over all ordered tile pairs (a != b)."""
+        """Mean hop distance over all ordered tile pairs (a != b).
+
+        Computed in closed form per axis and cached on the frozen mesh:
+        Manhattan distance separates into |Δrow| + |Δcol|, so the pair sum
+        is the sum of two one-dimensional weighted pair-distance sums over
+        the row/column occupancy counts of the row-major tile layout.
+        Both axis sums are exact integers, so the single float division
+        is bit-identical to the historical O(n²) permutation sum
+        (:meth:`average_hop_distance_permutation`, retained for tests).
+        """
+        return self._average_hop_distance
+
+    @cached_property
+    def _average_hop_distance(self) -> float:
+        n = len(self.tiles)
+        if n == 1:
+            return 0.0
+        full_rows, tail = divmod(n, self.cols)
+        # Occupancy per row index and per column index for the first n
+        # row-major grid positions (a possibly partial last row).
+        row_counts = [self.cols] * full_rows + ([tail] if tail else [])
+        col_counts = [
+            full_rows + (1 if c < tail else 0) for c in range(self.cols)
+        ]
+        total = _axis_pair_distance_sum(row_counts) + _axis_pair_distance_sum(
+            col_counts
+        )
+        return total / (n * (n - 1))
+
+    def average_hop_distance_permutation(self) -> float:
+        """Reference O(n²) permutation sum the closed form must match."""
         n = len(self.tiles)
         if n == 1:
             return 0.0
@@ -112,8 +160,13 @@ class Mesh2D:
 
         core -> home-directory traversal plus the directory access itself;
         quadrant mode shortens the traversal (see
-        :attr:`ClusterMode.directory_locality_factor`).
+        :attr:`ClusterMode.directory_locality_factor`).  Cached on the
+        frozen mesh: the scalar model calls this per phase per run.
         """
+        return self._directory_lookup_ns
+
+    @cached_property
+    def _directory_lookup_ns(self) -> float:
         traverse = (
             self.average_hop_distance()
             * self.hop_latency_ns
@@ -128,16 +181,24 @@ class Mesh2D:
         Covers the directory lookup plus the forward from the owning tile.
         This sets the ~200 ns tier of Fig. 3 together with memory latency:
         blocks between 1 MB and 64 MB mostly live spread over other tiles'
-        L2 slices or main memory.
+        L2 slices or main memory.  Cached on the frozen mesh like
+        :meth:`directory_lookup_ns`.
         """
-        return self.directory_lookup_ns() + self.average_hop_distance() * self.hop_latency_ns
+        return self._remote_l2_forward_ns
+
+    @cached_property
+    def _remote_l2_forward_ns(self) -> float:
+        return (
+            self.directory_lookup_ns()
+            + self.average_hop_distance() * self.hop_latency_ns
+        )
 
     # -- aggregates -----------------------------------------------------------
     @property
     def num_tiles(self) -> int:
         return len(self.tiles)
 
-    @property
+    @cached_property
     def total_l2_bytes(self) -> int:
         """Aggregate "mesh L2" capacity (32 MB on the modelled 7210)."""
         return sum(t.l2_capacity_bytes for t in self.tiles)

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import cached_property
 from typing import TYPE_CHECKING
 
 from repro.machine.caches import CacheGeometry
@@ -55,6 +56,12 @@ class Machine:
     mesh: Mesh2D
     l1d: CacheGeometry
     spec: "MachineSpec | None" = None
+    #: Per-instance ``num_threads -> ThreadPlacement`` memo.  Placements are
+    #: frozen and derived only from the (frozen) mesh, so sharing them is
+    #: safe; excluded from equality/repr like any cache.
+    _placements: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -86,38 +93,40 @@ class Machine:
         return ("flat", "cache", "hybrid")
 
     # -- counts ---------------------------------------------------------------
-    @property
+    # All of these are constants of the frozen mesh; the scalar model reads
+    # them on every evaluate() call, so they are cached on first access.
+    @cached_property
     def num_cores(self) -> int:
         return 2 * self.mesh.num_tiles
 
-    @property
+    @cached_property
     def smt_per_core(self) -> int:
         return self.mesh.tiles[0].cores[0].smt_threads
 
-    @property
+    @cached_property
     def max_threads(self) -> int:
         return self.num_cores * self.smt_per_core
 
-    @property
+    @cached_property
     def frequency_ghz(self) -> float:
         return self.mesh.tiles[0].cores[0].frequency_ghz
 
-    @property
+    @cached_property
     def reference_core(self) -> Core:
         """A representative core (all cores are homogeneous)."""
         return self.mesh.tiles[0].cores[0]
 
     # -- aggregates -------------------------------------------------------------
-    @property
+    @cached_property
     def peak_dp_gflops(self) -> float:
         """Node peak double-precision GFLOP/s (~2662 for a 7210)."""
         return sum(c.peak_dp_gflops for c in self.mesh.cores())
 
-    @property
+    @cached_property
     def total_l2_bytes(self) -> int:
         return self.mesh.total_l2_bytes
 
-    @property
+    @cached_property
     def tile_l2_bytes(self) -> int:
         return self.mesh.tiles[0].l2_capacity_bytes
 
@@ -126,8 +135,13 @@ class Machine:
         """Map an OpenMP thread count to cores, compact-by-core.
 
         Raises if the count exceeds the node's hardware-thread capacity
-        (the 7210 tops out at 256).
+        (the 7210 tops out at 256).  Placements are memoized per machine:
+        the scalar path asks for the same handful of thread counts on
+        every run.
         """
+        cached = self._placements.get(num_threads)
+        if cached is not None:
+            return cached
         check_positive("num_threads", num_threads)
         if num_threads > self.max_threads:
             raise ValueError(
@@ -136,19 +150,22 @@ class Machine:
                 f"{self.smt_per_core} hardware threads)"
             )
         if num_threads <= self.num_cores:
-            return ThreadPlacement(
+            placement = ThreadPlacement(
                 total_threads=num_threads,
                 active_cores=num_threads,
                 threads_per_core=1,
                 extra_cores=0,
             )
-        per_core, extra = divmod(num_threads, self.num_cores)
-        return ThreadPlacement(
-            total_threads=num_threads,
-            active_cores=self.num_cores,
-            threads_per_core=per_core,
-            extra_cores=extra,
-        )
+        else:
+            per_core, extra = divmod(num_threads, self.num_cores)
+            placement = ThreadPlacement(
+                total_threads=num_threads,
+                active_cores=self.num_cores,
+                threads_per_core=per_core,
+                extra_cores=extra,
+            )
+        self._placements[num_threads] = placement
+        return placement
 
     def describe(self) -> str:
         """One-paragraph summary used by the CLI."""

@@ -155,6 +155,13 @@ class MCDRAMCacheModel:
         self._survival, self._survival_max_r = _survival_interpolator(
             tuple(tuple(a) for a in survival_anchors)
         )
+        # footprint_bytes -> hit rate, per pattern.  The model parameters
+        # are fixed at construction and sweeps re-ask the same footprints
+        # for every thread count, so the scalar path memoizes the spline
+        # and exp() evaluations (bit-identical: the stored float is the
+        # value the first call computed).
+        self._streaming_hit_memo: dict[int, float] = {}
+        self._random_hit_memo: dict[int, float] = {}
 
     # -- geometry -------------------------------------------------------------
     def footprint_ratio(self, footprint_bytes: int) -> float:
@@ -165,6 +172,14 @@ class MCDRAMCacheModel:
     # -- hit rates --------------------------------------------------------------
     def streaming_hit_rate(self, footprint_bytes: int) -> float:
         """Steady-state hit rate for a repeatedly streamed working set."""
+        memo = self._streaming_hit_memo.get(footprint_bytes)
+        if memo is not None:
+            return memo
+        h = self._streaming_hit_rate(footprint_bytes)
+        self._streaming_hit_memo[footprint_bytes] = h
+        return h
+
+    def _streaming_hit_rate(self, footprint_bytes: int) -> float:
         r = self.footprint_ratio(footprint_bytes)
         if self.associativity >= 8:
             # LRU-like associative organization: no conflict misses while
@@ -188,6 +203,14 @@ class MCDRAMCacheModel:
         Direct-mapped closed form h(r) = (1/r)(1 - e^-r); associative
         organizations approach min(1, 1/r).
         """
+        memo = self._random_hit_memo.get(footprint_bytes)
+        if memo is not None:
+            return memo
+        h = self._random_hit_rate(footprint_bytes)
+        self._random_hit_memo[footprint_bytes] = h
+        return h
+
+    def _random_hit_rate(self, footprint_bytes: int) -> float:
         r = self.footprint_ratio(footprint_bytes)
         if r == 0.0:
             return 1.0

@@ -75,11 +75,24 @@ class SimulatedOS:
             )
         )
         self.allocator = HeapAllocator(self.memory.topology)
+        # command string -> parsed (frozen) Numactl.  Sweeps re-parse the
+        # same few policy strings on every malloc; the topology is fixed
+        # for the lifetime of this booted node.
+        self._numactl_cache: dict[str, Numactl] = {}
 
     # -- numactl -----------------------------------------------------------
     def numactl(self, command: str = "") -> Numactl:
-        """Parse a numactl invocation against this node's topology."""
-        return Numactl.parse(self.memory.topology, command)
+        """Parse a numactl invocation against this node's topology.
+
+        Parses are memoized per command string (results are frozen and the
+        topology is fixed per boot), so malloc-time policy lookups are a
+        dict hit on the sweep hot path.
+        """
+        cached = self._numactl_cache.get(command)
+        if cached is None:
+            cached = Numactl.parse(self.memory.topology, command)
+            self._numactl_cache[command] = cached
+        return cached
 
     def numactl_hardware(self) -> str:
         return self.memory.numactl_hardware()

@@ -753,7 +753,52 @@ def measure_serve_sharded(
     }
 
 
+def _bench_history_entry(document: dict[str, Any]) -> dict[str, Any]:
+    """Compact trajectory row for the serve benchmark's ``history`` list.
+
+    Picks whichever headline numbers the document carries — the
+    single-replica bench reports coalesced/naive phase throughputs, the
+    sharded bench a goodput-scaling curve — so one history schema serves
+    both ``bench serve`` and ``bench serve --sharded``.
+    """
+    entry: dict[str, Any] = {
+        "at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    }
+    for key in (
+        "speedup_coalesced_vs_naive",
+        "speedup_hot_vs_naive",
+        "backend",
+        "concurrency",
+    ):
+        if key in document and not isinstance(document[key], dict):
+            entry[key] = document[key]
+    scaling = document.get("scaling")
+    if isinstance(scaling, dict):
+        for key in ("goodput_rps", "speedup_vs_min", "parallel_efficiency"):
+            if key in scaling:
+                entry[key] = scaling[key]
+    return entry
+
+
 def write_bench_json(document: dict[str, Any], path: str) -> str:
+    """Write a bench document, accumulating a ``history`` list.
+
+    Each regeneration replaces the headline document but appends one
+    compact timestamped row to ``history`` carried over from the
+    existing file, so the trajectory across runs is preserved in-band.
+    """
+    history: list[Any] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            previous = json.load(handle)
+        carried = previous.get("history")
+        if isinstance(carried, list):
+            history = carried
+    except (OSError, ValueError):
+        history = []
+    history.append(_bench_history_entry(document))
+    document = dict(document)
+    document["history"] = history
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
         handle.write("\n")

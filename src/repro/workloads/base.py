@@ -76,6 +76,19 @@ class Workload(abc.ABC):
     def execute(self, *, seed: int | None = None) -> ExecutionResult:
         """Really run the algorithm and self-validate the result."""
 
+    def profile_cached(self) -> MemoryProfile:
+        """Memoized :meth:`profile` for the sweep hot path.
+
+        Workload parameters are fixed at construction everywhere in this
+        codebase, so the profile is a constant of the instance.  Callers
+        that mutate a workload in place must use :meth:`profile` directly.
+        """
+        memo = self.__dict__.get("_profile_memo")
+        if memo is None:
+            memo = self.profile()
+            self.__dict__["_profile_memo"] = memo
+        return memo
+
     # -- feasibility -----------------------------------------------------------
     def check_runnable(self, num_threads: int) -> None:
         """Raise ``RuntimeError`` for configurations the real benchmark

@@ -63,6 +63,84 @@ class TestBandwidthBoundRegime:
         assert heavy.mean_latency_ns > 1.5 * light.mean_latency_ns
 
 
+class TestOptimizedBitIdentity:
+    """The optimized cores are twins of ``_simulate_reference``: every
+    field of the result must compare *equal* (bit-identical floats), for
+    both the scalar loop and the numpy-batched core, on both devices and
+    both access patterns."""
+
+    MATRIX = [
+        # (threads, mlp, requests_per_thread) spanning priming-only runs,
+        # latency-bound, the scalar regime and the batched regime.
+        (1, 1.0, 1),
+        (2, 2.5, 3),
+        (7, 1.0, 50),
+        (16, 8.0, 50),
+        (64, 8.0, 60),
+        (128, 16.0, 40),
+    ]
+
+    @pytest.mark.parametrize("sequential", [True, False])
+    @pytest.mark.parametrize("device", [ddr4_archer, mcdram_archer])
+    def test_dispatch_matches_reference(self, device, sequential):
+        sim = MemoryEventSimulator(device(), sequential=sequential)
+        for threads, mlp, rpt in self.MATRIX:
+            for seed in (1, 5):
+                kw = dict(
+                    threads=threads,
+                    mlp=mlp,
+                    requests_per_thread=rpt,
+                    seed=seed,
+                )
+                assert sim._simulate(**kw) == sim._simulate_reference(**kw), kw
+
+    def test_both_cores_match_reference_directly(self):
+        """Exercise each core explicitly, independent of the dispatch
+        threshold, on a point from the other core's home regime."""
+        sim = MemoryEventSimulator(ddr4_archer(), sequential=False)
+        for kw in (
+            dict(threads=64, mlp=8.0, requests_per_thread=40, seed=3),
+            dict(threads=128, mlp=16.0, requests_per_thread=30, seed=3),
+        ):
+            reference = sim._simulate_reference(**kw)
+            assert sim._simulate_scalar(**kw) == reference, kw
+            assert sim._simulate_batched(**kw) == reference, kw
+
+    def test_matrix_covers_both_cores(self):
+        """The seed matrix must keep exercising both dispatch targets."""
+        caps = [
+            t * min(max(1, int(round(m))), r) for t, m, r in self.MATRIX
+        ]
+        threshold = MemoryEventSimulator._BATCH_MIN_INFLIGHT
+        assert any(cap < threshold for cap in caps)
+        assert any(cap >= threshold for cap in caps)
+
+
+class TestPrimingFirstRequests:
+    """Regression for the priming branch: a priming request starts the
+    moment its channel frees up (channels start free at t=0), so the
+    dead ``start if start > 0.0 else 0.0`` guard is gone and the first
+    request of a single-thread run completes after exactly one service
+    plus the wire delay."""
+
+    def test_single_request_latency_is_service_plus_wire(self):
+        sim = MemoryEventSimulator(ddr4_archer(), sequential=False)
+        result = sim.run(threads=1, mlp=1, requests_per_thread=1, seed=9)
+        assert result.requests == 1
+        assert result.elapsed_ns == sim.service_ns + sim.wire_ns
+        assert result.mean_latency_ns == sim.service_ns + sim.wire_ns
+
+    def test_priming_only_runs_match_reference(self):
+        """Runs that never leave the priming phase (mlp >= requests)."""
+        for device in (ddr4_archer, mcdram_archer):
+            sim = MemoryEventSimulator(device(), sequential=True)
+            for threads in (1, 3, 64):
+                kw = dict(
+                    threads=threads, mlp=4.0, requests_per_thread=2, seed=11
+                )
+                assert sim._simulate(**kw) == sim._simulate_reference(**kw)
+
+
 class TestConcurrencyScaling:
     def test_bandwidth_monotone_in_mlp_until_saturation(self):
         sim = MemoryEventSimulator(mcdram_archer(), sequential=True)

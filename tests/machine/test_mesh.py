@@ -1,7 +1,9 @@
 """Mesh, tile and topology tests."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
+from repro.machine import registry
 from repro.machine.mesh import ClusterMode, Mesh2D
 from repro.machine.tile import Tile
 from repro.machine.presets import knl7210, knl7250
@@ -69,6 +71,49 @@ class TestMesh:
     def test_coordinate_range_checked(self):
         with pytest.raises(ValueError):
             small_mesh().coordinates(10)
+
+
+class TestClosedFormHopDistance:
+    """The closed-form mean hop distance must be *bit-identical* to the
+    O(n^2) permutation sum it replaced: both reduce to the same exact
+    integer pair-distance total divided by the same pair count."""
+
+    def test_matches_permutation_on_registry_machines(self):
+        for key in registry.names():
+            mesh = registry.build(key).mesh
+            assert (
+                mesh.average_hop_distance()
+                == mesh.average_hop_distance_permutation()
+            ), key
+
+    def test_matches_permutation_with_partial_last_row(self):
+        for n in (1, 2, 3, 5, 7, 11):
+            mesh = small_mesh(n=n, rows=4, cols=3)
+            assert (
+                mesh.average_hop_distance()
+                == mesh.average_hop_distance_permutation()
+            ), n
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=8),
+        cols=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    def test_matches_permutation_on_arbitrary_grids(self, rows, cols, data):
+        n = data.draw(st.integers(min_value=1, max_value=rows * cols))
+        mesh = small_mesh(n=n, rows=rows, cols=cols)
+        assert (
+            mesh.average_hop_distance()
+            == mesh.average_hop_distance_permutation()
+        )
+
+    def test_derived_latencies_use_cached_average(self):
+        mesh = small_mesh()
+        first = mesh.directory_lookup_ns()
+        assert "_average_hop_distance" in mesh.__dict__
+        assert mesh.directory_lookup_ns() == first
+        assert mesh.remote_l2_forward_ns() == mesh.remote_l2_forward_ns()
 
 
 class TestPresets:

@@ -13,10 +13,16 @@ replica mid-run, and fails (non-zero exit) unless:
 * a sample of responses is bit-identical to direct scalar evaluation;
 * `/healthz` reports the victim down and the survivors routable.
 
+The shared table-cache directory is *prewarmed* before the replicas
+boot — the same `repro.engine.warmup.prewarm_tables` path behind
+`make warmup` and `repro serve --prewarm` — so the smoke also covers
+the production deploy shape where every replica loads tables from disk
+instead of building them (pass ``--no-prewarm`` for the cold shape).
+
 Usage::
 
     PYTHONPATH=src python tools/serve_shard_smoke.py [--clients N]
-        [--requests-per-client N] [--replicas N]
+        [--requests-per-client N] [--replicas N] [--no-prewarm]
 
 The defaults (3 replicas, 32 clients x 4 requests) match the CI
 serve-shard job — a correctness smoke, not a benchmark
@@ -39,6 +45,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--requests-per-client", type=int, default=4)
     parser.add_argument("--check-sample", type=int, default=16)
     parser.add_argument("--min-success-rate", type=float, default=0.90)
+    parser.add_argument(
+        "--no-prewarm",
+        action="store_true",
+        help="skip prewarming the shared table cache before boot",
+    )
     args = parser.parse_args(argv)
 
     from repro.api import Predictor
@@ -60,6 +71,12 @@ def main(argv: list[str] | None = None) -> int:
 
     failures: list[str] = []
     with tempfile.TemporaryDirectory(prefix="repro-shard-smoke-") as tables:
+        if not args.no_prewarm:
+            from repro.engine.warmup import prewarm_tables
+
+            report = prewarm_tables(tables, machines=("knl7210",))
+            for line in report.describe().splitlines():
+                print(f"[serve-shard-smoke] {line}", file=sys.stderr)
         config = ShardConfig(
             replicas=args.replicas,
             backend="process",
