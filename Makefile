@@ -6,7 +6,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 export PYTHONPATH
 
-.PHONY: install test test-fast bench bench-engine bench-serve bench-serve-shard serve-shard serve-smoke warmup machine-zoo report examples docs-check check clean
+.PHONY: install test test-fast bench bench-engine bench-serve bench-serve-shard bench-plan serve-shard serve-smoke plan-smoke warmup machine-zoo report examples docs-check check clean
 
 install:
 	pip install -e .
@@ -53,6 +53,11 @@ bench-serve:
 bench-serve-shard:
 	python -m repro bench serve --replicas 4
 
+# Capacity-planner latency vs fleet size (10/100/1000 synthetic mix
+# items; regenerates BENCH_plan.json; see docs/PLANNING.md).
+bench-plan:
+	python -m repro bench plan
+
 # The sharding verification layer: hash-ring properties, router/cache
 # behaviour, fault injection (kill/stall/slow/drain), loadgen error
 # paths.  Includes quarantined timing-sensitive tests (marker `flaky`),
@@ -64,6 +69,13 @@ serve-shard:
 # bound, bit-identity and invariant audit (tools/serve_smoke.py).
 serve-smoke:
 	python tools/serve_smoke.py
+
+# CI smoke for the capacity planner: prewarm the table cache, solve a
+# 3-workload mix on knl7210 + xeonmax9480 through POST /v1/plan, assert
+# feasibility, invariant compliance, CLI/service identity and zero
+# table builds (tools/plan_smoke.py; docs/PLANNING.md).
+plan-smoke:
+	python tools/plan_smoke.py
 
 # Deploy-time table prewarm: build the batch-engine model tables for
 # every registered machine x the paper config trio into the shared

@@ -7,12 +7,17 @@ optimizer and the batch engine all route through the types
 (:mod:`repro.api.facade`) re-exported here.
 """
 
+from repro.api.envelope import error_envelope, success_envelope
 from repro.api.errors import (
     ApiError,
     CapacityError,
     DeadlineExceededError,
+    EmptyMixError,
     InfeasibleConfigError,
+    InfeasiblePlanError,
+    PlanError,
     SchemaVersionError,
+    UnknownMachineError,
     UnknownWorkloadError,
     ValidationError,
     error_from_info,
@@ -29,9 +34,19 @@ from repro.api.facade import (
     query_cache_key,
     sized_workload,
 )
+from repro.api.plan import (
+    OBJECTIVES,
+    MachineLoad,
+    PlanAssignment,
+    PlanRequest,
+    PlanResult,
+    PoolEntry,
+    TrafficItem,
+)
 from repro.api.types import (
     MACHINE_NAMES,
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     ErrorInfo,
     PredictionResult,
     Query,
@@ -41,12 +56,22 @@ from repro.api.types import (
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "MACHINE_NAMES",
+    "OBJECTIVES",
     "Query",
     "QueryGrid",
     "PredictionResult",
     "ErrorInfo",
+    "TrafficItem",
+    "PoolEntry",
+    "PlanRequest",
+    "PlanAssignment",
+    "MachineLoad",
+    "PlanResult",
     "check_schema_version",
+    "success_envelope",
+    "error_envelope",
     "ApiError",
     "ValidationError",
     "SchemaVersionError",
@@ -54,6 +79,10 @@ __all__ = [
     "InfeasibleConfigError",
     "CapacityError",
     "DeadlineExceededError",
+    "PlanError",
+    "EmptyMixError",
+    "UnknownMachineError",
+    "InfeasiblePlanError",
     "error_from_info",
     "Predictor",
     "default_predictor",

@@ -1,0 +1,56 @@
+"""The versioned wire envelope, built in exactly one place.
+
+Every body the service emits — success or error, single service or
+shard router — is stamped with :data:`~repro.api.types.SCHEMA_VERSION`.
+Historically each emitting site built its own dict literal (three in
+``serve/service.py``, three in ``serve/shard.py``, plus the HTTP
+layer's error path); this module is the single construction point so a
+schema bump cannot leave a stale stamp behind.
+
+* :func:`success_envelope` — ``{"schema_version": ..., **fields}``;
+* :func:`error_envelope` — ``{"schema_version": ..., "error": {...}}``
+  from a typed :class:`~repro.api.errors.ApiError` or a bare
+  ``(code, message)`` pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.errors import ApiError
+
+__all__ = ["success_envelope", "error_envelope"]
+
+
+def success_envelope(**fields: Any) -> dict[str, Any]:
+    """A versioned success body carrying ``fields``.
+
+    ``fields`` must not spell ``schema_version`` — the stamp is this
+    function's job.
+    """
+    from repro.api.types import SCHEMA_VERSION
+
+    if "schema_version" in fields:
+        raise ValueError("success_envelope stamps schema_version itself")
+    return {"schema_version": SCHEMA_VERSION, **fields}
+
+
+def error_envelope(
+    error: ApiError | str, message: str | None = None
+) -> dict[str, Any]:
+    """A versioned error body.
+
+    Pass a typed :class:`~repro.api.errors.ApiError` (its wire
+    ``ErrorInfo`` is serialized, details included), or a bare
+    ``(code, message)`` pair for errors that never existed as
+    exceptions (HTTP framing problems, unknown routes).
+    """
+    from repro.api.types import SCHEMA_VERSION
+
+    if isinstance(error, ApiError):
+        info = error.to_info().to_dict()
+    else:
+        if message is None:
+            raise ValueError("a bare error code needs a message")
+        info = {"code": error, "message": message}
+    return {"schema_version": SCHEMA_VERSION, "error": info}

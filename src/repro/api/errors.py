@@ -21,6 +21,12 @@ fragmented entry points grew independently:
   wire protocol.
 * :class:`DeadlineExceededError` — the per-request deadline elapsed
   before the coalesced batch completed: the 504 of the wire protocol.
+* :class:`PlanError` and its subclasses — the capacity planner
+  (:mod:`repro.plan`) could not produce a plan:
+  :class:`EmptyMixError` (nothing to place),
+  :class:`UnknownMachineError` (the pool names a machine outside the
+  registry) and :class:`InfeasiblePlanError` (no feasible placement
+  satisfies the node-capacity constraints).
 
 Every class carries a stable wire ``code`` and an HTTP status; errors
 cross the wire only as :class:`~repro.api.types.ErrorInfo` payloads and
@@ -42,6 +48,10 @@ __all__ = [
     "InfeasibleConfigError",
     "CapacityError",
     "DeadlineExceededError",
+    "PlanError",
+    "EmptyMixError",
+    "UnknownMachineError",
+    "InfeasiblePlanError",
     "error_from_info",
     "error_types",
 ]
@@ -119,6 +129,41 @@ class DeadlineExceededError(ApiError):
     http_status = 504
 
 
+class PlanError(ApiError):
+    """Base of the capacity-planner failures (:mod:`repro.plan`)."""
+
+    code = "plan"
+    http_status = 400
+
+
+class EmptyMixError(PlanError, ValueError):
+    """The traffic mix (or the machine pool) has nothing in it."""
+
+    code = "empty_mix"
+    http_status = 400
+
+
+class UnknownMachineError(PlanError, LookupError):
+    """The pool names a machine outside the registry."""
+
+    code = "unknown_machine"
+    http_status = 404
+
+
+class InfeasiblePlanError(PlanError, RuntimeError):
+    """No feasible placement satisfies the capacity constraints.
+
+    Either some mix item has no feasible (machine, config) candidate at
+    all, or the aggregate load cannot be packed into the pool's node
+    counts.  The paper's per-cell infeasibility (HBM membind over
+    capacity) merely *excludes a candidate*; this error means the whole
+    request has no answer.
+    """
+
+    code = "infeasible_plan"
+    http_status = 409
+
+
 def error_types() -> dict[str, type[ApiError]]:
     """Wire ``code`` -> exception class, for client-side rehydration."""
     return {
@@ -131,6 +176,10 @@ def error_types() -> dict[str, type[ApiError]]:
             InfeasibleConfigError,
             CapacityError,
             DeadlineExceededError,
+            PlanError,
+            EmptyMixError,
+            UnknownMachineError,
+            InfeasiblePlanError,
         )
     }
 

@@ -30,12 +30,13 @@ from repro.machine.registry import names as _registry_names
 #: Version of the wire schema.  Bump on any incompatible change to the
 #: dataclasses below or to the service envelopes built from them.
 #: Version 2 added registry machines beyond the two KNL presets; version
-#: 1 payloads remain valid (the ``machine`` field always existed), so
-#: both are negotiable.
-SCHEMA_VERSION = 2
+#: 3 added the capacity-planner surface (:mod:`repro.api.plan` and
+#: ``/v1/plan``).  Both were pure additions — earlier payloads remain
+#: valid — so all three versions are negotiable.
+SCHEMA_VERSION = 3
 
 #: Versions this build accepts on incoming payloads.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: Machine presets a query may name — every key in the machine registry
 #: (:mod:`repro.machine.registry`).

@@ -154,20 +154,87 @@ def _build_parser() -> argparse.ArgumentParser:
         "check",
         help="regenerate every exhibit under full invariant checking",
     )
+    plan = sub.add_parser(
+        "plan",
+        help=(
+            "solve a fleet capacity plan: place a traffic mix onto a "
+            "machine pool, choosing memory modes (see docs/PLANNING.md)"
+        ),
+    )
+    plan.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSON plan spec ({'mix': [...], 'pool': [...], 'objective': "
+            "...}; same shape as the /v1/plan 'plan' object); '-' reads "
+            "stdin; exclusive with --mix/--pool"
+        ),
+    )
+    plan.add_argument(
+        "--mix",
+        action="append",
+        default=None,
+        metavar="WORKLOAD:SIZE_GB[:THREADS[:WEIGHT]]",
+        help=(
+            "one traffic item (repeatable), e.g. 'minife:20' or "
+            "'dgemm:12:128:0.5'; THREADS defaults to 64, WEIGHT "
+            "(arrivals/s) to 1"
+        ),
+    )
+    plan.add_argument(
+        "--pool",
+        action="append",
+        default=None,
+        metavar="MACHINE:NODES[:CONFIG,...]",
+        help=(
+            "one machine pool entry (repeatable), e.g. 'knl7210:16' or "
+            "'xeonmax9480:8:HBM,DRAM'; CONFIG list defaults to the paper "
+            "trio (DRAM, HBM, Cache Mode)"
+        ),
+    )
+    plan.add_argument(
+        "--objective",
+        choices=["runtime", "energy"],
+        default="runtime",
+        help="what the solver minimizes (default: runtime)",
+    )
+    plan.add_argument(
+        "--json",
+        action="store_true",
+        help="print the PlanResult as JSON instead of tables (exactly "
+        "the 'plan' object a /v1/plan response carries)",
+    )
+    plan.add_argument(
+        "--table-cache",
+        default=argparse.SUPPRESS,
+        metavar="DIR",
+        help="table-cache directory (same as the global flag, accepted "
+        "after the verb for convenience)",
+    )
     bench = sub.add_parser(
         "bench",
         help=(
             "measure throughput: 'engine' (scalar vs batch, "
-            "BENCH_engine.json) or 'serve' (coalesced vs naive serving, "
-            "BENCH_serve.json)"
+            "BENCH_engine.json), 'serve' (coalesced vs naive serving, "
+            "BENCH_serve.json) or 'plan' (planner latency vs fleet size, "
+            "BENCH_plan.json)"
         ),
     )
     bench.add_argument(
         "target",
         nargs="?",
-        choices=["engine", "serve"],
+        choices=["engine", "serve", "plan"],
         default="engine",
         help="what to benchmark (default: engine)",
+    )
+    bench.add_argument(
+        "--fleet-sizes",
+        type=int,
+        nargs="+",
+        default=[10, 100, 1000],
+        metavar="N",
+        help="plan: traffic-mix sizes to time (default: 10 100 1000)",
     )
     bench.add_argument(
         "--points",
@@ -615,6 +682,132 @@ def _run_serve_sharded(args: argparse.Namespace, service_config: Any) -> int:
     return 0
 
 
+def _parse_mix_flag(text: str) -> "dict[str, Any]":
+    """One ``--mix WORKLOAD:SIZE_GB[:THREADS[:WEIGHT]]`` value."""
+    parts = text.split(":")
+    if not 2 <= len(parts) <= 4:
+        raise ValueError(
+            f"--mix expects WORKLOAD:SIZE_GB[:THREADS[:WEIGHT]], got {text!r}"
+        )
+    item: dict[str, Any] = {
+        "workload": parts[0],
+        "size_gb": float(parts[1]),
+    }
+    if len(parts) >= 3:
+        item["num_threads"] = int(parts[2])
+    if len(parts) == 4:
+        item["weight"] = float(parts[3])
+    return item
+
+
+def _parse_pool_flag(text: str) -> "dict[str, Any]":
+    """One ``--pool MACHINE:NODES[:CONFIG,...]`` value."""
+    parts = text.split(":")
+    if not 2 <= len(parts) <= 3:
+        raise ValueError(
+            f"--pool expects MACHINE:NODES[:CONFIG,...], got {text!r}"
+        )
+    entry: dict[str, Any] = {
+        "machine": parts[0],
+        "nodes": int(parts[1]),
+    }
+    if len(parts) == 3:
+        entry["configs"] = [c.strip() for c in parts[2].split(",") if c.strip()]
+    return entry
+
+
+def _plan_request(args: argparse.Namespace) -> "Any":
+    """Build the PlanRequest from ``--spec`` or ``--mix``/``--pool``."""
+    from repro.api.plan import PlanRequest
+
+    if args.spec is not None:
+        if args.mix or args.pool:
+            raise ValueError("--spec is exclusive with --mix/--pool")
+        if args.spec == "-":
+            spec = json.load(sys.stdin)
+        else:
+            with open(args.spec, encoding="utf-8") as handle:
+                spec = json.load(handle)
+        if "objective" not in spec:
+            spec = dict(spec, objective=args.objective)
+        return PlanRequest.from_dict(spec)
+    if not args.mix or not args.pool:
+        raise ValueError(
+            "pass --spec FILE, or at least one --mix and one --pool"
+        )
+    return PlanRequest.from_dict(
+        {
+            "mix": [_parse_mix_flag(text) for text in args.mix],
+            "pool": [_parse_pool_flag(text) for text in args.pool],
+            "objective": args.objective,
+        }
+    )
+
+
+def _run_plan(args: argparse.Namespace) -> int:
+    """Solve a capacity plan and print it (tables, or --json)."""
+    from repro.api.errors import ApiError
+    from repro.api.facade import Predictor
+    from repro.plan.planner import CapacityPlanner
+    from repro.util.tables import TextTable
+
+    try:
+        request = _plan_request(args)
+    except ValueError as exc:
+        print(f"[plan] {exc}", file=sys.stderr)
+        return 2
+    predictor = Predictor(
+        cache_dir=args.cache_dir, table_cache_dir=_table_cache_dir(args)
+    )
+    try:
+        result = CapacityPlanner(predictor).plan(request)
+    except ApiError as exc:
+        print(f"[plan] {exc.code}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        predictor.close()
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    unit = "node-s/s" if result.objective == "runtime" else "J/s"
+    assignments = TextTable(
+        ["workload", "size GB", "threads", "weight", "machine", "config",
+         "time s", "load nodes", "energy J"],
+        title=f"Plan ({result.objective}: {result.objective_value:.4g} {unit})",
+    )
+    for a in result.assignments:
+        assignments.add_row(
+            [
+                a.item.workload,
+                f"{a.item.size_gb:g}",
+                a.item.num_threads,
+                f"{a.item.weight:g}",
+                a.machine,
+                a.config,
+                f"{a.time_s:.4g}",
+                f"{a.load_nodes:.4g}",
+                f"{a.energy_j:.4g}",
+            ]
+        )
+    print(assignments.render())
+    print()
+    loads = TextTable(
+        ["machine", "nodes", "load nodes", "utilization"],
+        title="Machine loads",
+    )
+    for load in result.loads:
+        loads.add_row(
+            [
+                load.machine,
+                load.nodes,
+                f"{load.load_nodes:.4g}",
+                f"{load.utilization:.1%}",
+            ]
+        )
+    print(loads.render())
+    return 0
+
+
 def _bench_serve_sharded(args: argparse.Namespace) -> int:
     """Benchmark the sharded deployment and merge a ``sharded`` section
     into the serve benchmark document (baseline sections are kept)."""
@@ -729,7 +922,27 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"optimized per-structure placement: {best.metric:.4g}")
         print(f"  {best.describe()}")
         return 0
+    if command == "plan":
+        return _run_plan(args)
     if command == "bench":
+        if args.target == "plan":
+            from repro.plan.bench import measure_plan
+            from repro.serve.loadgen import write_bench_json
+
+            document = measure_plan(
+                tuple(args.fleet_sizes),
+                table_cache_dir=_table_cache_dir(args),
+            )
+            path = write_bench_json(document, args.out or "BENCH_plan.json")
+            for size in args.fleet_sizes:
+                row = document["planner"]["details"][str(size)]
+                print(
+                    f"fleet {size:>5}  solve {row['latency_ms']:9.1f} ms  "
+                    f"candidates {row['candidates']:>5}  "
+                    f"nodes/machine {row['nodes_per_machine']}"
+                )
+            print(f"[bench] wrote {path}", file=sys.stderr)
+            return 0
         if args.target == "serve" and args.replicas > 1:
             return _bench_serve_sharded(args)
         if args.target == "serve":

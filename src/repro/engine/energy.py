@@ -108,3 +108,17 @@ class EnergyModel:
             dynamic_compute_j=compute_pj * 1e-12,
             static_j=static_j,
         )
+
+    def estimate_record(self, workload, record) -> "EnergyEstimate | None":
+        """Energy for one feasible :class:`~repro.core.runner.RunRecord`.
+
+        The record-level twin of :meth:`estimate` — prices the
+        workload's profile under the record's simulated run, which is
+        how the energy report and the capacity planner
+        (:mod:`repro.plan`) both consume the model.  Returns ``None``
+        for infeasible records (no run to price).
+        """
+        run = getattr(record, "run_result", None)
+        if run is None:
+            return None
+        return self.estimate(workload.profile(), run)

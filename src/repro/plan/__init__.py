@@ -1,0 +1,25 @@
+"""`repro.plan` — the fleet-scale capacity planner.
+
+Solves declarative traffic-mix specs (:class:`~repro.api.plan.PlanRequest`)
+into placement + memory-mode assignments over a machine pool, pricing
+every candidate through the shared :mod:`repro.api` prediction engine.
+Exposed as :class:`CapacityPlanner` here, as the ``repro plan`` CLI
+subcommand, and as ``POST /v1/plan`` on the serving layer.
+"""
+
+from repro.plan.invariants import (
+    PLAN_REGISTRY,
+    PlanInvariant,
+    check_plan,
+    plan_invariant,
+)
+from repro.plan.planner import CapacityPlanner, plan_request
+
+__all__ = [
+    "CapacityPlanner",
+    "plan_request",
+    "PlanInvariant",
+    "PLAN_REGISTRY",
+    "plan_invariant",
+    "check_plan",
+]

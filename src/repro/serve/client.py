@@ -24,8 +24,10 @@ import socket
 from typing import Any, Mapping, Sequence
 
 from repro.api.errors import ApiError, ValidationError, error_from_info
+from repro.api.plan import PlanRequest, PlanResult
 from repro.api.types import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     ErrorInfo,
     PredictionResult,
     Query,
@@ -46,10 +48,23 @@ class ServeClient:
         port: int = 8713,
         *,
         timeout: float = 60.0,
+        schema_version: int | None = None,
     ) -> None:
+        """``schema_version`` pins the envelope version this client
+        stamps on requests (downlevel interop / negotiation tests);
+        ``None`` speaks the current version.  Unsupported pins fail
+        here, not on the wire."""
         self.host = host
         self.port = port
         self.timeout = timeout
+        if schema_version is None:
+            schema_version = SCHEMA_VERSION
+        elif schema_version not in SUPPORTED_SCHEMA_VERSIONS:
+            raise ValidationError(
+                f"cannot pin schema_version={schema_version!r}; this "
+                f"client supports {SUPPORTED_SCHEMA_VERSIONS}"
+            )
+        self.schema_version = schema_version
         self._sock: socket.socket | None = None
         self._reader: Any = None  # buffered binary file over the socket
 
@@ -187,7 +202,7 @@ class ServeClient:
     def _predict_call(
         self, payload: dict[str, Any], deadline_s: float | None
     ) -> list[PredictionResult]:
-        payload["schema_version"] = SCHEMA_VERSION
+        payload["schema_version"] = self.schema_version
         if deadline_s is not None:
             payload["deadline_s"] = deadline_s
         envelope = self._call("POST", "/v1/predict", payload)
@@ -215,3 +230,20 @@ class ServeClient:
     ) -> list[PredictionResult]:
         """Answer a dense grid (workload-major order)."""
         return self._predict_call({"grid": grid.to_dict()}, deadline_s)
+
+    # -- planning ----------------------------------------------------------------
+    def plan(
+        self, request: PlanRequest, *, deadline_s: float | None = None
+    ) -> PlanResult:
+        """Solve one capacity plan on the service (``POST /v1/plan``)."""
+        payload: dict[str, Any] = {
+            "plan": request.to_dict(),
+            "schema_version": self.schema_version,
+        }
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        envelope = self._call("POST", "/v1/plan", payload)
+        plan = envelope.get("plan")
+        if not isinstance(plan, Mapping):
+            raise ValidationError("response envelope missing 'plan'")
+        return PlanResult.from_dict(plan)

@@ -1,12 +1,13 @@
 """Zero-dependency asyncio HTTP/1.1 front end for the prediction service.
 
 A deliberately small server — persistent connections, JSON bodies,
-four routes:
+five routes:
 
 * ``GET /healthz`` — liveness/readiness (503 while draining/stopped);
 * ``GET /metrics`` — the service metrics snapshot;
 * ``GET /version`` — schema + build identity;
-* ``POST /v1/predict`` — the prediction endpoint.
+* ``POST /v1/predict`` — the prediction endpoint;
+* ``POST /v1/plan`` — the capacity-planning endpoint.
 
 Errors cross the wire only as the versioned error envelope
 ``{"schema_version": ..., "error": {code, message, ...}}`` with the
@@ -24,8 +25,8 @@ import json
 import time
 from typing import Any
 
+from repro.api.envelope import error_envelope
 from repro.api.errors import ApiError, ValidationError
-from repro.api.types import SCHEMA_VERSION
 from repro.serve.service import PredictionService
 
 __all__ = ["HttpServer", "DEFAULT_PORT"]
@@ -191,10 +192,7 @@ class HttpServer:
             status, payload = await self._dispatch(method, endpoint, body)
         except ApiError as exc:
             status = exc.http_status
-            payload = {
-                "schema_version": SCHEMA_VERSION,
-                "error": exc.to_info().to_dict(),
-            }
+            payload = error_envelope(exc)
         except Exception as exc:  # pragma: no cover - defensive
             status = 500
             payload = _error_envelope("internal", f"{type(exc).__name__}: {exc}")
@@ -240,6 +238,14 @@ class HttpServer:
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                 raise ValidationError(f"request body is not JSON: {exc}") from exc
             return 200, await self.service.handle_predict(payload)
+        if endpoint == "/v1/plan":
+            if method != "POST":
+                return 405, _error_envelope("validation", "use POST /v1/plan")
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ValidationError(f"request body is not JSON: {exc}") from exc
+            return 200, await self.service.handle_plan(payload)
         return 404, _error_envelope("not_found", f"no route {endpoint!r}")
 
     # -- responses --------------------------------------------------------------
@@ -278,7 +284,5 @@ _REASONS = {
 
 
 def _error_envelope(code: str, message: str) -> dict[str, Any]:
-    return {
-        "schema_version": SCHEMA_VERSION,
-        "error": {"code": code, "message": message},
-    }
+    # Thin shim kept for callers predating repro.api.envelope.
+    return error_envelope(code, message)

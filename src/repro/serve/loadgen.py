@@ -777,6 +777,11 @@ def _bench_history_entry(document: dict[str, Any]) -> dict[str, Any]:
         for key in ("goodput_rps", "speedup_vs_min", "parallel_efficiency"):
             if key in scaling:
                 entry[key] = scaling[key]
+    planner = document.get("planner")
+    if isinstance(planner, dict):
+        latency = planner.get("latency_ms")
+        if isinstance(latency, dict):
+            entry["plan_latency_ms"] = dict(latency)
     return entry
 
 

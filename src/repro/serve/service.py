@@ -35,20 +35,22 @@ from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 import repro
+from repro.api.envelope import success_envelope
 from repro.api.errors import (
     CapacityError,
     DeadlineExceededError,
     ValidationError,
 )
 from repro.api.facade import Predictor
+from repro.api.plan import PlanRequest, PlanResult
 from repro.api.types import (
     MACHINE_NAMES,
-    SCHEMA_VERSION,
     PredictionResult,
     Query,
     QueryGrid,
     check_schema_version,
 )
+from repro.plan.planner import CapacityPlanner
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.cache import TTLCache
 from repro.serve.coalescer import Coalescer
@@ -285,16 +287,15 @@ class PredictionService:
         self.metrics.add("serve.queries", float(len(queries)))
         self.metrics.set_gauge("serve.cache_hit_rate", self.cache.hit_rate)
         elapsed_ms = (time.perf_counter() - started) * 1e3
-        return {
-            "schema_version": SCHEMA_VERSION,
-            "results": [r.to_dict() for r in results],
-            "meta": {
+        return success_envelope(
+            results=[r.to_dict() for r in results],
+            meta={
                 "queries": len(queries),
                 "cached": cached,
                 "computed": len(queries) - cached,
                 "elapsed_ms": elapsed_ms,
             },
-        }
+        )
 
     async def _predict_queries(
         self, queries: Sequence[Query], deadline_s: float
@@ -364,6 +365,69 @@ class PredictionService:
         assert all(r is not None for r in results)
         return results, hits  # type: ignore[return-value]
 
+    # -- capacity planning (event loop + pool threads) --------------------------
+    @staticmethod
+    def parse_plan(payload: Mapping[str, Any]) -> PlanRequest:
+        """The :class:`~repro.api.plan.PlanRequest` of one ``/v1/plan``
+        body (``{"plan": {...}}`` plus the shared envelope fields)."""
+        if not isinstance(payload, Mapping):
+            raise ValidationError("request body must be a JSON object")
+        check_schema_version(payload.get("schema_version"))
+        if "plan" not in payload:
+            raise ValidationError("request must carry a 'plan' object")
+        unknown = sorted(set(payload) - {"schema_version", "deadline_s", "plan"})
+        if unknown:
+            raise ValidationError(f"unknown field(s): {', '.join(unknown)}")
+        return PlanRequest.from_dict(payload["plan"])
+
+    def _solve_plan(self, request: PlanRequest) -> PlanResult:
+        """One plan solve on a pool thread, over that thread's predictor
+        (so candidate evaluation shares the run/table caches every
+        ``/v1/predict`` batch already warmed)."""
+        hook = self.fault_hook
+        if hook is not None:
+            hook()
+        return CapacityPlanner(self._worker_predictor()).plan(request)
+
+    async def handle_plan(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Answer one ``/v1/plan`` body with the versioned envelope."""
+        started = time.perf_counter()
+        request = self.parse_plan(payload)
+        deadline_s = self._deadline_s(payload)
+        if self._state != "running":
+            raise CapacityError(f"service is {self._state}")
+        assert self._pool is not None
+        candidates = request.candidate_count()
+        if candidates > self.config.max_request_queries:
+            self.metrics.add("serve.rejected")
+            raise CapacityError(
+                f"plan expands to {candidates} candidate queries; the "
+                f"service caps requests at {self.config.max_request_queries}",
+                details={"max_request_queries": self.config.max_request_queries},
+            )
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._pool, self._solve_plan, request)
+        try:
+            result = await asyncio.wait_for(future, timeout=deadline_s)
+        except asyncio.TimeoutError:
+            self.metrics.add("serve.deadline_exceeded")
+            raise DeadlineExceededError(
+                f"deadline of {deadline_s:g}s exceeded (plan still solving)",
+                details={"deadline_s": deadline_s},
+            ) from None
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        self.metrics.add("serve.plans")
+        self.metrics.observe("serve.plan_ms", elapsed_ms)
+        return success_envelope(
+            plan=result.to_dict(),
+            meta={
+                "items": len(request.mix),
+                "pool": len(request.pool),
+                "candidates": candidates,
+                "elapsed_ms": elapsed_ms,
+            },
+        )
+
     # -- introspection endpoints ------------------------------------------------
     def healthz(self) -> dict[str, Any]:
         health = {
@@ -379,13 +443,12 @@ class PredictionService:
         return health
 
     def version(self) -> dict[str, Any]:
-        document = {
-            "schema_version": SCHEMA_VERSION,
-            "service": "repro.serve",
-            "version": repro.__version__,
-            "machine": self.config.machine,
-            "coalesce": self.config.coalesce,
-        }
+        document = success_envelope(
+            service="repro.serve",
+            version=repro.__version__,
+            machine=self.config.machine,
+            coalesce=self.config.coalesce,
+        )
         if self.config.replica_id:
             document["replica_id"] = self.config.replica_id
         return document
@@ -415,11 +478,10 @@ class PredictionService:
         """The ``/metrics`` document: service registry + cache +
         coalescer + executor counters."""
         coalescer = self._coalescer
-        return {
-            "schema_version": SCHEMA_VERSION,
-            "service": self.metrics.as_dict(),
-            "cache": self.cache.stats(),
-            "coalescer": {
+        return success_envelope(
+            service=self.metrics.as_dict(),
+            cache=self.cache.stats(),
+            coalescer={
                 "enabled": self.config.coalesce,
                 "submitted": 0 if coalescer is None else coalescer.submitted,
                 "rejected": 0 if coalescer is None else coalescer.rejected,
@@ -433,5 +495,5 @@ class PredictionService:
                     0 if coalescer is None else coalescer.queue_depth
                 ),
             },
-            "executor": self.executor_stats(),
-        }
+            executor=self.executor_stats(),
+        )

@@ -66,16 +66,19 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping, Sequence
 
 import repro
+from repro.api.envelope import success_envelope
 from repro.api.errors import (
     ApiError,
     CapacityError,
     DeadlineExceededError,
     InfeasibleConfigError,
+    PlanError,
     UnknownWorkloadError,
     ValidationError,
 )
 from repro.api.facade import Predictor
-from repro.api.types import SCHEMA_VERSION, PredictionResult, Query
+from repro.api.plan import PlanRequest, PlanResult
+from repro.api.types import PredictionResult, Query
 from repro.obs.metrics import MetricsRegistry, merge_exports
 from repro.serve.cache import TTLCache
 from repro.serve.client import ServeClient
@@ -102,6 +105,9 @@ _FATAL_ERRORS = (
     UnknownWorkloadError,
     InfeasibleConfigError,
     DeadlineExceededError,
+    # The whole planning taxonomy (empty mix, unknown machine,
+    # infeasible plan): deterministic functions of the spec.
+    PlanError,
 )
 
 
@@ -176,8 +182,8 @@ class ShardRouter:
     Duck-types what :class:`~repro.serve.http.HttpServer` and
     :class:`~repro.serve.threadserver.ServerThread` need — ``metrics``,
     ``running``, async ``start``/``stop``, ``handle_predict``,
-    ``healthz``/``version``/``metrics_snapshot`` — so the whole HTTP
-    layer is reused unchanged.
+    ``handle_plan``, ``healthz``/``version``/``metrics_snapshot`` — so
+    the whole HTTP layer is reused unchanged.
     """
 
     def __init__(self, config: ShardConfig, replicas: ReplicaSet) -> None:
@@ -358,16 +364,127 @@ class ShardRouter:
         self.metrics.set_gauge("router.cache_hit_rate", self.cache.hit_rate)
         elapsed_ms = (time.perf_counter() - started) * 1e3
         assert all(r is not None for r in results)
-        return {
-            "schema_version": SCHEMA_VERSION,
-            "results": [r.to_dict() for r in results],  # type: ignore[union-attr]
-            "meta": {
+        return success_envelope(
+            results=[r.to_dict() for r in results],  # type: ignore[union-attr]
+            meta={
                 "queries": len(queries),
                 "cached": hits,
                 "computed": len(miss_indices),
                 "elapsed_ms": elapsed_ms,
             },
-        }
+        )
+
+    async def handle_plan(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Answer one ``/v1/plan`` body by forwarding the whole solve to
+        one replica (chosen by the request's canonical key, so repeated
+        identical specs keep landing where the candidate evaluations are
+        already cached), failing over along the ring preference order."""
+        started = time.perf_counter()
+        request = PredictionService.parse_plan(payload)
+        deadline_s = self._deadline_s(payload)
+        limit = self.config.service.max_request_queries
+        candidates = request.candidate_count()
+        if candidates > limit:
+            self.metrics.add("router.rejected")
+            raise CapacityError(
+                f"plan expands to {candidates} candidate queries; the "
+                f"router caps requests at {limit}",
+                details={"max_request_queries": limit},
+            )
+        if self._state != "running":
+            raise CapacityError(f"router is {self._state}")
+        assert self._pool is not None
+        ring = self.replicas.ring()
+        if not len(ring):
+            self.metrics.add("router.rejected")
+            raise CapacityError(
+                "no routable replicas (all down or draining)",
+                details={"replicas": self.replicas.as_dict()["replicas"]},
+            )
+        preferences = ring.preferences(
+            request.canonical_key(), self.config.max_attempts
+        )
+        deadline_at = time.monotonic() + deadline_s
+        future = asyncio.get_running_loop().run_in_executor(
+            self._pool, self._forward_plan, preferences, request, deadline_at
+        )
+        try:
+            result = await asyncio.wait_for(future, timeout=deadline_s + 1.0)
+        except asyncio.TimeoutError:
+            self.metrics.add("router.deadline_exceeded")
+            raise DeadlineExceededError(
+                f"deadline of {deadline_s:g}s exceeded at the router "
+                "(plan still solving)",
+                details={"deadline_s": deadline_s},
+            ) from None
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        self.metrics.add("router.plans")
+        return success_envelope(
+            plan=result.to_dict(),
+            meta={
+                "items": len(request.mix),
+                "pool": len(request.pool),
+                "candidates": candidates,
+                "elapsed_ms": elapsed_ms,
+            },
+        )
+
+    def _forward_plan(
+        self,
+        preferences: Sequence[str],
+        request: PlanRequest,
+        deadline_at: float,
+    ) -> PlanResult:
+        """One plan's round trip with failover (pool thread) — the same
+        error classification as :meth:`_forward_group`."""
+        last_error: Exception | None = None
+        for replica_id in preferences:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                break
+            budget = remaining
+            if self.config.attempt_timeout_s is not None:
+                budget = min(budget, self.config.attempt_timeout_s)
+            try:
+                client = self._client(replica_id)
+            except KeyError:  # deregistered while we routed
+                continue
+            client.set_timeout(budget + 0.5)
+            try:
+                result = client.plan(request, deadline_s=remaining)
+            except _FATAL_ERRORS:
+                raise
+            except CapacityError as exc:
+                last_error = exc
+                self.metrics.add(
+                    "router.replica_busy", labels={"replica": replica_id}
+                )
+                continue
+            except (OSError, ApiError) as exc:
+                last_error = exc
+                self._drop_client(replica_id)
+                self.replicas.mark_failure(replica_id)
+                self.metrics.add(
+                    "router.failovers", labels={"replica": replica_id}
+                )
+                continue
+            self.replicas.mark_success(replica_id)
+            self.metrics.add(
+                "router.forwards", labels={"replica": replica_id}
+            )
+            return result
+        if time.monotonic() >= deadline_at:
+            self.metrics.add("router.deadline_exceeded")
+            raise DeadlineExceededError(
+                "deadline exceeded while failing over "
+                f"(tried {list(preferences)})",
+            ) from last_error
+        if isinstance(last_error, ApiError):
+            raise last_error
+        self.metrics.add("router.rejected")
+        raise CapacityError(
+            f"no replica answered (tried {list(preferences)})",
+        ) from last_error
 
     async def _forward_misses(
         self,
@@ -494,14 +611,13 @@ class ShardRouter:
         }
 
     def version(self) -> dict[str, Any]:
-        return {
-            "schema_version": SCHEMA_VERSION,
-            "service": "repro.serve.shard",
-            "version": repro.__version__,
-            "machine": self.config.service.machine,
-            "replicas": len(self.replicas.ids()),
-            "coalesce": self.config.service.coalesce,
-        }
+        return success_envelope(
+            service="repro.serve.shard",
+            version=repro.__version__,
+            machine=self.config.service.machine,
+            replicas=len(self.replicas.ids()),
+            coalesce=self.config.service.coalesce,
+        )
 
     def _fetch_replica_metrics(self, replica_id: str) -> dict[str, Any]:
         host, port = self.replicas.address(replica_id)
@@ -558,13 +674,12 @@ class ShardRouter:
         cache_total["hit_rate"] = (
             cache_total.get("hits", 0) / cache_lookups if cache_lookups else 0.0
         )
-        return {
-            "schema_version": SCHEMA_VERSION,
-            "service": self.metrics.as_dict(),
-            "cache": self.cache.stats(),
-            "replica_set": self.replicas.as_dict(),
-            "replicas": per_replica,
-            "aggregate": {
+        return success_envelope(
+            service=self.metrics.as_dict(),
+            cache=self.cache.stats(),
+            replica_set=self.replicas.as_dict(),
+            replicas=per_replica,
+            aggregate={
                 "service": merge_exports(
                     s.get("service", {}) for s in reachable
                 ),
@@ -572,7 +687,7 @@ class ShardRouter:
                 "cache": cache_total,
                 "reachable": len(reachable),
             },
-        }
+        )
 
 
 class ThreadReplica:

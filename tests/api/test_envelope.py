@@ -1,0 +1,92 @@
+"""The single envelope construction point (`repro.api.envelope`).
+
+Every body the service emits is stamped here; these tests pin the
+stamping contract so a schema bump cannot silently leave a stale or
+duplicated stamp behind.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.envelope import error_envelope, success_envelope
+from repro.api.errors import (
+    ApiError,
+    CapacityError,
+    InfeasiblePlanError,
+    error_from_info,
+    error_types,
+)
+from repro.api.types import SCHEMA_VERSION, ErrorInfo
+
+
+class TestSuccessEnvelope:
+    def test_stamps_current_schema(self):
+        body = success_envelope(results=[1, 2], meta={"queries": 2})
+        assert body == {
+            "schema_version": SCHEMA_VERSION,
+            "results": [1, 2],
+            "meta": {"queries": 2},
+        }
+
+    def test_empty_fields_is_just_the_stamp(self):
+        assert success_envelope() == {"schema_version": SCHEMA_VERSION}
+
+    def test_caller_supplied_stamp_rejected(self):
+        with pytest.raises(ValueError, match="stamps schema_version itself"):
+            success_envelope(schema_version=1)
+
+    def test_json_ready(self):
+        body = success_envelope(plan={"objective": "runtime"})
+        assert json.loads(json.dumps(body)) == body
+
+
+class TestErrorEnvelope:
+    def test_typed_error_serializes_info(self):
+        exc = CapacityError("queue full", details={"max_queue": 4})
+        body = error_envelope(exc)
+        assert body["schema_version"] == SCHEMA_VERSION
+        assert body["error"]["code"] == "capacity"
+        assert body["error"]["message"] == "queue full"
+        assert body["error"]["details"] == {"max_queue": 4}
+
+    def test_bare_code_and_message(self):
+        body = error_envelope("not_found", "no route /v1/nope")
+        assert body == {
+            "schema_version": SCHEMA_VERSION,
+            "error": {"code": "not_found", "message": "no route /v1/nope"},
+        }
+
+    def test_bare_code_without_message_rejected(self):
+        with pytest.raises(ValueError, match="needs a message"):
+            error_envelope("not_found")
+
+    def test_round_trips_through_client_rehydration(self):
+        exc = InfeasiblePlanError("no packing", details={"item": 0})
+        body = json.loads(json.dumps(error_envelope(exc)))
+        rehydrated = error_from_info(ErrorInfo.from_dict(body["error"]))
+        assert isinstance(rehydrated, InfeasiblePlanError)
+        assert rehydrated.details == {"item": 0}
+
+
+class TestErrorTaxonomy:
+    def test_plan_codes_registered(self):
+        codes = error_types()
+        for code in ("plan", "empty_mix", "unknown_machine", "infeasible_plan"):
+            assert code in codes, f"{code} missing from the wire taxonomy"
+            assert issubclass(codes[code], ApiError)
+
+    def test_plan_statuses(self):
+        codes = error_types()
+        assert codes["plan"].http_status == 400
+        assert codes["empty_mix"].http_status == 400
+        assert codes["unknown_machine"].http_status == 404
+        assert codes["infeasible_plan"].http_status == 409
+
+    def test_plan_errors_double_as_stdlib_exceptions(self):
+        codes = error_types()
+        assert issubclass(codes["empty_mix"], ValueError)
+        assert issubclass(codes["unknown_machine"], LookupError)
+        assert issubclass(codes["infeasible_plan"], RuntimeError)

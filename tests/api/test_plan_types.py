@@ -1,0 +1,272 @@
+"""Planner wire types: canonicalization, round-trips, rejection.
+
+Mirrors the `Query`/`QueryGrid` contract suite: ``to_dict``/
+``from_dict`` are exact inverses over JSON-ready dictionaries, and
+hypothesis drives the round-trip over the whole generator space.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.api.errors import (
+    EmptyMixError,
+    SchemaVersionError,
+    UnknownMachineError,
+    ValidationError,
+)
+from repro.api.plan import (
+    OBJECTIVES,
+    MachineLoad,
+    PlanAssignment,
+    PlanRequest,
+    PlanResult,
+    PoolEntry,
+    TrafficItem,
+)
+from repro.api.types import MACHINE_NAMES, SCHEMA_VERSION
+
+WORKLOADS = ("dgemm", "minife", "gups", "graph500", "xsbench")
+CONFIGS = ("DRAM", "HBM", "Cache Mode")
+
+sizes = st.floats(
+    min_value=0.5, max_value=64.0, allow_nan=False, allow_infinity=False
+)
+weights = st.floats(
+    min_value=1e-6, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+items = st.builds(
+    TrafficItem,
+    workload=st.sampled_from(WORKLOADS),
+    size_gb=sizes,
+    num_threads=st.integers(min_value=1, max_value=256),
+    weight=weights,
+)
+
+pool_entries = st.builds(
+    PoolEntry,
+    machine=st.sampled_from(sorted(MACHINE_NAMES)),
+    nodes=st.integers(min_value=1, max_value=512),
+    configs=st.lists(
+        st.sampled_from(CONFIGS), unique=True, max_size=len(CONFIGS)
+    ).map(tuple),
+)
+
+
+def _unique_machines(entries):
+    seen, out = set(), []
+    for entry in entries:
+        if entry.machine not in seen:
+            seen.add(entry.machine)
+            out.append(entry)
+    return tuple(out)
+
+
+requests = st.builds(
+    PlanRequest,
+    mix=st.lists(items, min_size=1, max_size=6).map(tuple),
+    pool=st.lists(pool_entries, min_size=1, max_size=4).map(_unique_machines),
+    objective=st.sampled_from(OBJECTIVES),
+)
+
+
+class TestTrafficItem:
+    def test_canonicalization(self):
+        item = TrafficItem(workload="DGEMM", size_gb=4, weight=2)
+        assert item.workload == "dgemm"
+        assert item.size_gb == 4.0
+        assert item.weight == 2.0
+        assert item.num_threads == 64
+
+    @given(item=items)
+    def test_round_trip(self, item):
+        wire = json.loads(json.dumps(item.to_dict()))
+        assert TrafficItem.from_dict(wire) == item
+
+    @pytest.mark.parametrize(
+        "patch",
+        [
+            {"size_gb": -1.0},
+            {"size_gb": float("nan")},
+            {"weight": 0.0},
+            {"weight": float("inf")},
+            {"num_threads": 0},
+            {"workload": ""},
+            {"tenant": "a"},
+        ],
+    )
+    def test_invalid_fields_raise(self, patch):
+        data = {"workload": "dgemm", "size_gb": 4.0}
+        data.update(patch)
+        with pytest.raises(ValidationError):
+            TrafficItem.from_dict(data)
+
+
+class TestPoolEntry:
+    def test_canonicalization(self):
+        entry = PoolEntry(machine="KNL7210", nodes=8, configs=["cache"])
+        assert entry.machine == "knl7210"
+        assert entry.configs == ("Cache Mode",)
+
+    def test_effective_configs_default_to_paper_trio(self):
+        assert PoolEntry(machine="knl7210", nodes=1).effective_configs() == (
+            "DRAM",
+            "HBM",
+            "Cache Mode",
+        )
+
+    def test_explicit_configs_win(self):
+        entry = PoolEntry(machine="knl7210", nodes=1, configs=("HBM",))
+        assert entry.effective_configs() == ("HBM",)
+
+    @given(entry=pool_entries)
+    def test_round_trip(self, entry):
+        wire = json.loads(json.dumps(entry.to_dict()))
+        assert PoolEntry.from_dict(wire) == entry
+
+    def test_unknown_machine_is_the_plan_taxonomy(self):
+        with pytest.raises(UnknownMachineError) as excinfo:
+            PoolEntry(machine="epyc", nodes=4)
+        assert "available" in excinfo.value.details
+
+    def test_duplicate_configs_raise(self):
+        with pytest.raises(ValidationError, match="duplicate configs"):
+            PoolEntry(machine="knl7210", nodes=4, configs=("HBM", "hbm"))
+
+
+class TestPlanRequest:
+    @given(request=requests)
+    def test_round_trip(self, request):
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert PlanRequest.from_dict(wire) == request
+
+    @given(request=requests)
+    def test_canonical_key_stable_and_json(self, request):
+        key = request.canonical_key()
+        assert key == request.canonical_key()
+        assert (
+            PlanRequest.from_dict(json.loads(key)).canonical_key() == key
+        )
+
+    @given(request=requests)
+    def test_candidate_count_matches_enumeration(self, request):
+        expected = len(request.mix) * sum(
+            len(entry.effective_configs()) for entry in request.pool
+        )
+        assert request.candidate_count() == expected
+
+    def test_equivalent_spellings_compare_equal(self):
+        raw = {
+            "mix": [{"workload": "MiniFE", "size_gb": 7.2}],
+            "pool": [{"machine": "KNL7210", "nodes": 4, "configs": ["CACHE"]}],
+        }
+        canon = {
+            "mix": [{"workload": "minife", "size_gb": 7.2}],
+            "pool": [
+                {"machine": "knl7210", "nodes": 4, "configs": ["Cache Mode"]}
+            ],
+            "objective": "RUNTIME",
+        }
+        a, b = PlanRequest.from_dict(raw), PlanRequest.from_dict(canon)
+        assert a == b
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_empty_mix_raises_typed(self):
+        with pytest.raises(EmptyMixError):
+            PlanRequest.from_dict(
+                {"mix": [], "pool": [{"machine": "knl7210", "nodes": 1}]}
+            )
+
+    def test_empty_pool_raises_typed(self):
+        with pytest.raises(EmptyMixError):
+            PlanRequest.from_dict(
+                {"mix": [{"workload": "dgemm", "size_gb": 4.0}], "pool": []}
+            )
+
+    def test_duplicate_pool_machines_raise(self):
+        with pytest.raises(ValidationError, match="duplicate pool machines"):
+            PlanRequest.from_dict(
+                {
+                    "mix": [{"workload": "dgemm", "size_gb": 4.0}],
+                    "pool": [
+                        {"machine": "knl7210", "nodes": 1},
+                        {"machine": "KNL7210", "nodes": 2},
+                    ],
+                }
+            )
+
+    def test_bad_objective_raises(self):
+        with pytest.raises(ValidationError, match="unknown objective"):
+            PlanRequest.from_dict(
+                {
+                    "mix": [{"workload": "dgemm", "size_gb": 4.0}],
+                    "pool": [{"machine": "knl7210", "nodes": 1}],
+                    "objective": "latency",
+                }
+            )
+
+
+def _assignment(**overrides):
+    fields = {
+        "item": TrafficItem(workload="dgemm", size_gb=4.0, weight=0.001),
+        "machine": "knl7210",
+        "config": "HBM",
+        "time_ns": 2.5e9,
+        "metric": 1.0e12,
+        "metric_name": "FLOPS",
+        "metric_unit": "flop/s",
+        "load_nodes": 0.001 * 2.5,
+        "energy_j": 123.0,
+    }
+    fields.update(overrides)
+    return PlanAssignment(**fields)
+
+
+class TestPlanResult:
+    def _result(self):
+        assignment = _assignment()
+        return PlanResult(
+            assignments=(assignment,),
+            objective="runtime",
+            objective_value=assignment.load_nodes,
+            loads=(
+                MachineLoad(
+                    machine="knl7210",
+                    nodes=4,
+                    load_nodes=assignment.load_nodes,
+                ),
+            ),
+        )
+
+    def test_round_trip(self):
+        result = self._result()
+        wire = json.loads(json.dumps(result.to_dict()))
+        assert PlanResult.from_dict(wire) == result
+        assert wire["schema_version"] == SCHEMA_VERSION
+
+    def test_time_s_and_utilization_properties(self):
+        result = self._result()
+        assert result.assignments[0].time_s == pytest.approx(2.5)
+        assert result.loads[0].utilization == pytest.approx(
+            result.loads[0].load_nodes / 4
+        )
+
+    def test_other_schema_rejected(self):
+        wire = self._result().to_dict()
+        wire["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaVersionError):
+            PlanResult.from_dict(wire)
+
+    def test_downlevel_schema_accepted(self):
+        wire = self._result().to_dict()
+        wire["schema_version"] = 1
+        assert PlanResult.from_dict(wire).schema_version == 1
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValidationError):
+            _assignment(load_nodes=-0.5)

@@ -1,0 +1,278 @@
+"""The capacity planner: feasibility, bit-identity, errors, invariants.
+
+One module-scoped predictor backs every solve, so the model tables
+build once; the planner shares its executors exactly like the serving
+layer does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.errors import InfeasiblePlanError, UnknownWorkloadError
+from repro.api.facade import Predictor
+from repro.api.plan import (
+    MachineLoad,
+    PlanAssignment,
+    PlanRequest,
+    PlanResult,
+    PoolEntry,
+    TrafficItem,
+)
+from repro.api.types import Query
+from repro.plan import CapacityPlanner, check_plan, plan_request
+
+MIX = (
+    TrafficItem(workload="dgemm", size_gb=12.0, num_threads=64, weight=0.001),
+    TrafficItem(workload="minife", size_gb=20.0, num_threads=64, weight=0.002),
+    TrafficItem(workload="gups", size_gb=8.0, num_threads=32, weight=0.001),
+)
+POOL = (
+    PoolEntry(machine="knl7210", nodes=8),
+    PoolEntry(machine="xeonmax9480", nodes=8),
+)
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    predictor = Predictor()
+    yield predictor
+    predictor.close()
+
+
+@pytest.fixture(scope="module")
+def planner(predictor):
+    return CapacityPlanner(predictor)
+
+
+@pytest.fixture(scope="module")
+def runtime_result(planner):
+    return planner.plan(PlanRequest(mix=MIX, pool=POOL))
+
+
+class TestSolve:
+    def test_feasible_and_invariant_clean(self, runtime_result):
+        request = PlanRequest(mix=MIX, pool=POOL)
+        assert check_plan(request, runtime_result) == []
+        assert len(runtime_result.assignments) == len(MIX)
+        assert runtime_result.objective == "runtime"
+        assert runtime_result.objective_value > 0
+
+    def test_assignments_follow_mix_order(self, runtime_result):
+        assert tuple(a.item for a in runtime_result.assignments) == MIX
+
+    def test_loads_cover_the_pool(self, runtime_result):
+        assert tuple(load.machine for load in runtime_result.loads) == tuple(
+            entry.machine for entry in POOL
+        )
+        for load in runtime_result.loads:
+            assert 0.0 <= load.load_nodes <= load.nodes
+
+    def test_bit_identity_with_direct_predict(self, planner, runtime_result):
+        for assignment in runtime_result.assignments:
+            direct = planner.predictor.predict(
+                Query(
+                    workload=assignment.item.workload,
+                    size_gb=assignment.item.size_gb,
+                    config=assignment.config,
+                    num_threads=assignment.item.num_threads,
+                    machine=assignment.machine,
+                )
+            )
+            assert direct.time_ns == assignment.time_ns
+            assert direct.metric == assignment.metric
+
+    def test_loose_capacity_takes_every_cheapest_candidate(self, planner):
+        request = PlanRequest(
+            mix=MIX,
+            pool=tuple(
+                PoolEntry(machine=e.machine, nodes=10_000) for e in POOL
+            ),
+        )
+        per_item = planner._candidates(request)
+        result = planner.plan(request)
+        assert result.objective_value == pytest.approx(
+            sum(options[0].cost for options in per_item), rel=1e-12
+        )
+
+    def test_tight_capacity_stays_feasible_and_no_cheaper(self, planner):
+        loose = planner.plan(PlanRequest(mix=MIX, pool=POOL))
+        tight_pool = (
+            PoolEntry(machine="knl7210", nodes=1),
+            PoolEntry(machine="xeonmax9480", nodes=1),
+        )
+        tight_request = PlanRequest(mix=MIX, pool=tight_pool)
+        tight = planner.plan(tight_request)
+        assert check_plan(tight_request, tight) == []
+        assert tight.objective_value >= loose.objective_value - 1e-12
+
+    def test_determinism(self, planner, runtime_result):
+        again = planner.plan(PlanRequest(mix=MIX, pool=POOL))
+        assert again == runtime_result
+        assert again.to_dict() == runtime_result.to_dict()
+
+    def test_module_entry_point(self, predictor, runtime_result):
+        assert (
+            plan_request(PlanRequest(mix=MIX, pool=POOL), predictor=predictor)
+            == runtime_result
+        )
+
+
+class TestEnergyObjective:
+    def test_energy_plan_is_clean_and_priced_in_joules(self, planner):
+        request = PlanRequest(mix=MIX, pool=POOL, objective="energy")
+        result = planner.plan(request)
+        assert check_plan(request, result) == []
+        assert result.objective == "energy"
+        assert result.objective_value == pytest.approx(
+            sum(a.item.weight * a.energy_j for a in result.assignments),
+            rel=1e-12,
+        )
+        for assignment in result.assignments:
+            assert assignment.energy_j > 0
+
+
+class TestInfeasibility:
+    def test_unknown_workload_surfaces_before_fanout(self, planner):
+        request = PlanRequest(
+            mix=(TrafficItem(workload="linpack", size_gb=4.0),), pool=POOL
+        )
+        with pytest.raises(UnknownWorkloadError):
+            planner.plan(request)
+
+    def test_item_with_no_candidate_anywhere(self, planner):
+        # 256 threads exceeds the Xeon Max's 112-thread limit, and the
+        # pool offers nothing else: the item has zero viable candidates.
+        request = PlanRequest(
+            mix=(TrafficItem(workload="dgemm", size_gb=8.0, num_threads=256),),
+            pool=(PoolEntry(machine="xeonmax9480", nodes=8),),
+        )
+        with pytest.raises(InfeasiblePlanError) as excinfo:
+            planner.plan(request)
+        assert excinfo.value.details["items"] == ["dgemm"]
+
+    def test_overloaded_mix_does_not_pack(self, planner):
+        # A weight this large keeps far more than one node busy on
+        # every candidate; a 1-node pool cannot absorb it.
+        request = PlanRequest(
+            mix=(TrafficItem(workload="dgemm", size_gb=12.0, weight=1e6),),
+            pool=(PoolEntry(machine="knl7210", nodes=1),),
+        )
+        with pytest.raises(InfeasiblePlanError) as excinfo:
+            planner.plan(request)
+        assert "remaining_nodes" in excinfo.value.details
+
+
+class TestInvariantTamper:
+    """Each invariant catches its violation class on hand-broken plans."""
+
+    @pytest.fixture(scope="class")
+    def solved(self, planner):
+        request = PlanRequest(mix=MIX, pool=POOL)
+        return request, planner.plan(request)
+
+    @staticmethod
+    def _rebuild(result, **overrides):
+        fields = {
+            "assignments": result.assignments,
+            "objective": result.objective,
+            "objective_value": result.objective_value,
+            "loads": result.loads,
+        }
+        fields.update(overrides)
+        return PlanResult(**fields)
+
+    @staticmethod
+    def _patch_assignment(assignment, **overrides):
+        fields = assignment.to_dict()
+        item = fields.pop("item")
+        fields.update(overrides)
+        return PlanAssignment(item=TrafficItem(**item), **fields)
+
+    def test_dropped_item_caught(self, solved):
+        request, result = solved
+        broken = self._rebuild(result, assignments=result.assignments[:-1])
+        assert any(
+            "plan.weight_conserved" in v for v in check_plan(request, broken)
+        )
+
+    def test_tampered_load_caught(self, solved):
+        request, result = solved
+        first = self._patch_assignment(
+            result.assignments[0],
+            load_nodes=result.assignments[0].load_nodes * 2,
+        )
+        broken = self._rebuild(
+            result, assignments=(first,) + result.assignments[1:]
+        )
+        assert any(
+            "plan.assignments_valid" in v for v in check_plan(request, broken)
+        )
+
+    def test_over_capacity_caught(self, solved):
+        request, _ = solved
+        # Same plan judged against a pool squeezed to a sliver of the
+        # loads it actually carries.
+        result = solved[1]
+        shrunk = PlanRequest(
+            mix=request.mix,
+            pool=tuple(
+                PoolEntry(machine=e.machine, nodes=1) for e in request.pool
+            ),
+        )
+        tiny = self._rebuild(
+            result,
+            assignments=tuple(
+                self._patch_assignment(a, load_nodes=5.0, time_ns=5.0 / a.item.weight * 1e9)
+                for a in result.assignments
+            ),
+            objective_value=5.0 * len(result.assignments),
+            loads=tuple(
+                MachineLoad(machine=l.machine, nodes=1, load_nodes=5.0)
+                for l in result.loads
+            ),
+        )
+        assert any(
+            "plan.capacity_feasible" in v for v in check_plan(shrunk, tiny)
+        )
+
+    def test_mismatched_load_rows_caught(self, solved):
+        request, result = solved
+        broken = self._rebuild(
+            result,
+            loads=tuple(
+                MachineLoad(
+                    machine=l.machine,
+                    nodes=l.nodes,
+                    load_nodes=l.load_nodes + 1.0,
+                )
+                for l in result.loads
+            ),
+        )
+        assert any(
+            "plan.capacity_feasible" in v for v in check_plan(request, broken)
+        )
+
+    def test_tampered_objective_caught(self, solved):
+        request, result = solved
+        broken = self._rebuild(
+            result, objective_value=result.objective_value * 3 + 1.0
+        )
+        assert any(
+            "plan.objective_consistent" in v
+            for v in check_plan(request, broken)
+        )
+
+    def test_wrong_objective_kind_caught(self, solved):
+        request, result = solved
+        broken = self._rebuild(
+            result,
+            objective="energy",
+            objective_value=sum(
+                a.item.weight * a.energy_j for a in result.assignments
+            ),
+        )
+        assert any(
+            "plan.objective_consistent" in v
+            for v in check_plan(request, broken)
+        )
